@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the row codecs: the text format every DFS
+//! hand-off pays (twice more in the naive pipeline than in insql) and
+//! the binary wire format the streaming transfer pays instead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sqlml_common::codec;
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+
+fn sample_rows(n: usize) -> (Schema, Vec<Row>) {
+    let schema = Schema::new(vec![
+        Field::new("age", DataType::Int),
+        Field::categorical("gender"),
+        Field::new("amount", DataType::Double),
+        Field::categorical("abandoned"),
+    ]);
+    let mut rng = SplitMix64::new(3);
+    let rows = (0..n)
+        .map(|_| {
+            Row::new(vec![
+                Value::Int(rng.range_i64(18, 80)),
+                Value::Str(if rng.chance(0.5) { "F" } else { "M" }.to_string()),
+                Value::Double(rng.next_f64() * 200.0),
+                Value::Str(if rng.chance(0.3) { "Yes" } else { "No" }.to_string()),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let (schema, rows) = sample_rows(10_000);
+    let text = codec::encode_text_batch(&rows);
+    let mut binary = Vec::new();
+    for r in &rows {
+        codec::encode_binary_row(r, &mut binary);
+    }
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("text_encode_10k_rows", |b| {
+        b.iter(|| codec::encode_text_batch(black_box(&rows)))
+    });
+    group.bench_function("text_decode_10k_rows", |b| {
+        b.iter(|| codec::decode_text_batch(black_box(&text), &schema).unwrap())
+    });
+    group.throughput(Throughput::Bytes(binary.len() as u64));
+    group.bench_function("binary_encode_10k_rows", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(binary.len());
+            for r in &rows {
+                codec::encode_binary_row(black_box(r), &mut buf);
+            }
+            buf
+        })
+    });
+    group.bench_function("binary_decode_10k_rows", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut out = Vec::with_capacity(rows.len());
+            while pos < binary.len() {
+                let (row, used) = codec::decode_binary_row(&binary[pos..]).unwrap();
+                out.push(row);
+                pos += used;
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codecs
+}
+criterion_main!(benches);

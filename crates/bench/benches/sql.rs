@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the SQL engine: parsing, the paper's preparation
+//! join, filters, and aggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_sqlengine::parser::parse_statement;
+use sqlml_sqlengine::{Engine, EngineConfig};
+
+fn engine(carts: usize, users: usize) -> Engine {
+    let e = Engine::new(EngineConfig::with_workers(4));
+    let mut rng = SplitMix64::new(5);
+    let cart_schema = Schema::new(vec![
+        Field::new("userid", DataType::Int),
+        Field::new("amount", DataType::Double),
+        Field::categorical("abandoned"),
+    ]);
+    let user_schema = Schema::new(vec![
+        Field::new("userid", DataType::Int),
+        Field::new("age", DataType::Int),
+        Field::categorical("country"),
+    ]);
+    let cart_rows: Vec<Row> = (0..carts)
+        .map(|_| {
+            Row::new(vec![
+                Value::Int(rng.next_below(users as u64) as i64),
+                Value::Double(rng.next_f64() * 200.0),
+                Value::Str(if rng.chance(0.3) { "Yes" } else { "No" }.to_string()),
+            ])
+        })
+        .collect();
+    let user_rows: Vec<Row> = (0..users)
+        .map(|uid| {
+            Row::new(vec![
+                Value::Int(uid as i64),
+                Value::Int(rng.range_i64(18, 80)),
+                Value::Str(if rng.chance(0.55) { "USA" } else { "CA" }.to_string()),
+            ])
+        })
+        .collect();
+    e.register_rows("carts", cart_schema, cart_rows);
+    e.register_rows("users", user_schema, user_rows);
+    e
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let e = engine(100_000, 10_000);
+    let prep = "SELECT U.age, C.amount, C.abandoned FROM carts C, users U \
+                WHERE C.userid = U.userid AND U.country = 'USA'";
+
+    let mut group = c.benchmark_group("sql");
+    group.bench_function("parse_prep_query", |b| {
+        b.iter(|| parse_statement(black_box(prep)).unwrap())
+    });
+    group.bench_function("plan_prep_query", |b| {
+        b.iter(|| e.validate(black_box(prep)).unwrap())
+    });
+    group.bench_function("join_100k_x_10k", |b| {
+        b.iter(|| e.query(black_box(prep)).unwrap().num_rows())
+    });
+    group.bench_function("filter_scan_100k", |b| {
+        b.iter(|| {
+            e.query(black_box("SELECT amount FROM carts WHERE amount > 150.0"))
+                .unwrap()
+                .num_rows()
+        })
+    });
+    group.bench_function("group_by_100k", |b| {
+        b.iter(|| {
+            e.query(black_box(
+                "SELECT abandoned, COUNT(*), AVG(amount) FROM carts GROUP BY abandoned",
+            ))
+            .unwrap()
+            .num_rows()
+        })
+    });
+    group.bench_function("distinct_two_phase_100k", |b| {
+        b.iter(|| {
+            e.query(black_box("SELECT DISTINCT abandoned FROM carts"))
+                .unwrap()
+                .num_rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sql
+}
+criterion_main!(benches);

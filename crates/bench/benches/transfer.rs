@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the streaming-transfer building blocks: wire
+//! framing and the spillable send buffer, plus a full end-to-end
+//! streaming session.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_mlengine::job::JobConfig;
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transfer::protocol::Message;
+use sqlml_transfer::{SpillableBuffer, StreamSession, StreamSessionConfig};
+
+fn sample_batch(n: usize) -> Vec<Row> {
+    let mut rng = SplitMix64::new(21);
+    (0..n)
+        .map(|_| {
+            Row::new(vec![
+                Value::Double(rng.next_f64()),
+                Value::Double(rng.next_f64()),
+                Value::Int(rng.range_i64(0, 1)),
+            ])
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let batch = Message::RowBatch {
+        rows: sample_batch(64),
+    };
+    let frame = batch.encode();
+
+    let mut group = c.benchmark_group("transfer_wire");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_64_row_batch", |b| {
+        b.iter(|| black_box(&batch).encode())
+    });
+    group.bench_function("decode_64_row_batch", |b| {
+        b.iter(|| Message::decode(black_box(&frame[4..])).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let chunk = vec![7u8; 4096];
+    let mut group = c.benchmark_group("transfer_buffer");
+    group.throughput(Throughput::Bytes((chunk.len() * 100) as u64));
+    group.bench_function("buffer_inmemory_100x4k", |b| {
+        b.iter(|| {
+            let buf = SpillableBuffer::new(1 << 20, std::env::temp_dir(), "bench-mem");
+            for _ in 0..100 {
+                buf.push(chunk.clone()).unwrap();
+                black_box(buf.pop().unwrap());
+            }
+        })
+    });
+    group.bench_function("buffer_spilling_100x4k", |b| {
+        b.iter(|| {
+            // 1-byte budget: everything after the first chunk spills.
+            let buf = SpillableBuffer::new(1, std::env::temp_dir(), "bench-spill");
+            for _ in 0..100 {
+                buf.push(chunk.clone()).unwrap();
+            }
+            buf.close();
+            while let Some(c) = buf.pop().unwrap() {
+                black_box(c);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig {
+        num_workers: 2,
+        nodes: (0..2).map(sqlml_dfs::node_name).collect(),
+    });
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Double),
+        Field::new("y", DataType::Double),
+        Field::new("label", DataType::Int),
+    ]);
+    engine.register_rows("points", schema, sample_batch(20_000));
+    let session = StreamSession::start().unwrap();
+    let cfg = StreamSessionConfig {
+        splits_per_worker: 1,
+        send_buffer_bytes: 4096,
+        ml_job: JobConfig {
+            num_workers: 2,
+            worker_nodes: (0..2).map(sqlml_dfs::node_name).collect(),
+            splits_per_worker: 1,
+        },
+        spill_dir: std::env::temp_dir().join("sqlml-bench-spill"),
+    };
+    session.install_udf(&engine, &cfg, None);
+
+    let mut group = c.benchmark_group("transfer_session");
+    group.sample_size(10);
+    group.bench_function("stream_20k_rows_end_to_end", |b| {
+        b.iter(|| {
+            session
+                .run(&engine, "points", "nb label=2", &cfg)
+                .unwrap()
+                .stats
+                .rows_ingested
+        })
+    });
+    group.finish();
+}
+
+fn bench_broker(c: &mut Criterion) {
+    use sqlml_mq::{broker::BrokerConfig, Broker};
+    use std::time::Duration;
+    let chunk = vec![9u8; 2048];
+    let mut group = c.benchmark_group("transfer_mq");
+    group.throughput(Throughput::Bytes((chunk.len() * 100) as u64));
+    group.bench_function("broker_publish_100x2k", |b| {
+        b.iter(|| {
+            let broker = Broker::new(BrokerConfig::default());
+            broker.create_topic("bench", 1).unwrap();
+            for _ in 0..100 {
+                broker.append("bench", 0, chunk.clone()).unwrap();
+            }
+            broker.seal("bench", 0).unwrap();
+        })
+    });
+    let broker = Broker::new(BrokerConfig::default());
+    broker.create_topic("read", 1).unwrap();
+    for _ in 0..100 {
+        broker.append("read", 0, chunk.clone()).unwrap();
+    }
+    broker.seal("read", 0).unwrap();
+    group.bench_function("broker_replay_100x2k", |b| {
+        b.iter(|| {
+            let mut offset = 0;
+            while let Some(rec) = broker
+                .read("read", 0, offset, Duration::from_millis(50))
+                .unwrap()
+            {
+                black_box(rec);
+                offset += 1;
+            }
+            offset
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_wire, bench_buffer, bench_session, bench_broker
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the In-SQL transformations (§2): recode-map
+//! construction (two-phase), the recoding join, and dummy coding.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transform::{InSqlTransformer, TransformSpec};
+
+fn setup(rows: usize) -> (Engine, InSqlTransformer) {
+    let e = Engine::new(EngineConfig::with_workers(4));
+    let schema = Schema::new(vec![
+        Field::new("age", DataType::Int),
+        Field::categorical("gender"),
+        Field::new("amount", DataType::Double),
+        Field::categorical("abandoned"),
+    ]);
+    let mut rng = SplitMix64::new(9);
+    let data: Vec<Row> = (0..rows)
+        .map(|_| {
+            Row::new(vec![
+                Value::Int(rng.range_i64(18, 80)),
+                Value::Str(if rng.chance(0.5) { "F" } else { "M" }.to_string()),
+                Value::Double(rng.next_f64() * 200.0),
+                Value::Str(if rng.chance(0.3) { "Yes" } else { "No" }.to_string()),
+            ])
+        })
+        .collect();
+    e.register_rows("t", schema, data);
+    let tr = InSqlTransformer::new(e.clone());
+    (e, tr)
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let (_e, tr) = setup(100_000);
+    let cols = vec!["gender".to_string(), "abandoned".to_string()];
+
+    let mut group = c.benchmark_group("transform");
+    group.bench_function("recode_map_build_100k_2cols", |b| {
+        b.iter(|| tr.build_recode_map(black_box("t"), &cols).unwrap())
+    });
+    group.bench_function("full_recode_100k", |b| {
+        b.iter(|| tr.transform("t", &TransformSpec::default()).unwrap().table.num_rows())
+    });
+    group.bench_function("recode_plus_dummy_100k", |b| {
+        b.iter(|| {
+            tr.transform("t", &TransformSpec::new(&["gender"]))
+                .unwrap()
+                .table
+                .num_rows()
+        })
+    });
+    let map = tr.build_recode_map("t", &cols).unwrap();
+    group.bench_function("recode_with_cached_map_100k", |b| {
+        b.iter(|| {
+            tr.transform_with_map("t", &TransformSpec::default(), black_box(&map))
+                .unwrap()
+                .table
+                .num_rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transform
+}
+criterion_main!(benches);

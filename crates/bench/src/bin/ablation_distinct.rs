@@ -1,0 +1,108 @@
+//! **A3 — one-pass UDF distinct vs per-column `SELECT DISTINCT`.**
+//!
+//! §2.1 argues: "Although one could use SQL queries to compute the
+//! distinct values, each column that needs to be recoded would result in
+//! such an SQL query, and would require one pass of the data. Using
+//! UDFs, we can scan the data once and compute the distinct values for
+//! all required columns."
+//!
+//! This ablation builds recode maps for tables with a growing number of
+//! categorical columns both ways and compares the build times.
+//!
+//! Expected shape: the per-column approach degrades roughly linearly
+//! with the column count; the one-pass UDF stays near-flat, so the gap
+//! widens with more columns.
+//!
+//! Run: `cargo run --release -p sqlml-bench --bin ablation_distinct`
+
+use std::time::Instant;
+
+use sqlml_bench::check_shape;
+use sqlml_common::schema::{Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transform::{InSqlTransformer, RecodeMap};
+
+const ROWS: usize = 120_000;
+
+fn wide_table(cols: usize, seed: u64) -> (Schema, Vec<Row>) {
+    let schema = Schema::new(
+        (0..cols)
+            .map(|i| Field::categorical(format!("c{i}")))
+            .collect(),
+    );
+    let mut rng = SplitMix64::new(seed);
+    let values = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let rows = (0..ROWS)
+        .map(|_| {
+            Row::new(
+                (0..cols)
+                    .map(|_| Value::Str(rng.choose(&values).to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// The §2.1 alternative: one `SELECT DISTINCT` query per column.
+fn per_column_distinct(engine: &Engine, cols: usize) -> RecodeMap {
+    let mut pairs = Vec::new();
+    for i in 0..cols {
+        let rows = engine
+            .query(&format!("SELECT DISTINCT c{i} FROM wide"))
+            .expect("distinct query")
+            .collect_rows();
+        for r in rows {
+            pairs.push((format!("c{i}"), r.get(0).as_str().unwrap().to_string()));
+        }
+    }
+    RecodeMap::from_pairs(pairs)
+}
+
+fn main() {
+    println!("A3: recode-map build, one-pass UDF vs per-column DISTINCT ({ROWS} rows)\n");
+    println!(
+        "{:>6} {:>14} {:>18} {:>8}",
+        "cols", "udf 1-pass (s)", "per-column (s)", "ratio"
+    );
+    let mut ratios = Vec::new();
+    for cols in [2usize, 4, 8, 16] {
+        let engine = Engine::new(EngineConfig::with_workers(4));
+        let (schema, rows) = wide_table(cols, 7);
+        engine.register_rows("wide", schema, rows);
+        let transformer = InSqlTransformer::new(engine.clone());
+        let col_names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+
+        let t0 = Instant::now();
+        let udf_map = transformer
+            .build_recode_map("wide", &col_names)
+            .expect("udf map");
+        let udf_time = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let sql_map = per_column_distinct(&engine, cols);
+        let sql_time = t1.elapsed().as_secs_f64();
+
+        assert_eq!(udf_map, sql_map, "both approaches must agree");
+        let ratio = sql_time / udf_time.max(f64::EPSILON);
+        println!("{cols:>6} {udf_time:>14.3} {sql_time:>18.3} {ratio:>7.2}x");
+        ratios.push((cols, udf_time, sql_time));
+    }
+
+    // Shape: per-column cost grows faster with the column count than the
+    // one-pass UDF cost.
+    let growth_sql = ratios.last().unwrap().2 / ratios[0].2;
+    let growth_udf = ratios.last().unwrap().1 / ratios[0].1;
+    println!(
+        "\ncost growth 2→16 columns: per-column {growth_sql:.1}x, one-pass UDF {growth_udf:.1}x"
+    );
+    let ok = check_shape(
+        "per-column DISTINCT cost grows faster with column count than the one-pass UDF",
+        growth_sql > growth_udf,
+    ) & check_shape(
+        "at 16 columns the one-pass UDF wins outright",
+        ratios.last().unwrap().1 < ratios.last().unwrap().2,
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

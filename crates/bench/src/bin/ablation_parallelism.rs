@@ -1,0 +1,66 @@
+//! **A2 — degree-of-parallelism sweep.** §3 introduces `k`, the number
+//! of streaming readers per SQL worker (`m = n·k` splits), "a parameter
+//! to control the degree of parallelism in the ML job". This ablation
+//! sweeps `k` and reports split counts and ingestion time.
+//!
+//! Expected shape: split count scales as `n·k`; delivery stays exact for
+//! every `k`; moderate `k` does not hurt (loopback transport makes large
+//! gains invisible at this scale, so the check is on correctness and
+//! split accounting, not speed).
+//!
+//! Run: `cargo run --release -p sqlml-bench --bin ablation_parallelism`
+
+use sqlml_bench::{check_shape, BenchParams};
+use sqlml_core::workload::PREP_QUERY;
+use sqlml_core::{ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy};
+use sqlml_transform::TransformSpec;
+
+fn main() {
+    let mut params = BenchParams::from_args();
+    params.throttle_mbps = None;
+    let request = PipelineRequest {
+        prep_sql: PREP_QUERY.to_string(),
+        spec: TransformSpec::new(&["gender"]),
+        ml_command: "svm label=4 iterations=5".to_string(),
+    };
+
+    println!("A2: k (readers per SQL worker) sweep ({} carts)\n", params.scale.carts);
+    println!(
+        "{:>4} {:>8} {:>8} {:>12} {:>10}",
+        "k", "splits", "local", "time (s)", "rows"
+    );
+    let mut all_exact = true;
+    let mut split_counts = Vec::new();
+    for k in [1u32, 2, 4, 8] {
+        let cfg = ClusterConfig {
+            splits_per_worker: k,
+            ..Default::default()
+        };
+        let cluster = SimCluster::start(cfg).expect("cluster");
+        cluster
+            .load_workload(params.scale, params.seed)
+            .expect("workload");
+        let pipeline = Pipeline::new(&cluster);
+        let report = pipeline
+            .run(&request, Strategy::InSqlStream)
+            .expect("stream run");
+        let pipeline_secs = report.pipeline_time().as_secs_f64();
+        let stats = report.stream_stats.expect("stats");
+        println!(
+            "{:>4} {:>8} {:>8} {:>12.3} {:>10}",
+            k,
+            stats.num_splits,
+            stats.local_splits,
+            pipeline_secs,
+            stats.rows_ingested
+        );
+        all_exact &= stats.rows_sent as usize == stats.rows_ingested;
+        split_counts.push((k, stats.num_splits));
+    }
+
+    let ok = check_shape(
+        "m = n*k splits for every k (n = 4 SQL workers)",
+        split_counts.iter().all(|(k, m)| *m == 4 * *k as usize),
+    ) & check_shape("delivery is exact for every k", all_exact);
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,116 @@
+//! **Figure 4**: effect of caching on the integrated pipeline.
+//!
+//! Paper setup: all three runs use In-SQL transformation + parallel
+//! streaming transfer. Reported shape:
+//!
+//! * caching the **fully transformed result** ≈ **2.2×** speedup over no
+//!   cache (skips query + transformation entirely);
+//! * caching the **recode maps** ≈ **1.5×** speedup (skips one of
+//!   recoding's two passes).
+//!
+//! Run: `cargo run --release -p sqlml-bench --bin figure4 -- [--carts N]
+//! [--throttle-mbps M] [--seed S]`
+
+use sqlml_bench::{check_shape, render_figure, stages_of, BenchParams, FigureBar};
+use sqlml_core::workload::PREP_QUERY;
+use sqlml_core::{CacheMode, Pipeline, PipelineRequest, Strategy};
+use sqlml_transform::TransformSpec;
+
+fn main() {
+    let params = BenchParams::from_args();
+    println!(
+        "figure4: {} carts / {} users, DFS throttle {:?} MB/s\n",
+        params.scale.carts, params.scale.users, params.throttle_mbps
+    );
+    let cluster = params.start_cluster();
+    let request = PipelineRequest {
+        prep_sql: PREP_QUERY.to_string(),
+        spec: TransformSpec::new(&["gender"]),
+        ml_command: "svm label=4 iterations=10".to_string(),
+    };
+
+    // Bar 1: no cache.
+    let no_cache = Pipeline::new(&cluster)
+        .run(&request, Strategy::InSqlStream)
+        .expect("no-cache run");
+
+    // Bar 2: cached recode maps. Prime a cache with only the map, then
+    // rerun.
+    let map_pipeline = Pipeline::with_cache(&cluster);
+    {
+        let warm = map_pipeline
+            .run(&request, Strategy::InSqlStream)
+            .expect("warmup");
+        assert_eq!(warm.cache_use, CacheMode::None);
+        // Keep the recode map but drop the full materialization, so the
+        // lookup can only take the §5.2 path.
+        let cache = map_pipeline.cache().unwrap();
+        let descriptor = {
+            use sqlml_cache::QueryDescriptor;
+            use sqlml_sqlengine::parser::parse_select;
+            QueryDescriptor::from_select(
+                &parse_select(PREP_QUERY).unwrap(),
+                cluster.engine.catalog(),
+            )
+            .unwrap()
+            .unwrap()
+        };
+        let map = match cache.lookup(&descriptor, &request.spec) {
+            sqlml_cache::CacheDecision::Full(r) => r.map,
+            other => panic!("expected primed cache, got {other:?}"),
+        };
+        cache.invalidate_all();
+        cache.store_recode_map(descriptor, map);
+    }
+    let cached_map = map_pipeline
+        .run(&request, Strategy::InSqlStream)
+        .expect("cached-map run");
+    assert_eq!(cached_map.cache_use, CacheMode::RecodeMap);
+
+    // Bar 3: cached fully transformed result.
+    let full_pipeline = Pipeline::with_cache(&cluster);
+    full_pipeline
+        .run(&request, Strategy::InSqlStream)
+        .expect("warmup");
+    let cached_full = full_pipeline
+        .run(&request, Strategy::InSqlStream)
+        .expect("cached-full run");
+    assert_eq!(cached_full.cache_use, CacheMode::FullResult);
+
+    let bars = vec![
+        FigureBar {
+            label: "no cache".into(),
+            stages: stages_of(&no_cache),
+        },
+        FigureBar {
+            label: "cache recode maps".into(),
+            stages: stages_of(&cached_map),
+        },
+        FigureBar {
+            label: "cache transformed result".into(),
+            stages: stages_of(&cached_full),
+        },
+    ];
+    println!("{}", render_figure("Figure 4: effect of caching", &bars));
+
+    let base = no_cache.pipeline_time().as_secs_f64();
+    let map_t = cached_map.pipeline_time().as_secs_f64();
+    let full_t = cached_full.pipeline_time().as_secs_f64();
+    let ok = check_shape(
+        &format!(
+            "cached recode maps beat no cache (paper 1.5x; measured {:.2}x)",
+            base / map_t
+        ),
+        map_t < base,
+    ) & check_shape(
+        &format!(
+            "cached transformed result beats no cache (paper 2.2x; measured {:.2}x)",
+            base / full_t
+        ),
+        full_t < base,
+    ) & check_shape(
+        "full-result caching beats recode-map caching",
+        full_t < map_t,
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,346 @@
+//! Normalized descriptors of preparation queries.
+//!
+//! A [`QueryDescriptor`] captures exactly the parts of a
+//! select-project-join query that the §5 matching conditions reason
+//! about: the table set, the equi-join conditions, the conjunctive
+//! column-vs-literal predicates, and the projected columns. Queries that
+//! do not fit this shape (aggregates, disjunctions, self-joins, …) are
+//! simply not cacheable and yield `None`.
+
+use std::collections::BTreeSet;
+
+use sqlml_common::{Result, SqlmlError, Value};
+use sqlml_sqlengine::ast::{AstExpr, CmpOp, SelectItem, SelectStmt, TableRef};
+use sqlml_sqlengine::Catalog;
+
+/// A column of a base table, alias-resolved: `(table, column)`, both
+/// lower-cased.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(table: &str, column: &str) -> Self {
+        ColRef {
+            table: table.to_ascii_lowercase(),
+            column: column.to_ascii_lowercase(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A conjunctive `column op literal` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplePredicate {
+    pub col: ColRef,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl std::fmt::Display for SimplePredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.col, self.op.symbol(), self.value)
+    }
+}
+
+/// The normalized shape of a cacheable preparation query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDescriptor {
+    /// Base tables referenced (lower-cased). Self-joins are rejected
+    /// during construction, so a set suffices.
+    pub tables: BTreeSet<String>,
+    /// Equi-join conditions, each stored with its two sides in canonical
+    /// (sorted) order.
+    pub joins: BTreeSet<(ColRef, ColRef)>,
+    /// Conjunctive column-vs-literal predicates.
+    pub predicates: Vec<SimplePredicate>,
+    /// Projected columns, in output order.
+    pub projections: Vec<ColRef>,
+}
+
+impl QueryDescriptor {
+    /// Build from a parsed SELECT. Returns `Ok(None)` when the query does
+    /// not have the cacheable SPJ shape.
+    pub fn from_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<Option<QueryDescriptor>> {
+        // Shape gate: plain conjunctive select-project-join only.
+        if stmt.distinct
+            || !stmt.group_by.is_empty()
+            || stmt.having.is_some()
+            || !stmt.order_by.is_empty()
+            || stmt.limit.is_some()
+            || !stmt.joins.is_empty()
+        {
+            return Ok(None);
+        }
+
+        // Bindings: alias -> table name; reject self-joins and table
+        // functions (their output is not a base relation).
+        let mut bindings: Vec<(String, String)> = Vec::new(); // (binding, table)
+        let mut tables = BTreeSet::new();
+        for t in &stmt.from {
+            match t {
+                TableRef::Named { name, alias } => {
+                    let table = name.to_ascii_lowercase();
+                    if !tables.insert(table.clone()) {
+                        return Ok(None); // self-join
+                    }
+                    let binding = alias.clone().unwrap_or_else(|| name.clone());
+                    bindings.push((binding.to_ascii_lowercase(), table));
+                }
+                TableRef::TableFunction { .. } => return Ok(None),
+            }
+        }
+
+        let resolve = |qualifier: Option<&str>, column: &str| -> Result<Option<ColRef>> {
+            match qualifier {
+                Some(q) => {
+                    let q = q.to_ascii_lowercase();
+                    for (b, t) in &bindings {
+                        if *b == q {
+                            return Ok(Some(ColRef::new(t, column)));
+                        }
+                    }
+                    Err(SqlmlError::Plan(format!("unknown alias {q:?}")))
+                }
+                None => {
+                    // Resolve an unqualified column by probing the
+                    // catalog schemas; must be unique.
+                    let mut hit = None;
+                    for (_, t) in &bindings {
+                        let table = catalog.table(t)?;
+                        if table.schema().index_of(column).is_ok() {
+                            if hit.is_some() {
+                                return Err(SqlmlError::Plan(format!(
+                                    "ambiguous column {column:?}"
+                                )));
+                            }
+                            hit = Some(ColRef::new(t, column));
+                        }
+                    }
+                    Ok(hit)
+                }
+            }
+        };
+
+        // Projections: simple columns (or wildcards) only.
+        let mut projections = Vec::new();
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Expr {
+                    expr: AstExpr::Column { qualifier, name },
+                    ..
+                } => match resolve(qualifier.as_deref(), name)? {
+                    Some(c) => projections.push(c),
+                    None => return Ok(None),
+                },
+                SelectItem::Wildcard => {
+                    for (_, t) in &bindings {
+                        let table = catalog.table(t)?;
+                        for f in table.schema().fields() {
+                            projections.push(ColRef::new(t, &f.name));
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let q = q.to_ascii_lowercase();
+                    let Some((_, t)) = bindings.iter().find(|(b, _)| *b == q) else {
+                        return Ok(None);
+                    };
+                    let table = catalog.table(t)?;
+                    for f in table.schema().fields() {
+                        projections.push(ColRef::new(t, &f.name));
+                    }
+                }
+                _ => return Ok(None), // computed projections: not cacheable
+            }
+        }
+
+        // WHERE: conjunctive, each conjunct either col=col (join) or
+        // col-op-literal (predicate).
+        let mut joins = BTreeSet::new();
+        let mut predicates = Vec::new();
+        if let Some(sel) = &stmt.selection {
+            for conj in sel.conjuncts() {
+                let AstExpr::Cmp { op, left, right } = conj else {
+                    return Ok(None);
+                };
+                match (left.as_ref(), right.as_ref()) {
+                    (
+                        AstExpr::Column { qualifier: ql, name: nl },
+                        AstExpr::Column { qualifier: qr, name: nr },
+                    ) => {
+                        if *op != CmpOp::Eq {
+                            return Ok(None);
+                        }
+                        let (Some(a), Some(b)) = (
+                            resolve(ql.as_deref(), nl)?,
+                            resolve(qr.as_deref(), nr)?,
+                        ) else {
+                            return Ok(None);
+                        };
+                        let pair = if a <= b { (a, b) } else { (b, a) };
+                        joins.insert(pair);
+                    }
+                    (AstExpr::Column { qualifier, name }, AstExpr::Literal(v)) => {
+                        let Some(col) = resolve(qualifier.as_deref(), name)? else {
+                            return Ok(None);
+                        };
+                        predicates.push(SimplePredicate {
+                            col,
+                            op: *op,
+                            value: v.clone(),
+                        });
+                    }
+                    (AstExpr::Literal(v), AstExpr::Column { qualifier, name }) => {
+                        let Some(col) = resolve(qualifier.as_deref(), name)? else {
+                            return Ok(None);
+                        };
+                        predicates.push(SimplePredicate {
+                            col,
+                            op: op.flipped(),
+                            value: v.clone(),
+                        });
+                    }
+                    _ => return Ok(None),
+                }
+            }
+        }
+
+        Ok(Some(QueryDescriptor {
+            tables,
+            joins,
+            predicates,
+            projections,
+        }))
+    }
+
+    /// The predicates grouped by column, for per-field implication
+    /// checks.
+    pub fn predicates_on(&self, col: &ColRef) -> Vec<&SimplePredicate> {
+        self.predicates.iter().filter(|p| p.col == *col).collect()
+    }
+
+    /// The set of columns carrying predicates.
+    pub fn predicate_columns(&self) -> BTreeSet<&ColRef> {
+        self.predicates.iter().map(|p| &p.col).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::schema::{DataType, Field, Schema};
+    use sqlml_sqlengine::parser::parse_select;
+    use sqlml_sqlengine::PartitionedTable;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let carts = Schema::new(vec![
+            Field::new("userid", DataType::Int),
+            Field::new("amount", DataType::Double),
+            Field::categorical("abandoned"),
+            Field::new("year", DataType::Int),
+            Field::new("nitems", DataType::Int),
+        ]);
+        let users = Schema::new(vec![
+            Field::new("userid", DataType::Int),
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::categorical("country"),
+        ]);
+        c.register_table("carts", PartitionedTable::single(carts, vec![]));
+        c.register_table("users", PartitionedTable::single(users, vec![]));
+        c
+    }
+
+    fn descr(sql: &str) -> Option<QueryDescriptor> {
+        QueryDescriptor::from_select(&parse_select(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn paper_query_descriptor() {
+        let d = descr(
+            "SELECT U.age, U.gender, C.amount, C.abandoned \
+             FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA'",
+        )
+        .unwrap();
+        assert_eq!(
+            d.tables,
+            ["carts", "users"].iter().map(|s| s.to_string()).collect()
+        );
+        assert_eq!(d.joins.len(), 1);
+        let j = d.joins.iter().next().unwrap();
+        assert_eq!(j.0, ColRef::new("carts", "userid"));
+        assert_eq!(j.1, ColRef::new("users", "userid"));
+        assert_eq!(d.predicates.len(), 1);
+        assert_eq!(d.predicates[0].col, ColRef::new("users", "country"));
+        assert_eq!(d.predicates[0].value, Value::Str("USA".into()));
+        assert_eq!(d.projections.len(), 4);
+        assert_eq!(d.projections[0], ColRef::new("users", "age"));
+    }
+
+    #[test]
+    fn alias_and_case_normalization() {
+        let a = descr(
+            "SELECT u.AGE FROM Users U, Carts C WHERE c.USERID = U.userid AND u.country='USA'",
+        )
+        .unwrap();
+        let b = descr(
+            "SELECT users.age FROM users, carts \
+             WHERE carts.userid = users.userid AND users.country='USA'",
+        )
+        .unwrap();
+        assert_eq!(a.tables, b.tables);
+        assert_eq!(a.joins, b.joins);
+        assert_eq!(a.projections, b.projections);
+    }
+
+    #[test]
+    fn flipped_literal_predicates_normalize() {
+        let a = descr("SELECT age FROM users WHERE 18 < age").unwrap();
+        let b = descr("SELECT age FROM users WHERE age > 18").unwrap();
+        assert_eq!(a.predicates, b.predicates);
+    }
+
+    #[test]
+    fn non_spj_queries_are_not_cacheable() {
+        assert!(descr("SELECT COUNT(*) FROM users").is_none());
+        assert!(descr("SELECT DISTINCT gender FROM users").is_none());
+        assert!(descr("SELECT age FROM users ORDER BY age").is_none());
+        assert!(descr("SELECT age FROM users LIMIT 5").is_none());
+        assert!(descr("SELECT age FROM users WHERE age > 10 OR age < 5").is_none());
+        assert!(descr("SELECT age + 1 FROM users").is_none());
+        assert!(descr("SELECT age FROM users WHERE age > userid").is_none());
+    }
+
+    #[test]
+    fn self_joins_are_not_cacheable() {
+        assert!(descr("SELECT a.age FROM users a, users b WHERE a.userid = b.userid").is_none());
+    }
+
+    #[test]
+    fn wildcard_expands_against_catalog() {
+        let d = descr("SELECT * FROM users WHERE country = 'USA'").unwrap();
+        assert_eq!(d.projections.len(), 4);
+        assert!(d.projections.contains(&ColRef::new("users", "gender")));
+    }
+
+    #[test]
+    fn predicate_grouping_helpers() {
+        let d = descr(
+            "SELECT age FROM users WHERE age > 10 AND age < 20 AND country = 'USA'",
+        )
+        .unwrap();
+        let age = ColRef::new("users", "age");
+        assert_eq!(d.predicates_on(&age).len(), 2);
+        assert_eq!(d.predicate_columns().len(), 2);
+    }
+}

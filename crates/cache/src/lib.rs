@@ -1,0 +1,29 @@
+//! Caching of transformation results (§5).
+//!
+//! When similar preparation queries repeat between the SQL and ML
+//! systems, two kinds of reuse apply:
+//!
+//! * **Fully transformed data** (§5.1) — the recoded/dummy-coded result
+//!   of a preparation query is kept as a materialized table. A new query
+//!   can be answered entirely from it when it has the same FROM/joins and
+//!   predicates, projects a subset of the cached columns, and adds only
+//!   conjunctive predicates on projected columns. This skips the SQL
+//!   query *and* the transformation.
+//! * **Recode maps** (§5.2) — the intermediate `(colname, colval,
+//!   recodeval)` map reusable under weaker conditions (same FROM/joins,
+//!   logically-stronger predicates on the same fields, subset of
+//!   projected categorical fields). This skips one of recoding's two
+//!   passes.
+//!
+//! Matching is materialized-view-style query subsumption over normalized
+//! [`descriptor::QueryDescriptor`]s, with the single-column implication
+//! logic in [`subsume`] (`a < 18` is logically stronger than `a <= 20`,
+//! as the paper's example notes).
+
+pub mod descriptor;
+pub mod manager;
+pub mod subsume;
+
+pub use descriptor::{ColRef, QueryDescriptor, SimplePredicate};
+pub use manager::{CacheDecision, CacheManager, CacheStats, FullReuse};
+pub use subsume::{full_result_match, predicate_implies, recode_map_match};

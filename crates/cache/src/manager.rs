@@ -1,0 +1,570 @@
+//! The cache manager: stores fully transformed results (as materialized
+//! catalog tables) and recode maps, and answers lookups with a reuse
+//! decision.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use sqlml_common::{Result, SqlmlError, Value};
+use sqlml_sqlengine::ast::CmpOp;
+use sqlml_sqlengine::Engine;
+use sqlml_transform::{RecodeMap, TransformSpec};
+
+use crate::descriptor::{QueryDescriptor, SimplePredicate};
+use crate::subsume::{full_result_match, recode_map_match};
+
+/// A cached fully transformed result (§5.1) — conceptually a
+/// materialized view plus its transformation metadata.
+#[derive(Debug, Clone)]
+struct FullEntry {
+    descriptor: QueryDescriptor,
+    spec: TransformSpec,
+    map: RecodeMap,
+    /// Name of the materialized table in the engine catalog.
+    table_name: String,
+}
+
+/// A cached recode map (§5.2).
+#[derive(Debug, Clone)]
+struct MapEntry {
+    descriptor: QueryDescriptor,
+    map: RecodeMap,
+}
+
+/// A full-result hit, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullReuse {
+    /// The materialized table holding the cached transformed result.
+    pub table_name: String,
+    /// A SQL query over that table computing the new query's transformed
+    /// answer (projection + extra predicates, with literals on recoded
+    /// columns already mapped through the recode map).
+    pub sql: String,
+    /// The recode map of the cached entry (categorical semantics of the
+    /// integer columns).
+    pub map: RecodeMap,
+}
+
+/// Outcome of a cache lookup, best reuse first.
+#[derive(Debug, Clone)]
+pub enum CacheDecision {
+    /// §5.1 hit: skip query + transformation entirely.
+    Full(FullReuse),
+    /// §5.2 hit: run the query, but reuse the recode map (skip recoding's
+    /// first pass).
+    RecodeMap(RecodeMap),
+    Miss,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub full_hits: AtomicUsize,
+    pub map_hits: AtomicUsize,
+    pub misses: AtomicUsize,
+}
+
+impl CacheStats {
+    pub fn snapshot(&self) -> (usize, usize, usize) {
+        (
+            self.full_hits.load(Ordering::Relaxed),
+            self.map_hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The cache. Assumes no updates to the base tables (the paper's stated
+/// assumption); [`CacheManager::invalidate_all`] is the escape hatch.
+pub struct CacheManager {
+    engine: Engine,
+    full: Mutex<Vec<FullEntry>>,
+    maps: Mutex<Vec<MapEntry>>,
+    next_id: AtomicU64,
+    pub stats: CacheStats,
+}
+
+impl CacheManager {
+    pub fn new(engine: Engine) -> Self {
+        CacheManager {
+            engine,
+            full: Mutex::new(Vec::new()),
+            maps: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Store a fully transformed result: materializes `table` in the
+    /// engine catalog and records the entry. Also records the recode map
+    /// (a full entry subsumes a map entry). Returns the materialized
+    /// table's name.
+    pub fn store_full(
+        &self,
+        descriptor: QueryDescriptor,
+        spec: TransformSpec,
+        map: RecodeMap,
+        table: sqlml_sqlengine::PartitionedTable,
+    ) -> String {
+        let table_name = format!(
+            "__sqlml_cache_{}",
+            self.next_id.fetch_add(1, Ordering::Relaxed)
+        );
+        self.engine.register_table(&table_name, table);
+        self.maps.lock().push(MapEntry {
+            descriptor: descriptor.clone(),
+            map: map.clone(),
+        });
+        self.full.lock().push(FullEntry {
+            descriptor,
+            spec,
+            map,
+            table_name: table_name.clone(),
+        });
+        table_name
+    }
+
+    /// Store just a recode map.
+    pub fn store_recode_map(&self, descriptor: QueryDescriptor, map: RecodeMap) {
+        self.maps.lock().push(MapEntry { descriptor, map });
+    }
+
+    /// Number of entries (full, maps).
+    pub fn len(&self) -> (usize, usize) {
+        (self.full.lock().len(), self.maps.lock().len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+
+    /// Drop everything (e.g. after base-table updates).
+    pub fn invalidate_all(&self) {
+        for e in self.full.lock().drain(..) {
+            let _ = self.engine.catalog().drop_table(&e.table_name);
+        }
+        self.maps.lock().clear();
+    }
+
+    /// Look up the best reuse for a new query + transformation spec.
+    pub fn lookup(&self, query: &QueryDescriptor, spec: &TransformSpec) -> CacheDecision {
+        // Best first: full result (§5.1).
+        for entry in self.full.lock().iter() {
+            if let Some(extras) = full_result_match(&entry.descriptor, query) {
+                match self.rewrite_over_cached(entry, query, spec, &extras) {
+                    Ok(Some(reuse)) => {
+                        self.stats.full_hits.fetch_add(1, Ordering::Relaxed);
+                        return CacheDecision::Full(reuse);
+                    }
+                    Ok(None) => {} // spec-incompatible; keep looking
+                    Err(_) => {}
+                }
+            }
+        }
+        // Second best: recode map (§5.2).
+        for entry in self.maps.lock().iter() {
+            if recode_map_match(&entry.descriptor, query) {
+                // Condition 3: the map must cover every categorical
+                // column the new pipeline will recode.
+                let covered = spec
+                    .recode_columns
+                    .iter()
+                    .all(|c| entry.map.has_column(c));
+                // (When recode_columns is defaulted-empty the pipeline
+                // derives them from the schema; the transformer re-checks
+                // coverage at apply time, so accept here.)
+                if covered {
+                    self.stats.map_hits.fetch_add(1, Ordering::Relaxed);
+                    return CacheDecision::RecodeMap(entry.map.clone());
+                }
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        CacheDecision::Miss
+    }
+
+    /// Build the SQL that answers `query` from a cached entry's
+    /// materialized table; `None` when the transformation specs are
+    /// incompatible (e.g. the cache dummy-coded a column the new request
+    /// wants plain).
+    fn rewrite_over_cached(
+        &self,
+        entry: &FullEntry,
+        query: &QueryDescriptor,
+        spec: &TransformSpec,
+        extras: &[&SimplePredicate],
+    ) -> Result<Option<FullReuse>> {
+        let is_dummy_cached = |col: &str| {
+            entry
+                .spec
+                .dummy_code_columns
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(col))
+        };
+        let is_dummy_new = |col: &str| {
+            spec.dummy_code_columns
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(col))
+        };
+
+        // Projection: each requested column must exist in the cached
+        // output with compatible coding.
+        let mut select_cols: Vec<String> = Vec::new();
+        for p in &query.projections {
+            let col = &p.column;
+            match (is_dummy_cached(col), is_dummy_new(col)) {
+                (false, false) => select_cols.push(col.clone()),
+                (true, true) => {
+                    // Expand to the cached indicator block.
+                    for v in entry.map.values_in_code_order(col) {
+                        select_cols.push(format!("{col}_{}", sanitize(&v)));
+                    }
+                }
+                // Coding mismatch: cannot serve from this entry.
+                _ => return Ok(None),
+            }
+        }
+
+        // Extra predicates, mapped onto the transformed layout.
+        let mut where_parts = Vec::new();
+        for pred in extras {
+            let col = &pred.col.column;
+            let is_recoded = entry.map.has_column(col);
+            if is_dummy_cached(col) {
+                // gender = 'F' over a dummy-coded gender → gender_F = 1.
+                let Value::Str(s) = &pred.value else {
+                    return Ok(None);
+                };
+                let indicator = match pred.op {
+                    CmpOp::Eq => 1,
+                    CmpOp::NotEq => 0,
+                    _ => return Ok(None),
+                };
+                match entry.map.code(col, s) {
+                    Some(_) => {
+                        where_parts.push(format!("{col}_{} = {indicator}", sanitize(s)))
+                    }
+                    // Value never seen by the cached query: the predicate
+                    // is unsatisfiable (Eq) or trivially true (NotEq).
+                    None => {
+                        if pred.op == CmpOp::Eq {
+                            where_parts.push("1 = 0".to_string());
+                        }
+                    }
+                }
+            } else if is_recoded {
+                // String literal must be mapped through the recode map.
+                let Value::Str(s) = &pred.value else {
+                    return Ok(None);
+                };
+                // Only (in)equality is order-safe after recoding: codes
+                // are assigned by sorted value, but mixing with other
+                // comparisons invites subtle bugs, so stay conservative.
+                if !matches!(pred.op, CmpOp::Eq | CmpOp::NotEq) {
+                    return Ok(None);
+                }
+                match entry.map.code(col, s) {
+                    Some(code) => {
+                        where_parts.push(format!("{col} {} {code}", pred.op.symbol()))
+                    }
+                    None => {
+                        if pred.op == CmpOp::Eq {
+                            where_parts.push("1 = 0".to_string());
+                        }
+                    }
+                }
+            } else {
+                where_parts.push(format!(
+                    "{col} {} {}",
+                    pred.op.symbol(),
+                    render_literal(&pred.value)?
+                ));
+            }
+        }
+
+        let mut sql = format!(
+            "SELECT {} FROM {}",
+            select_cols.join(", "),
+            entry.table_name
+        );
+        if !where_parts.is_empty() {
+            sql.push_str(&format!(" WHERE {}", where_parts.join(" AND ")));
+        }
+        Ok(Some(FullReuse {
+            table_name: entry.table_name.clone(),
+            sql,
+            map: entry.map.clone(),
+        }))
+    }
+}
+
+/// Same value-name sanitization as dummy coding uses for column names.
+fn sanitize(v: &str) -> String {
+    v.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn render_literal(v: &Value) -> Result<String> {
+    Ok(match v {
+        Value::Int(i) => i.to_string(),
+        Value::Double(d) => format!("{d:?}"),
+        Value::Bool(b) => b.to_string().to_uppercase(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Null => {
+            return Err(SqlmlError::Cache(
+                "NULL literals are not rewritable".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field, Schema};
+    use sqlml_sqlengine::parser::parse_select;
+    use sqlml_sqlengine::EngineConfig;
+    use sqlml_transform::{InSqlTransformer, TransformSpec};
+
+    /// Engine with the paper's carts/users tables, small scale.
+    fn engine() -> Engine {
+        let e = Engine::new(EngineConfig::with_workers(2));
+        let carts = Schema::new(vec![
+            Field::new("userid", DataType::Int),
+            Field::new("amount", DataType::Double),
+            Field::categorical("abandoned"),
+            Field::new("year", DataType::Int),
+        ]);
+        let users = Schema::new(vec![
+            Field::new("userid", DataType::Int),
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::categorical("country"),
+        ]);
+        e.register_rows(
+            "carts",
+            carts,
+            (0..20)
+                .map(|i| {
+                    row![
+                        (i % 5) as i64,
+                        10.0 + i as f64,
+                        if i % 2 == 0 { "Yes" } else { "No" },
+                        if i < 10 { 2013i64 } else { 2014i64 }
+                    ]
+                })
+                .collect(),
+        );
+        e.register_rows(
+            "users",
+            users,
+            (0..5)
+                .map(|i| {
+                    row![
+                        i as i64,
+                        20 + i as i64,
+                        if i % 2 == 0 { "F" } else { "M" },
+                        "USA"
+                    ]
+                })
+                .collect(),
+        );
+        e
+    }
+
+    const PREP: &str = "SELECT U.age, U.gender, C.amount, C.abandoned \
+                        FROM carts C, users U \
+                        WHERE C.userid=U.userid AND U.country='USA'";
+
+    fn descriptor(e: &Engine, sql: &str) -> QueryDescriptor {
+        QueryDescriptor::from_select(&parse_select(sql).unwrap(), e.catalog())
+            .unwrap()
+            .unwrap()
+    }
+
+    /// Run the prep query + transformation and cache the result.
+    fn prime_cache(e: &Engine, cache: &CacheManager, spec: &TransformSpec) {
+        e.execute(&format!("CREATE TABLE prep AS {PREP}")).unwrap();
+        let tr = InSqlTransformer::new(e.clone());
+        let out = tr.transform("prep", spec).unwrap();
+        cache.store_full(descriptor(e, PREP), spec.clone(), out.recode_map, out.table);
+        e.execute("DROP TABLE prep").unwrap();
+    }
+
+    #[test]
+    fn full_hit_answers_subset_query_with_recoded_predicate() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+
+        // The paper's §5.1 reuse query.
+        let q = descriptor(
+            &e,
+            "SELECT U.age, C.amount, C.abandoned FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND U.gender='F'",
+        );
+        let decision = cache.lookup(&q, &spec);
+        let CacheDecision::Full(reuse) = decision else {
+            panic!("expected full hit, got {decision:?}");
+        };
+        // gender='F' must have been recoded (F -> 1).
+        assert!(reuse.sql.contains("gender = 1"), "{}", reuse.sql);
+
+        // Executing the rewrite gives exactly the direct computation.
+        let via_cache = e.query(&reuse.sql).unwrap().collect_sorted();
+        e.execute(
+            "CREATE TABLE direct AS SELECT U.age, C.amount, C.abandoned \
+             FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND U.gender='F'",
+        )
+        .unwrap();
+        let tr = InSqlTransformer::new(e.clone());
+        let direct = tr.transform("direct", &spec).unwrap();
+        assert_eq!(via_cache, direct.table.collect_sorted());
+        assert_eq!(cache.stats.snapshot(), (1, 0, 0));
+    }
+
+    #[test]
+    fn map_hit_for_the_papers_5_2_query() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+
+        // Projects a new column (year) and adds a predicate on an
+        // unprojected column: full reuse impossible, map reuse fine.
+        let q = descriptor(
+            &e,
+            "SELECT U.age, U.gender, C.amount, C.year, C.abandoned \
+             FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND C.year = 2014",
+        );
+        match cache.lookup(&q, &spec) {
+            CacheDecision::RecodeMap(map) => {
+                assert_eq!(map.code("gender", "F"), Some(1));
+                assert_eq!(map.code("abandoned", "Yes"), Some(2));
+            }
+            other => panic!("expected map hit, got {other:?}"),
+        }
+        assert_eq!(cache.stats.snapshot(), (0, 1, 0));
+    }
+
+    #[test]
+    fn unrelated_query_misses() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+        let q = descriptor(&e, "SELECT age FROM users WHERE country='CA'");
+        assert!(matches!(cache.lookup(&q, &spec), CacheDecision::Miss));
+        assert_eq!(cache.stats.snapshot(), (0, 0, 1));
+    }
+
+    #[test]
+    fn dummy_coded_projection_expands_in_rewrite() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::new(&["gender"]);
+        prime_cache(&e, &cache, &spec);
+
+        let q = descriptor(
+            &e,
+            "SELECT U.gender, C.amount FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA'",
+        );
+        match cache.lookup(&q, &spec) {
+            CacheDecision::Full(reuse) => {
+                assert!(reuse.sql.contains("gender_F"), "{}", reuse.sql);
+                assert!(reuse.sql.contains("gender_M"), "{}", reuse.sql);
+                let rows = e.query(&reuse.sql).unwrap();
+                assert_eq!(rows.schema().len(), 3); // gender_F, gender_M, amount
+            }
+            other => panic!("expected full hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coding_mismatch_downgrades_to_map_hit() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        // Cache dummy-coded gender; new request wants it plain-recoded.
+        prime_cache(&e, &cache, &TransformSpec::new(&["gender"]));
+        let q = descriptor(
+            &e,
+            "SELECT U.gender, C.amount FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA'",
+        );
+        match cache.lookup(&q, &TransformSpec::default()) {
+            CacheDecision::RecodeMap(_) => {}
+            other => panic!("expected map hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unseen_literal_becomes_unsatisfiable_predicate() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+        let q = descriptor(
+            &e,
+            "SELECT U.age FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND U.gender='X'",
+        );
+        match cache.lookup(&q, &spec) {
+            CacheDecision::Full(reuse) => {
+                assert!(reuse.sql.contains("1 = 0"), "{}", reuse.sql);
+                assert_eq!(e.query(&reuse.sql).unwrap().num_rows(), 0);
+            }
+            other => panic!("expected full hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_materialized_tables() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+        assert_eq!(cache.len(), (1, 1));
+        let name = {
+            let q = descriptor(&e, PREP);
+            match cache.lookup(&q, &spec) {
+                CacheDecision::Full(r) => r.table_name,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert!(e.catalog().has_table(&name));
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert!(!e.catalog().has_table(&name));
+    }
+
+    #[test]
+    fn store_plain_table_and_lookup_identity() {
+        // A degenerate single-table cache entry with no transformation.
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let sql = "SELECT age, userid FROM users WHERE country = 'USA'";
+        e.execute(&format!("CREATE TABLE snap AS {sql}")).unwrap();
+        let table = (*e.catalog().table("snap").unwrap()).clone();
+        cache.store_full(
+            descriptor(&e, sql),
+            TransformSpec::default(),
+            RecodeMap::default(),
+            table,
+        );
+        let q = descriptor(&e, "SELECT age FROM users WHERE country='USA' AND age > 21");
+        match cache.lookup(&q, &TransformSpec::default()) {
+            CacheDecision::Full(reuse) => {
+                assert!(reuse.sql.contains("age > 21"), "{}", reuse.sql);
+                let rows = e.query(&reuse.sql).unwrap().collect_sorted();
+                assert_eq!(rows, vec![row![22i64], row![23i64], row![24i64]]);
+            }
+            other => panic!("expected full hit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Row codecs.
+//!
+//! Two encodings are used across the system, matching the paper's setup:
+//!
+//! * **Text format** — delimiter-separated lines, the format of tables
+//!   stored on the DFS ("Both tables were stored in text format on HDFS").
+//!   Used by the naive pipeline's materialization hops and by
+//!   `TextInputFormat` on the ML side.
+//! * **Binary record format** — a compact length-prefixed encoding used on
+//!   the streaming-transfer wire, where schema is negotiated once per
+//!   connection and rows are self-delimiting.
+
+use crate::error::{Result, SqlmlError};
+use crate::row::Row;
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// Field delimiter for the text format. `|` keeps commas usable inside
+/// string payloads without quoting rules.
+pub const TEXT_DELIM: char = '|';
+
+/// Escape a string payload for the text format: delimiter, backslash and
+/// newline are backslash-escaped so any string round-trips.
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape_text(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            other => {
+                return Err(SqlmlError::Execution(format!(
+                    "bad escape sequence \\{other:?} in text field"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encode one row as a text line (no trailing newline).
+pub fn encode_text_row(row: &Row, out: &mut String) {
+    for (i, v) in row.values().iter().enumerate() {
+        if i > 0 {
+            out.push(TEXT_DELIM);
+        }
+        match v {
+            Value::Str(s) => escape_text(s, out),
+            other => out.push_str(&other.render()),
+        }
+    }
+}
+
+/// Decode one text line into a row under `schema`.
+pub fn decode_text_row(line: &str, schema: &Schema) -> Result<Row> {
+    let mut values = Vec::with_capacity(schema.len());
+    let mut fields = split_escaped(line);
+    for field in schema.fields() {
+        let raw = fields.next().ok_or_else(|| {
+            SqlmlError::Execution(format!(
+                "text row has fewer than {} fields: {line:?}",
+                schema.len()
+            ))
+        })?;
+        // The raw (pre-unescape) token `\N` is the NULL marker; a user
+        // string "\N" escapes to `\\N` and therefore never collides.
+        if raw == "\\N" {
+            values.push(Value::Null);
+            continue;
+        }
+        let text = unescape_text(raw)?;
+        let v = match field.data_type {
+            // Strings bypass `parse_typed` so that the empty string stays
+            // an empty string rather than being read back as NULL.
+            DataType::Str => Value::Str(text),
+            ty => Value::parse_typed(&text, ty)?,
+        };
+        values.push(v);
+    }
+    if fields.next().is_some() {
+        return Err(SqlmlError::Execution(format!(
+            "text row has more than {} fields: {line:?}",
+            schema.len()
+        )));
+    }
+    Ok(Row::new(values))
+}
+
+/// Split on unescaped delimiters (a `\|` produced by [`escape_text`] is
+/// `\p`, so a raw `|` is always a separator — but we still must not split
+/// inside an escape pair ending in `p`).
+fn split_escaped(line: &str) -> impl Iterator<Item = &str> {
+    line.split(TEXT_DELIM)
+}
+
+/// Serialize a whole batch of rows to text lines.
+pub fn encode_text_batch(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        encode_text_row(r, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a text blob (as stored on the DFS) into rows.
+pub fn decode_text_batch(text: &str, schema: &Schema) -> Result<Vec<Row>> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| decode_text_row(l, schema))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Binary record format (streaming-transfer wire)
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_DOUBLE: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Append the binary encoding of `row` to `buf`:
+/// `u32 value-count`, then per value a 1-byte tag + payload.
+pub fn encode_binary_row(row: &Row, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row.values() {
+        match v {
+            Value::Null => buf.push(TAG_NULL),
+            Value::Bool(b) => {
+                buf.push(TAG_BOOL);
+                buf.push(*b as u8);
+            }
+            Value::Int(i) => {
+                buf.push(TAG_INT);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Double(d) => {
+                buf.push(TAG_DOUBLE);
+                buf.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(TAG_STR);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Decode one binary row from the front of `buf`; returns the row and the
+/// number of bytes consumed.
+pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > buf.len() {
+            return Err(SqlmlError::Execution(
+                "truncated binary row".to_string(),
+            ));
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = take(&mut pos, 1)?[0];
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(take(&mut pos, 1)?[0] != 0),
+            TAG_INT => Value::Int(i64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
+            TAG_DOUBLE => Value::Double(f64::from_bits(u64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().unwrap(),
+            ))),
+            TAG_STR => {
+                let len =
+                    u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let bytes = take(&mut pos, len)?;
+                Value::Str(String::from_utf8(bytes.to_vec()).map_err(|e| {
+                    SqlmlError::Execution(format!("invalid utf8 in binary row: {e}"))
+                })?)
+            }
+            other => {
+                return Err(SqlmlError::Execution(format!(
+                    "unknown binary value tag {other}"
+                )))
+            }
+        };
+        values.push(v);
+    }
+    Ok((Row::new(values), pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::new("amount", DataType::Double),
+            Field::categorical("abandoned"),
+        ])
+    }
+
+    #[test]
+    fn text_round_trip_basic() {
+        let r = row![57i64, "F", 103.25, "Yes"];
+        let mut line = String::new();
+        encode_text_row(&r, &mut line);
+        assert_eq!(line, "57|F|103.25|Yes");
+        assert_eq!(decode_text_row(&line, &schema()).unwrap(), r);
+    }
+
+    #[test]
+    fn text_round_trip_with_delimiter_and_newline_in_strings() {
+        let r = row![1i64, "a|b\\c\nd", 0.0, "No"];
+        let mut line = String::new();
+        encode_text_row(&r, &mut line);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_text_row(&line, &schema()).unwrap(), r);
+    }
+
+    #[test]
+    fn text_null_round_trip() {
+        let r = Row::new(vec![
+            Value::Null,
+            Value::Str("F".into()),
+            Value::Null,
+            Value::Null,
+        ]);
+        let mut line = String::new();
+        encode_text_row(&r, &mut line);
+        assert_eq!(decode_text_row(&line, &schema()).unwrap(), r);
+    }
+
+    #[test]
+    fn literal_backslash_n_string_survives() {
+        // The string "\N" must not be confused with the NULL marker.
+        let r = row![1i64, "\\N", 0.0, ""];
+        let mut line = String::new();
+        encode_text_row(&r, &mut line);
+        let back = decode_text_row(&line, &schema()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.get(1).as_str().unwrap(), "\\N");
+        assert_eq!(back.get(3).as_str().unwrap(), "");
+    }
+
+    #[test]
+    fn text_batch_round_trip() {
+        let rows = vec![row![1i64, "F", 1.0, "Yes"], row![2i64, "M", 2.0, "No"]];
+        let blob = encode_text_batch(&rows);
+        assert_eq!(decode_text_batch(&blob, &schema()).unwrap(), rows);
+    }
+
+    #[test]
+    fn text_field_count_mismatch_is_error() {
+        assert!(decode_text_row("1|F|2.0", &schema()).is_err());
+        assert!(decode_text_row("1|F|2.0|Yes|extra", &schema()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_all_types() {
+        let rows = vec![
+            Row::new(vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-42),
+                Value::Double(6.25),
+                Value::Str("héllo|world".into()),
+            ]),
+            Row::new(vec![]),
+            row![i64::MAX, f64::MIN_POSITIVE],
+        ];
+        let mut buf = Vec::new();
+        for r in &rows {
+            encode_binary_row(r, &mut buf);
+        }
+        let mut pos = 0;
+        for expect in &rows {
+            let (got, used) = decode_binary_row(&buf[pos..]).unwrap();
+            assert_eq!(&got, expect);
+            pos += used;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn binary_truncation_is_detected() {
+        let mut buf = Vec::new();
+        encode_binary_row(&row![1i64, "abc"], &mut buf);
+        for cut in 1..buf.len() {
+            assert!(
+                decode_binary_row(&buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+}

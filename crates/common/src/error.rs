@@ -1,0 +1,108 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps cross-crate plumbing simple: the SQL engine,
+//! DFS, ML engine and transfer layer all return [`Result`] so a pipeline
+//! driver can propagate any failure with `?`.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SqlmlError>;
+
+/// All error conditions surfaced by the sqlml crates.
+#[derive(Debug)]
+pub enum SqlmlError {
+    /// SQL text failed to lex or parse. Carries a human-readable message
+    /// including the offending position or token.
+    Parse(String),
+    /// A query referenced an unknown table, column, or UDF, or used a
+    /// construct the planner does not support.
+    Plan(String),
+    /// Type mismatch detected during planning or expression evaluation.
+    Type(String),
+    /// Runtime failure while executing a query fragment.
+    Execution(String),
+    /// Distributed-file-system failure (missing file, short read, replica
+    /// placement impossible, …).
+    Dfs(String),
+    /// Machine-learning job failure (bad input shape, empty split, …).
+    Ml(String),
+    /// Streaming-transfer failure (coordinator protocol violation, peer
+    /// connection loss, …).
+    Transfer(String),
+    /// Cache layer failure (corrupt entry, key collision, …).
+    Cache(String),
+    /// Wrapped I/O error with context.
+    Io(std::io::Error),
+    /// Injected fault (used by the fault-tolerance tests and ablations to
+    /// distinguish deliberate failures from genuine bugs).
+    InjectedFault(String),
+}
+
+impl fmt::Display for SqlmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlmlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlmlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlmlError::Type(m) => write!(f, "type error: {m}"),
+            SqlmlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlmlError::Dfs(m) => write!(f, "dfs error: {m}"),
+            SqlmlError::Ml(m) => write!(f, "ml error: {m}"),
+            SqlmlError::Transfer(m) => write!(f, "transfer error: {m}"),
+            SqlmlError::Cache(m) => write!(f, "cache error: {m}"),
+            SqlmlError::Io(e) => write!(f, "io error: {e}"),
+            SqlmlError::InjectedFault(m) => write!(f, "injected fault: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlmlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SqlmlError {
+    fn from(e: std::io::Error) -> Self {
+        SqlmlError::Io(e)
+    }
+}
+
+impl SqlmlError {
+    /// True when the error was produced by deliberate fault injection
+    /// (directly, or as the io/transfer surface of an injected fault).
+    pub fn is_injected(&self) -> bool {
+        matches!(self, SqlmlError::InjectedFault(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SqlmlError::Parse("unexpected token `,` at 7".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `,` at 7");
+        let e = SqlmlError::Transfer("peer hung up".into());
+        assert!(e.to_string().starts_with("transfer error:"));
+    }
+
+    #[test]
+    fn io_errors_wrap_with_source() {
+        use std::error::Error;
+        let io = std::io::Error::other("boom");
+        let e = SqlmlError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn injected_fault_is_detectable() {
+        assert!(SqlmlError::InjectedFault("kill worker 2".into()).is_injected());
+        assert!(!SqlmlError::Execution("real bug".into()).is_injected());
+    }
+}

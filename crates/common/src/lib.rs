@@ -1,0 +1,22 @@
+//! Shared foundation types for the `sqlml` workspace.
+//!
+//! This crate deliberately has **no external dependencies**: every other
+//! crate in the workspace (the DFS simulation, the MPP SQL engine, the ML
+//! engine, the transfer layer, …) builds on the value/row/schema model,
+//! error type, deterministic RNG, text/binary codecs, and stage timers
+//! defined here.
+
+pub mod codec;
+pub mod error;
+pub mod rng;
+pub mod row;
+pub mod schema;
+pub mod timer;
+pub mod value;
+
+pub use error::{Result, SqlmlError};
+pub use rng::SplitMix64;
+pub use row::Row;
+pub use schema::{DataType, Field, Schema};
+pub use timer::StageTimer;
+pub use value::Value;

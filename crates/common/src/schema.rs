@@ -1,0 +1,233 @@
+//! Schemas: ordered lists of named, typed fields.
+//!
+//! Fields additionally carry a `categorical` flag. In the paper, categorical
+//! variables are the string columns that recoding and dummy coding target;
+//! keeping the flag in the schema lets the rewriter decide automatically
+//! which columns a transformation spec applies to.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SqlmlError};
+
+/// The static SQL types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Double,
+    Str,
+}
+
+impl DataType {
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Double)
+    }
+
+    /// Name as it appears in DDL (`CREATE TABLE t (c BIGINT, ...)`).
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "VARCHAR",
+        }
+    }
+
+    pub fn parse_sql_name(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
+            "BIGINT" | "INT" | "INTEGER" => Ok(DataType::Int),
+            "DOUBLE" | "FLOAT" | "REAL" => Ok(DataType::Double),
+            "VARCHAR" | "STRING" | "TEXT" | "CHAR" => Ok(DataType::Str),
+            other => Err(SqlmlError::Type(format!("unknown SQL type {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    /// Marks a categorical variable (candidate for recoding/dummy coding).
+    pub categorical: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            categorical: false,
+        }
+    }
+
+    /// A categorical (string-valued in SQL) column.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Field {
+            name: name.into(),
+            data_type: DataType::Str,
+            categorical: true,
+        }
+    }
+}
+
+/// An ordered, named, typed record layout. Cheap to clone (columns are
+/// shared behind an `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                SqlmlError::Plan(format!(
+                    "no column named {name:?} in schema [{}]",
+                    self.names().join(", ")
+                ))
+            })
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.fields.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// New schema keeping only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            out.push(self.fields[self.index_of(n)?].clone());
+        }
+        Ok(Schema::new(out))
+    }
+
+    /// Concatenate two schemas (join output layout).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.as_ref().clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Names of the categorical columns, in schema order.
+    pub fn categorical_columns(&self) -> Vec<String> {
+        self.fields
+            .iter()
+            .filter(|f| f.categorical)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fld| {
+                if fld.categorical {
+                    format!("{} {} CATEGORICAL", fld.name, fld.data_type)
+                } else {
+                    format!("{} {}", fld.name, fld.data_type)
+                }
+            })
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::new("amount", DataType::Double),
+            Field::categorical("abandoned"),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("age").unwrap(), 0);
+        assert_eq!(s.index_of("GENDER").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = sample();
+        let p = s.project(&["amount", "age"]).unwrap();
+        assert_eq!(p.names(), vec!["amount", "age"]);
+        assert_eq!(p.field(0).data_type, DataType::Double);
+    }
+
+    #[test]
+    fn categorical_columns_filtered() {
+        assert_eq!(sample().categorical_columns(), vec!["gender", "abandoned"]);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = sample();
+        let b = Schema::new(vec![Field::new("userid", DataType::Int)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.field(4).name, "userid");
+    }
+
+    #[test]
+    fn type_names_round_trip() {
+        for t in [DataType::Bool, DataType::Int, DataType::Double, DataType::Str] {
+            assert_eq!(DataType::parse_sql_name(t.sql_name()).unwrap(), t);
+        }
+        assert!(DataType::parse_sql_name("BLOB").is_err());
+    }
+
+    #[test]
+    fn display_shows_categorical_marker() {
+        let text = sample().to_string();
+        assert!(text.contains("gender VARCHAR CATEGORICAL"));
+        assert!(text.contains("age BIGINT"));
+    }
+}

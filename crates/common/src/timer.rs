@@ -1,0 +1,164 @@
+//! Stage timing, the measurement backbone of the benchmark harness.
+//!
+//! The paper's Figure 3/4 report per-stage breakdowns (`prep`, `trsfm`,
+//! `input for ml`, pipelined combinations thereof). [`StageTimer`] records
+//! named stages with wall-clock durations and renders the same kind of
+//! breakdown.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One completed stage.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    pub name: String,
+    pub duration: Duration,
+}
+
+/// Collects a sequence of named stage timings.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    stages: Vec<Stage>,
+}
+
+impl StageTimer {
+    pub fn new() -> Self {
+        StageTimer { stages: Vec::new() }
+    }
+
+    /// Time a closure as one named stage and return its output.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Record an externally measured duration.
+    pub fn record(&mut self, name: &str, duration: Duration) {
+        self.stages.push(Stage {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Duration of the first stage with this name, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.duration)
+    }
+
+    /// A fixed-width textual breakdown like the bars of Figure 3.
+    pub fn breakdown(&self) -> String {
+        let total = self.total().as_secs_f64().max(f64::EPSILON);
+        let width = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .chain(std::iter::once("TOTAL".len()))
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        for s in &self.stages {
+            let secs = s.duration.as_secs_f64();
+            let bar_len = ((secs / total) * 40.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<width$}  {:>9}  {}\n",
+                s.name,
+                format_duration(s.duration),
+                "#".repeat(bar_len),
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<width$}  {:>9}\n",
+            "TOTAL",
+            format_duration(self.total()),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for StageTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.breakdown())
+    }
+}
+
+/// Human-friendly duration (ms below 10 s, otherwise seconds with two
+/// decimals).
+pub fn format_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 10_000.0 {
+        format!("{ms:.1}ms")
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+/// Human-friendly byte count.
+pub fn format_bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n}B")
+    } else {
+        format!("{v:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut t = StageTimer::new();
+        t.record("prep", Duration::from_millis(30));
+        t.record("trsfm", Duration::from_millis(20));
+        let x = t.time("input", || 7);
+        assert_eq!(x, 7);
+        assert_eq!(t.stages().len(), 3);
+        assert!(t.total() >= Duration::from_millis(50));
+        assert_eq!(t.get("prep"), Some(Duration::from_millis(30)));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn breakdown_mentions_every_stage() {
+        let mut t = StageTimer::new();
+        t.record("prep+trsfm", Duration::from_millis(100));
+        t.record("input for ml", Duration::from_millis(50));
+        let text = t.breakdown();
+        assert!(text.contains("prep+trsfm"));
+        assert!(text.contains("input for ml"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(2048), "2.0KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.0MiB");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(1500)), "1500.0ms");
+        assert_eq!(format_duration(Duration::from_secs(20)), "20.00s");
+    }
+}

@@ -1,0 +1,202 @@
+//! A simulated cluster standing in for the paper's 5-server testbed: a
+//! DFS, an MPP SQL engine, an ML worker pool, and a streaming-transfer
+//! coordinator, all sharing one set of node names so locality is
+//! meaningful end to end.
+
+use sqlml_common::Result;
+use sqlml_dfs::{Dfs, DfsConfig};
+use sqlml_mlengine::job::JobConfig;
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transfer::{StreamSession, StreamSessionConfig};
+
+use crate::workload::{Workload, WorkloadScale};
+
+/// Cluster layout knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated machines (the paper used 4 worker servers).
+    pub num_nodes: usize,
+    /// SQL workers (the paper ran 1 multi-threaded Big SQL worker per
+    /// server; we default to one worker per node).
+    pub sql_workers: usize,
+    /// ML workers (the paper ran 6 Spark workers per server).
+    pub ml_workers: usize,
+    /// The paper's `k` (readers per SQL worker).
+    pub splits_per_worker: u32,
+    /// Send/receive buffer size for streaming (paper: 4 KiB).
+    pub send_buffer_bytes: usize,
+    /// DFS parameters (block size, replication, optional throttling).
+    pub dfs: DfsConfig,
+    /// Split DFS text inputs at block granularity (Hadoop's behaviour)
+    /// instead of one split per part-file.
+    pub block_level_splits: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_nodes: 4,
+            sql_workers: 4,
+            ml_workers: 4,
+            splits_per_worker: 1,
+            send_buffer_bytes: 4 * 1024,
+            dfs: DfsConfig {
+                num_datanodes: 4,
+                block_size: 1024 * 1024,
+                replication: 3,
+                bytes_per_sec: None,
+                remote_bytes_per_sec: None,
+            },
+            block_level_splits: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A tiny configuration for unit tests.
+    pub fn for_tests() -> Self {
+        ClusterConfig {
+            num_nodes: 2,
+            sql_workers: 2,
+            ml_workers: 2,
+            dfs: DfsConfig {
+                num_datanodes: 2,
+                block_size: 64 * 1024,
+                replication: 2,
+                bytes_per_sec: None,
+                remote_bytes_per_sec: None,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The assembled cluster.
+pub struct SimCluster {
+    pub config: ClusterConfig,
+    pub dfs: Dfs,
+    pub engine: Engine,
+    pub stream: StreamSession,
+    pub nodes: Vec<String>,
+}
+
+impl SimCluster {
+    pub fn start(config: ClusterConfig) -> Result<SimCluster> {
+        assert_eq!(
+            config.num_nodes, config.dfs.num_datanodes,
+            "datanodes and compute nodes are colocated in this simulation"
+        );
+        let nodes: Vec<String> = (0..config.num_nodes).map(sqlml_dfs::node_name).collect();
+        let dfs = Dfs::new(config.dfs.clone());
+        let engine = Engine::new(EngineConfig {
+            num_workers: config.sql_workers,
+            nodes: nodes.clone(),
+        });
+        let stream = StreamSession::start()?;
+        Ok(SimCluster {
+            config,
+            dfs,
+            engine,
+            stream,
+            nodes,
+        })
+    }
+
+    /// The ML job layout for this cluster.
+    pub fn ml_job_config(&self) -> JobConfig {
+        JobConfig {
+            num_workers: self.config.ml_workers,
+            worker_nodes: self.nodes.clone(),
+            splits_per_worker: self.config.splits_per_worker as usize,
+        }
+    }
+
+    /// Build a text input format over a DFS directory, honouring the
+    /// cluster's split-granularity setting.
+    pub fn text_input_format(
+        &self,
+        dir: &str,
+        schema: sqlml_common::Schema,
+    ) -> sqlml_mlengine::input::TextInputFormat {
+        let fmt = sqlml_mlengine::input::TextInputFormat::new(self.dfs.clone(), dir, schema);
+        if self.config.block_level_splits {
+            fmt.with_block_splits()
+        } else {
+            fmt
+        }
+    }
+
+    /// The streaming-session tunables for this cluster.
+    pub fn stream_config(&self) -> StreamSessionConfig {
+        StreamSessionConfig {
+            splits_per_worker: self.config.splits_per_worker,
+            send_buffer_bytes: self.config.send_buffer_bytes,
+            ml_job: self.ml_job_config(),
+            spill_dir: std::env::temp_dir().join("sqlml-cluster-spill"),
+        }
+    }
+
+    /// Write the workload to the DFS as text (the warehouse layout the
+    /// paper describes) and register both tables with the SQL engine.
+    pub fn load_workload(&self, scale: WorkloadScale, seed: u64) -> Result<Workload> {
+        let w = Workload::generate(scale, seed);
+        // Store on the DFS first: "both tables were stored in text
+        // format on HDFS".
+        let carts = sqlml_sqlengine::PartitionedTable::partition_rows(
+            w.carts_schema.clone(),
+            w.carts.clone(),
+            self.config.sql_workers,
+            &self.nodes,
+        );
+        let users = sqlml_sqlengine::PartitionedTable::partition_rows(
+            w.users_schema.clone(),
+            w.users.clone(),
+            self.config.sql_workers,
+            &self.nodes,
+        );
+        carts.save_text(&self.dfs, "/warehouse/carts")?;
+        users.save_text(&self.dfs, "/warehouse/users")?;
+        // The engine reads its tables from the warehouse.
+        self.engine
+            .load_text_table("carts", w.carts_schema.clone(), &self.dfs, "/warehouse/carts")?;
+        self.engine
+            .load_text_table("users", w.users_schema.clone(), &self.dfs, "/warehouse/users")?;
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_boots_and_loads_workload() {
+        let cluster = SimCluster::start(ClusterConfig::for_tests()).unwrap();
+        let w = cluster.load_workload(WorkloadScale::TINY, 7).unwrap();
+        assert_eq!(
+            cluster.engine.table_rows("carts").unwrap(),
+            w.carts.len()
+        );
+        assert_eq!(
+            cluster.engine.table_rows("users").unwrap(),
+            w.users.len()
+        );
+        // The warehouse files exist on the DFS.
+        assert!(!cluster.dfs.list("/warehouse/carts/").is_empty());
+        // And the prep query runs.
+        let rows = cluster
+            .engine
+            .query(crate::workload::PREP_QUERY)
+            .unwrap()
+            .num_rows();
+        assert!(rows > 0 && rows < w.carts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "colocated")]
+    fn node_count_mismatch_is_rejected() {
+        let mut cfg = ClusterConfig::for_tests();
+        cfg.num_nodes = 3;
+        let _ = SimCluster::start(cfg);
+    }
+}

@@ -1,0 +1,439 @@
+//! The three end-to-end pipelines of the paper's evaluation, plus the §5
+//! caching variants — the code behind Figures 3 and 4.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sqlml_cache::{CacheDecision, CacheManager, QueryDescriptor};
+use sqlml_common::{Result, SqlmlError, StageTimer};
+use sqlml_mlengine::job::{JobRunner, TrainedModel, TrainingSpec};
+use sqlml_sqlengine::parser::parse_select;
+use sqlml_sqlengine::PartitionedTable;
+use sqlml_transfer::StreamStats;
+use sqlml_transform::{InSqlTransformer, RecodeMap, TransformSpec};
+
+use crate::cluster::SimCluster;
+use crate::naive::run_external_transform;
+
+/// The three approaches compared in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// SQL → DFS → external transform → DFS → ML.
+    Naive,
+    /// SQL+UDF transform (pipelined) → DFS → ML.
+    InSql,
+    /// SQL+UDF transform → parallel streaming → ML. No file system.
+    InSqlStream,
+}
+
+impl Strategy {
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::InSql => "insql",
+            Strategy::InSqlStream => "insql+stream",
+        }
+    }
+}
+
+/// Which §5 cache reuse a run enjoyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    None,
+    RecodeMap,
+    FullResult,
+}
+
+/// One integration request: preparation query, transformation, target
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct PipelineRequest {
+    pub prep_sql: String,
+    pub spec: TransformSpec,
+    /// ML command, e.g. `svm label=4 iterations=10` — label indices refer
+    /// to the *transformed* schema.
+    pub ml_command: String,
+}
+
+/// The outcome of one pipeline run.
+#[derive(Debug)]
+pub struct PipelineReport {
+    pub strategy: Strategy,
+    /// Stage breakdown with Figure 3's stage names (`prep`, `trsfm`,
+    /// `input for ml`, or the pipelined combinations). Training time is
+    /// *excluded*, as in the paper.
+    pub timer: StageTimer,
+    pub model: TrainedModel,
+    pub rows_to_ml: usize,
+    pub cache_use: CacheMode,
+    /// Present for [`Strategy::InSqlStream`] runs.
+    pub stream_stats: Option<StreamStats>,
+    /// Reported separately (the paper excludes it from the comparison).
+    pub train_time: Duration,
+}
+
+impl PipelineReport {
+    /// End-to-end time excluding training — the quantity Figure 3 plots.
+    pub fn pipeline_time(&self) -> Duration {
+        self.timer.total()
+    }
+}
+
+static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Pipeline driver bound to one simulated cluster.
+pub struct Pipeline<'c> {
+    cluster: &'c SimCluster,
+    transformer: InSqlTransformer,
+    cache: Option<Arc<CacheManager>>,
+}
+
+impl<'c> Pipeline<'c> {
+    /// A pipeline without caching.
+    pub fn new(cluster: &'c SimCluster) -> Pipeline<'c> {
+        let transformer = InSqlTransformer::new(cluster.engine.clone());
+        cluster
+            .stream
+            .install_udf(&cluster.engine, &cluster.stream_config(), None);
+        Pipeline {
+            cluster,
+            transformer,
+            cache: None,
+        }
+    }
+
+    /// A pipeline with the §5 cache enabled.
+    pub fn with_cache(cluster: &'c SimCluster) -> Pipeline<'c> {
+        let mut p = Pipeline::new(cluster);
+        p.cache = Some(Arc::new(CacheManager::new(cluster.engine.clone())));
+        p
+    }
+
+    pub fn cache(&self) -> Option<&Arc<CacheManager>> {
+        self.cache.as_ref()
+    }
+
+    /// Run one request under the chosen strategy.
+    pub fn run(&self, req: &PipelineRequest, strategy: Strategy) -> Result<PipelineReport> {
+        let ml_spec = TrainingSpec::parse(&req.ml_command)?;
+        match strategy {
+            Strategy::Naive => self.run_naive(req, &ml_spec),
+            Strategy::InSql => self.run_insql(req, &ml_spec),
+            Strategy::InSqlStream => self.run_insql_stream(req, &ml_spec),
+        }
+    }
+
+    // -- naive ------------------------------------------------------------
+
+    fn run_naive(
+        &self,
+        req: &PipelineRequest,
+        ml_spec: &TrainingSpec,
+    ) -> Result<PipelineReport> {
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir_prep = format!("/tmp_pipeline/{seq}/prep");
+        let dir_tfm = format!("/tmp_pipeline/{seq}/trsfm");
+        let dfs = &self.cluster.dfs;
+        let engine = &self.cluster.engine;
+        let mut timer = StageTimer::new();
+
+        // Stage 1: run the query, materialize on the DFS.
+        let prep_schema = engine.validate(&req.prep_sql)?;
+        timer.time("prep", || engine.query_to_dfs(&req.prep_sql, dfs, &dir_prep))?;
+
+        // Stage 2: the external (Jaql-substitute) transformation,
+        // DFS → DFS.
+        let external = timer.time("trsfm", || {
+            run_external_transform(dfs, &dir_prep, &prep_schema, &req.spec, &dir_tfm)
+        })?;
+
+        // Stage 3: ML job ingests from the DFS.
+        let fmt = self
+            .cluster
+            .text_input_format(&dir_tfm, external.schema.clone());
+        let runner = JobRunner::new(self.cluster.ml_job_config());
+        let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
+        timer.record("input for ml", ingest.duration);
+
+        let t_train = Instant::now();
+        let model = runner.train(&dataset, ml_spec)?;
+        let train_time = t_train.elapsed();
+
+        self.cleanup_dir(&dir_prep);
+        self.cleanup_dir(&dir_tfm);
+        Ok(PipelineReport {
+            strategy: Strategy::Naive,
+            timer,
+            model,
+            rows_to_ml: ingest.rows,
+            cache_use: CacheMode::None,
+            stream_stats: None,
+            train_time,
+        })
+    }
+
+    // -- insql ------------------------------------------------------------
+
+    fn run_insql(
+        &self,
+        req: &PipelineRequest,
+        ml_spec: &TrainingSpec,
+    ) -> Result<PipelineReport> {
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir_tfm = format!("/tmp_pipeline/{seq}/insql");
+        let dfs = &self.cluster.dfs;
+        let mut timer = StageTimer::new();
+
+        // Stage 1 (pipelined): prep query + In-SQL transformation, then
+        // one materialization onto the DFS for the hand-off.
+        let (transformed, cache_use) = timer.time("prep+trsfm", || {
+            let out = self.prepare_and_transform(req)?;
+            out.0.save_text(dfs, &dir_tfm)?;
+            Ok::<_, SqlmlError>(out)
+        })?;
+
+        // Stage 2: ML ingests the hand-off files.
+        let fmt = self
+            .cluster
+            .text_input_format(&dir_tfm, transformed.schema().clone());
+        let runner = JobRunner::new(self.cluster.ml_job_config());
+        let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
+        timer.record("input for ml", ingest.duration);
+
+        let t_train = Instant::now();
+        let model = runner.train(&dataset, ml_spec)?;
+        let train_time = t_train.elapsed();
+
+        self.cleanup_dir(&dir_tfm);
+        Ok(PipelineReport {
+            strategy: Strategy::InSql,
+            timer,
+            model,
+            rows_to_ml: ingest.rows,
+            cache_use,
+            stream_stats: None,
+            train_time,
+        })
+    }
+
+    // -- insql + streaming --------------------------------------------------
+
+    fn run_insql_stream(
+        &self,
+        req: &PipelineRequest,
+        _ml_spec: &TrainingSpec,
+    ) -> Result<PipelineReport> {
+        let engine = &self.cluster.engine;
+        let mut timer = StageTimer::new();
+        let t0 = Instant::now();
+
+        // Prep + transform inside the engine (possibly from cache), then
+        // stream straight into the freshly launched ML job — nothing
+        // touches the file system.
+        let (transformed, cache_use) = self.prepare_and_transform(req)?;
+        let tmp = format!("__pipeline_stream_{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed));
+        engine.register_table(&tmp, transformed);
+        let outcome = self
+            .cluster
+            .stream
+            .run(engine, &tmp, &req.ml_command, &self.cluster.stream_config());
+        let _ = engine.catalog().drop_table(&tmp);
+        let outcome = outcome?;
+
+        // One pipelined bar, as in Figure 3 — minus training, which the
+        // paper excludes.
+        let total = t0.elapsed().saturating_sub(outcome.job.train_duration);
+        timer.record("prep+trsfm+input", total);
+
+        Ok(PipelineReport {
+            strategy: Strategy::InSqlStream,
+            timer,
+            model: outcome.job.model,
+            rows_to_ml: outcome.stats.rows_ingested,
+            cache_use,
+            stream_stats: Some(outcome.stats),
+            train_time: outcome.job.train_duration,
+        })
+    }
+
+    // -- shared -----------------------------------------------------------
+
+    /// Produce the transformed table for a request, consulting the cache
+    /// first (§5) and populating it afterwards.
+    fn prepare_and_transform(
+        &self,
+        req: &PipelineRequest,
+    ) -> Result<(PartitionedTable, CacheMode)> {
+        let engine = &self.cluster.engine;
+        let descriptor = self.describe(&req.prep_sql)?;
+
+        // Consult the cache.
+        let mut cached_map: Option<RecodeMap> = None;
+        if let (Some(cache), Some(d)) = (&self.cache, &descriptor) {
+            match cache.lookup(d, &req.spec) {
+                CacheDecision::Full(reuse) => {
+                    // §5.1: the whole query + transformation collapses to
+                    // one select over the materialization.
+                    let table = engine.query(&reuse.sql)?;
+                    return Ok((table, CacheMode::FullResult));
+                }
+                CacheDecision::RecodeMap(map) => cached_map = Some(map),
+                CacheDecision::Miss => {}
+            }
+        }
+
+        // Materialize the prep result, then transform it In-SQL.
+        let tmp = format!("__pipeline_prep_{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed));
+        engine.execute(&format!("CREATE TABLE {tmp} AS {}", req.prep_sql))?;
+        let result = match &cached_map {
+            Some(map) => self.transformer.transform_with_map(&tmp, &req.spec, map),
+            None => self.transformer.transform(&tmp, &req.spec),
+        };
+        engine.execute(&format!("DROP TABLE {tmp}"))?;
+        let out = result?;
+        let cache_use = if cached_map.is_some() {
+            CacheMode::RecodeMap
+        } else {
+            CacheMode::None
+        };
+
+        // Populate the cache for future runs.
+        if let (Some(cache), Some(d)) = (&self.cache, descriptor) {
+            if cache_use == CacheMode::None {
+                cache.store_full(
+                    d,
+                    req.spec.clone(),
+                    out.recode_map.clone(),
+                    out.table.clone(),
+                );
+            }
+        }
+        Ok((out.table, cache_use))
+    }
+
+    fn describe(&self, sql: &str) -> Result<Option<QueryDescriptor>> {
+        let stmt = parse_select(sql)?;
+        QueryDescriptor::from_select(&stmt, self.cluster.engine.catalog())
+    }
+
+    fn cleanup_dir(&self, dir: &str) {
+        for f in self.cluster.dfs.list(&format!("{dir}/")) {
+            let _ = self.cluster.dfs.delete(&f.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::workload::{WorkloadScale, PREP_QUERY};
+
+    fn request() -> PipelineRequest {
+        PipelineRequest {
+            prep_sql: PREP_QUERY.to_string(),
+            spec: TransformSpec::new(&["gender"]),
+            // Transformed layout: age, gender_F, gender_M, amount,
+            // abandoned — label at index 4.
+            ml_command: "svm label=4 iterations=10".to_string(),
+        }
+    }
+
+    fn cluster() -> SimCluster {
+        let c = SimCluster::start(ClusterConfig::for_tests()).unwrap();
+        c.load_workload(WorkloadScale::TINY, 11).unwrap();
+        c
+    }
+
+    #[test]
+    fn all_three_strategies_deliver_identical_datasets() {
+        let cluster = cluster();
+        let pipeline = Pipeline::new(&cluster);
+        let mut row_counts = Vec::new();
+        for strategy in [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream] {
+            let report = pipeline.run(&request(), strategy).unwrap();
+            assert!(report.rows_to_ml > 0, "{strategy:?} sent nothing");
+            row_counts.push(report.rows_to_ml);
+            assert_eq!(report.strategy, strategy);
+            assert_eq!(report.cache_use, CacheMode::None);
+        }
+        assert_eq!(row_counts[0], row_counts[1]);
+        assert_eq!(row_counts[1], row_counts[2]);
+    }
+
+    #[test]
+    fn stage_names_match_figure_3() {
+        let cluster = cluster();
+        let pipeline = Pipeline::new(&cluster);
+        let naive = pipeline.run(&request(), Strategy::Naive).unwrap();
+        let names: Vec<&str> = naive.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["prep", "trsfm", "input for ml"]);
+        let insql = pipeline.run(&request(), Strategy::InSql).unwrap();
+        let names: Vec<&str> = insql.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["prep+trsfm", "input for ml"]);
+        let stream = pipeline.run(&request(), Strategy::InSqlStream).unwrap();
+        let names: Vec<&str> = stream.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["prep+trsfm+input"]);
+        assert!(stream.stream_stats.is_some());
+    }
+
+    #[test]
+    fn cached_full_result_short_circuits_second_run() {
+        let cluster = cluster();
+        let pipeline = Pipeline::with_cache(&cluster);
+        let first = pipeline.run(&request(), Strategy::InSqlStream).unwrap();
+        assert_eq!(first.cache_use, CacheMode::None);
+        let second = pipeline.run(&request(), Strategy::InSqlStream).unwrap();
+        assert_eq!(second.cache_use, CacheMode::FullResult);
+        assert_eq!(first.rows_to_ml, second.rows_to_ml);
+        let (full, _, _) = pipeline.cache().unwrap().stats.snapshot();
+        assert_eq!(full, 1);
+    }
+
+    #[test]
+    fn recode_map_reuse_for_the_5_2_query() {
+        let cluster = cluster();
+        let pipeline = Pipeline::with_cache(&cluster);
+        pipeline.run(&request(), Strategy::InSql).unwrap();
+        // The §5.2 follow-up: extra predicate on an unprojected field and
+        // a wider projection — full reuse impossible, map reuse expected.
+        let second = PipelineRequest {
+            prep_sql: "SELECT U.age, U.gender, C.amount, C.nitems, C.abandoned \
+                       FROM carts C, users U \
+                       WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014"
+                .to_string(),
+            spec: TransformSpec::new(&["gender"]),
+            ml_command: "svm label=5 iterations=5".to_string(),
+        };
+        let report = pipeline.run(&second, Strategy::InSql).unwrap();
+        assert_eq!(report.cache_use, CacheMode::RecodeMap);
+    }
+
+    #[test]
+    fn models_learn_the_planted_signal() {
+        let cluster = cluster();
+        let pipeline = Pipeline::new(&cluster);
+        let report = pipeline
+            .run(
+                &PipelineRequest {
+                    ml_command: "svm label=4 iterations=80".to_string(),
+                    ..request()
+                },
+                Strategy::InSqlStream,
+            )
+            .unwrap();
+        // Young + expensive cart (features age, gender_F, gender_M,
+        // amount) should score a higher abandonment margin than old +
+        // cheap — equal margins would mean the model learned nothing.
+        let TrainedModel::Svm(svm) = &report.model else {
+            panic!("expected an SVM model");
+        };
+        let young_pricey = svm.margin(&[20.0, 1.0, 0.0, 220.0]);
+        let old_cheap = svm.margin(&[75.0, 1.0, 0.0, 10.0]);
+        assert!(
+            young_pricey > old_cheap,
+            "SVM learned no signal: {young_pricey} vs {old_cheap}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Scoring trained models back inside SQL.
+//!
+//! The paper's pipeline is one-directional (SQL → ML); production
+//! deployments immediately need the reverse hop — applying the trained
+//! model to warehouse rows. Since the SQL engine is extensible through
+//! scalar UDFs, a trained model *is* a scalar function: register it and
+//! score with plain SQL:
+//!
+//! ```sql
+//! SELECT userid, churn_score(age, gender, amount) FROM prepared
+//! ```
+
+use std::sync::Arc;
+
+use sqlml_common::schema::DataType;
+use sqlml_common::{Result, SqlmlError, Value};
+use sqlml_mlengine::job::TrainedModel;
+use sqlml_sqlengine::udf::ScalarUdf;
+use sqlml_sqlengine::Engine;
+
+/// A trained model exposed as a SQL scalar function. Arguments are the
+/// feature values in training order; the return value is the model's
+/// prediction (class label, regression value, or cluster id).
+pub struct ModelUdf {
+    name: String,
+    model: TrainedModel,
+    /// Expected feature count, for arity errors at evaluation time
+    /// (linear models know their dimension; trees/NB accept any arity
+    /// and fail naturally on out-of-range access, so we check when we
+    /// can).
+    expected_arity: Option<usize>,
+}
+
+impl ModelUdf {
+    pub fn new(name: impl Into<String>, model: TrainedModel) -> Self {
+        let expected_arity = match &model {
+            TrainedModel::Svm(m) => Some(m.weights.len()),
+            TrainedModel::LogReg(m) => Some(m.weights.len()),
+            TrainedModel::LinReg(m) => Some(m.weights.len()),
+            _ => None,
+        };
+        ModelUdf {
+            name: name.into(),
+            model,
+            expected_arity,
+        }
+    }
+}
+
+impl ScalarUdf for ModelUdf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        if let Some(n) = self.expected_arity {
+            if args.len() != n {
+                return Err(SqlmlError::Type(format!(
+                    "{} takes {n} feature arguments, got {}",
+                    self.name,
+                    args.len()
+                )));
+            }
+        }
+        let mut features = Vec::with_capacity(args.len());
+        for a in args {
+            // NULL features score as 0.0, matching the ingestion path's
+            // treatment in `Row::to_f64_vec`.
+            features.push(if a.is_null() { 0.0 } else { a.as_f64()? });
+        }
+        Ok(Value::Double(self.model.predict(&features)))
+    }
+
+    fn return_type(&self, _arg_types: &[DataType]) -> DataType {
+        DataType::Double
+    }
+}
+
+/// Register a trained model as a scalar UDF on an engine.
+pub fn register_model_udf(engine: &Engine, name: &str, model: TrainedModel) {
+    engine.register_scalar_udf(Arc::new(ModelUdf::new(name, model)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, SimCluster};
+    use crate::pipeline::{Pipeline, PipelineRequest, Strategy};
+    use crate::workload::{WorkloadScale, PREP_QUERY};
+    use sqlml_mlengine::svm::SvmModel;
+    use sqlml_transform::TransformSpec;
+
+    #[test]
+    fn model_udf_scores_rows_in_sql() {
+        // Train through the pipeline, then score the transformed rows in
+        // SQL with the resulting model — the full circle.
+        let cluster = SimCluster::start(ClusterConfig::for_tests()).unwrap();
+        cluster.load_workload(WorkloadScale::TINY, 88).unwrap();
+        let pipeline = Pipeline::new(&cluster);
+        let report = pipeline
+            .run(
+                &PipelineRequest {
+                    prep_sql: PREP_QUERY.to_string(),
+                    spec: TransformSpec::new(&["gender"]),
+                    ml_command: "svm label=4 iterations=40".to_string(),
+                },
+                Strategy::InSqlStream,
+            )
+            .unwrap();
+
+        let engine = &cluster.engine;
+        register_model_udf(engine, "abandon_score", report.model);
+        // Rebuild the transformed table to score it.
+        engine
+            .execute(&format!("CREATE TABLE p AS {PREP_QUERY}"))
+            .unwrap();
+        let tr = sqlml_transform::InSqlTransformer::new(engine.clone());
+        let out = tr.transform("p", &TransformSpec::new(&["gender"])).unwrap();
+        engine.register_table("scored_input", out.table);
+
+        let scored = engine
+            .query(
+                "SELECT abandon_score(age, gender_F, gender_M, amount) AS s \
+                 FROM scored_input",
+            )
+            .unwrap();
+        assert_eq!(scored.num_rows(), engine.table_rows("scored_input").unwrap());
+        let mut zeros = 0;
+        let mut ones = 0;
+        for r in scored.collect_rows() {
+            let score = r.get(0).as_f64().unwrap();
+            if score == 0.0 {
+                zeros += 1;
+            } else if score == 1.0 {
+                ones += 1;
+            } else {
+                panic!("non-binary score {score}");
+            }
+        }
+        assert!(zeros > 0 && ones > 0, "degenerate model: {zeros}/{ones}");
+
+        // Scores compose with the rest of SQL (aggregation over scores).
+        let agg = engine
+            .query(
+                "SELECT abandon_score(age, gender_F, gender_M, amount) AS s, COUNT(*) \
+                 FROM scored_input GROUP BY abandon_score(age, gender_F, gender_M, amount)",
+            )
+            .unwrap();
+        assert_eq!(agg.num_rows(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_type_error() {
+        let udf = ModelUdf::new(
+            "m",
+            TrainedModel::Svm(SvmModel {
+                weights: vec![1.0, -1.0],
+                intercept: 0.0,
+            }),
+        );
+        assert!(udf.eval(&[Value::Double(1.0)]).is_err());
+        assert_eq!(
+            udf.eval(&[Value::Double(3.0), Value::Double(1.0)]).unwrap(),
+            Value::Double(1.0)
+        );
+        // NULL features are treated as 0.
+        assert_eq!(
+            udf.eval(&[Value::Null, Value::Double(1.0)]).unwrap(),
+            Value::Double(0.0)
+        );
+    }
+}

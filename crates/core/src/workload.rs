@@ -1,0 +1,229 @@
+//! Synthetic workload matching the paper's evaluation scenario (§1, §7):
+//! an online retailer's `carts` and `users` tables, a preparation query
+//! joining them for USA customers, and an SVM on cart abandonment.
+//!
+//! The paper generated 1B carts (56 GB) and 10M users (361 MB) as text on
+//! HDFS; we generate the same schema and value distributions at
+//! configurable scale, seeded for reproducibility.
+
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+
+/// How big to make the synthetic warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadScale {
+    pub carts: usize,
+    pub users: usize,
+}
+
+impl WorkloadScale {
+    /// Unit-test scale.
+    pub const TINY: WorkloadScale = WorkloadScale {
+        carts: 2_000,
+        users: 200,
+    };
+    /// Default benchmark scale (keeps Figure 3/4 runs in seconds).
+    pub const SMALL: WorkloadScale = WorkloadScale {
+        carts: 200_000,
+        users: 20_000,
+    };
+    /// Larger benchmark scale (minutes).
+    pub const MEDIUM: WorkloadScale = WorkloadScale {
+        carts: 2_000_000,
+        users: 100_000,
+    };
+
+    /// The paper's ratio (100 carts per user) at an arbitrary cart count.
+    pub fn with_carts(carts: usize) -> WorkloadScale {
+        WorkloadScale {
+            carts,
+            users: (carts / 100).max(10),
+        }
+    }
+}
+
+/// The generated tables plus their schemas.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub carts_schema: Schema,
+    pub users_schema: Schema,
+    pub carts: Vec<Row>,
+    pub users: Vec<Row>,
+}
+
+/// Schema of the `carts` fact table.
+pub fn carts_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("cartid", DataType::Int),
+        Field::new("userid", DataType::Int),
+        Field::new("amount", DataType::Double),
+        Field::categorical("abandoned"),
+        Field::new("year", DataType::Int),
+        Field::new("nitems", DataType::Int),
+    ])
+}
+
+/// Schema of the `users` dimension table.
+pub fn users_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("userid", DataType::Int),
+        Field::new("age", DataType::Int),
+        Field::categorical("gender"),
+        Field::categorical("country"),
+    ])
+}
+
+/// The preparation query of the paper's running example.
+pub const PREP_QUERY: &str = "SELECT U.age, U.gender, C.amount, C.abandoned \
+                              FROM carts C, users U \
+                              WHERE C.userid = U.userid AND U.country = 'USA'";
+
+/// The ML command of the evaluation: SVM with SGD on the `abandoned`
+/// label (column 3 of the prepared result).
+pub const SVM_COMMAND: &str = "svm label=3 iterations=10 step=1.0 reg=0.01";
+
+const COUNTRIES: [&str; 6] = ["USA", "CA", "UK", "DE", "FR", "JP"];
+const COUNTRY_WEIGHTS: [f64; 6] = [0.55, 0.12, 0.11, 0.09, 0.07, 0.06];
+
+impl Workload {
+    /// Generate the workload deterministically from a seed.
+    ///
+    /// Abandonment correlates with the features (younger users and large
+    /// cart amounts abandon more) so the downstream SVM has signal to
+    /// find — the evaluation measures pipeline time, but the model should
+    /// still be learnable.
+    pub fn generate(scale: WorkloadScale, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed);
+        let mut user_rng = rng.fork(1);
+        let mut cart_rng = rng.fork(2);
+
+        let mut users = Vec::with_capacity(scale.users);
+        let mut ages = Vec::with_capacity(scale.users);
+        for uid in 0..scale.users {
+            let age = user_rng.range_i64(18, 80);
+            ages.push(age);
+            let gender = if user_rng.chance(0.5) { "F" } else { "M" };
+            let country = COUNTRIES[user_rng.choose_weighted(&COUNTRY_WEIGHTS)];
+            users.push(Row::new(vec![
+                Value::Int(uid as i64),
+                Value::Int(age),
+                Value::Str(gender.to_string()),
+                Value::Str(country.to_string()),
+            ]));
+        }
+
+        let mut carts = Vec::with_capacity(scale.carts);
+        for cid in 0..scale.carts {
+            let uid = cart_rng.next_below(scale.users as u64) as usize;
+            let amount = (cart_rng.next_gaussian() * 40.0 + 90.0).abs() + 1.0;
+            let age = ages[uid] as f64;
+            // Abandonment probability: strongly feature-dependent so the
+            // downstream classifier has real signal — younger users and
+            // pricier carts abandon far more often.
+            let p = (0.5 + 0.012 * (45.0 - age) + 0.005 * (amount - 90.0))
+                .clamp(0.02, 0.98);
+            let abandoned = if cart_rng.chance(p) { "Yes" } else { "No" };
+            let year = if cart_rng.chance(0.7) { 2014 } else { 2013 };
+            let nitems = cart_rng.range_i64(1, 20);
+            carts.push(Row::new(vec![
+                Value::Int(cid as i64),
+                Value::Int(uid as i64),
+                Value::Double((amount * 100.0).round() / 100.0),
+                Value::Str(abandoned.to_string()),
+                Value::Int(year),
+                Value::Int(nitems),
+            ]));
+        }
+
+        Workload {
+            carts_schema: carts_schema(),
+            users_schema: users_schema(),
+            carts,
+            users,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 5);
+        let b = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 5);
+        let c = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 6);
+        assert_eq!(a.carts, b.carts);
+        assert_eq!(a.users, b.users);
+        assert_ne!(a.carts, c.carts);
+    }
+
+    #[test]
+    fn row_shapes_match_schemas() {
+        let w = Workload::generate(WorkloadScale::TINY, 1);
+        assert_eq!(w.carts.len(), WorkloadScale::TINY.carts);
+        assert_eq!(w.users.len(), WorkloadScale::TINY.users);
+        for r in w.carts.iter().take(50) {
+            assert_eq!(r.len(), w.carts_schema.len());
+        }
+        for r in w.users.iter().take(50) {
+            assert_eq!(r.len(), w.users_schema.len());
+        }
+    }
+
+    #[test]
+    fn value_distributions_are_plausible() {
+        let w = Workload::generate(WorkloadScale::TINY, 2);
+        let usa = w
+            .users
+            .iter()
+            .filter(|r| r.get(3) == &Value::Str("USA".into()))
+            .count() as f64
+            / w.users.len() as f64;
+        assert!((0.4..0.7).contains(&usa), "USA fraction {usa}");
+        let abandoned = w
+            .carts
+            .iter()
+            .filter(|r| r.get(3) == &Value::Str("Yes".into()))
+            .count() as f64
+            / w.carts.len() as f64;
+        assert!((0.1..0.6).contains(&abandoned), "abandon rate {abandoned}");
+        // Every cart references a valid user.
+        for r in w.carts.iter().take(200) {
+            let uid = r.get(1).as_i64().unwrap();
+            assert!((uid as usize) < w.users.len());
+        }
+    }
+
+    #[test]
+    fn abandonment_correlates_with_age() {
+        // Young users must abandon more than old ones — the learnable
+        // signal the SVM needs.
+        let w = Workload::generate(WorkloadScale { carts: 20_000, users: 1_000 }, 3);
+        let age_of: Vec<i64> = w.users.iter().map(|r| r.get(1).as_i64().unwrap()).collect();
+        let (mut young_yes, mut young_all, mut old_yes, mut old_all) = (0, 0, 0, 0);
+        for r in &w.carts {
+            let uid = r.get(1).as_i64().unwrap() as usize;
+            let yes = r.get(3) == &Value::Str("Yes".into());
+            if age_of[uid] < 35 {
+                young_all += 1;
+                young_yes += yes as i64;
+            } else if age_of[uid] > 60 {
+                old_all += 1;
+                old_yes += yes as i64;
+            }
+        }
+        let young_rate = young_yes as f64 / young_all as f64;
+        let old_rate = old_yes as f64 / old_all as f64;
+        assert!(
+            young_rate > old_rate + 0.05,
+            "young {young_rate} vs old {old_rate}"
+        );
+    }
+
+    #[test]
+    fn scale_presets() {
+        let s = WorkloadScale::with_carts(50_000);
+        assert_eq!(s.users, 500);
+    }
+}

@@ -1,0 +1,181 @@
+//! The namenode: file namespace and block placement metadata.
+
+use std::collections::BTreeMap;
+
+use sqlml_common::{Result, SqlmlError};
+
+use crate::NodeId;
+
+/// Globally unique block identifier within one cluster.
+pub type BlockId = u64;
+
+/// Where one block of a file lives.
+#[derive(Debug, Clone)]
+pub struct BlockLocation {
+    pub block: BlockId,
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Length of this block in bytes (the last block may be short).
+    pub len: u64,
+    /// Datanodes holding a replica, in placement order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Namenode-side metadata for one file.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileMeta {
+    pub blocks: Vec<BlockLocation>,
+    pub len: u64,
+}
+
+/// Public view of a file's status.
+#[derive(Debug, Clone)]
+pub struct FileStatus {
+    pub path: String,
+    pub len: u64,
+    pub num_blocks: usize,
+}
+
+/// The namespace: path → file metadata, plus the block-id allocator.
+#[derive(Debug, Default)]
+pub(crate) struct NameNode {
+    files: BTreeMap<String, FileMeta>,
+    next_block: BlockId,
+    /// Round-robin cursor for replica placement.
+    placement_cursor: usize,
+}
+
+impl NameNode {
+    pub fn new() -> Self {
+        NameNode::default()
+    }
+
+    /// Allocate a fresh block id and choose `replication` distinct live
+    /// nodes for it, round-robin so data spreads evenly.
+    pub fn allocate_block(
+        &mut self,
+        live_nodes: &[NodeId],
+        replication: usize,
+    ) -> Result<(BlockId, Vec<NodeId>)> {
+        if live_nodes.is_empty() {
+            return Err(SqlmlError::Dfs("no live datanodes".to_string()));
+        }
+        let id = self.next_block;
+        self.next_block += 1;
+        let copies = replication.min(live_nodes.len());
+        let mut nodes = Vec::with_capacity(copies);
+        for k in 0..copies {
+            nodes.push(live_nodes[(self.placement_cursor + k) % live_nodes.len()]);
+        }
+        self.placement_cursor = (self.placement_cursor + 1) % live_nodes.len();
+        Ok((id, nodes))
+    }
+
+    pub fn begin_file(&mut self, path: &str, overwrite: bool) -> Result<()> {
+        if self.files.contains_key(path) && !overwrite {
+            return Err(SqlmlError::Dfs(format!("file already exists: {path}")));
+        }
+        self.files.insert(path.to_string(), FileMeta::default());
+        Ok(())
+    }
+
+    pub fn append_block(&mut self, path: &str, loc: BlockLocation) -> Result<()> {
+        let meta = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| SqlmlError::Dfs(format!("no such file: {path}")))?;
+        meta.len += loc.len;
+        meta.blocks.push(loc);
+        Ok(())
+    }
+
+    pub fn meta(&self, path: &str) -> Result<&FileMeta> {
+        self.files
+            .get(path)
+            .ok_or_else(|| SqlmlError::Dfs(format!("no such file: {path}")))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn delete(&mut self, path: &str) -> Result<FileMeta> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| SqlmlError::Dfs(format!("no such file: {path}")))
+    }
+
+    /// All paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<FileStatus> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, m)| FileStatus {
+                path: p.clone(),
+                len: m.len,
+                num_blocks: m.blocks.len(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_allocation_round_robins_over_nodes() {
+        let mut nn = NameNode::new();
+        let live = vec![0, 1, 2, 3];
+        let (b0, n0) = nn.allocate_block(&live, 2).unwrap();
+        let (b1, n1) = nn.allocate_block(&live, 2).unwrap();
+        assert_ne!(b0, b1);
+        assert_eq!(n0, vec![0, 1]);
+        assert_eq!(n1, vec![1, 2]);
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let mut nn = NameNode::new();
+        let (_, nodes) = nn.allocate_block(&[0, 1], 3).unwrap();
+        assert_eq!(nodes.len(), 2);
+        let distinct: std::collections::HashSet<_> = nodes.iter().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn namespace_crud() {
+        let mut nn = NameNode::new();
+        nn.begin_file("/data/a.txt", false).unwrap();
+        assert!(nn.begin_file("/data/a.txt", false).is_err());
+        nn.begin_file("/data/a.txt", true).unwrap();
+        nn.append_block(
+            "/data/a.txt",
+            BlockLocation {
+                block: 0,
+                offset: 0,
+                len: 10,
+                nodes: vec![0],
+            },
+        )
+        .unwrap();
+        assert_eq!(nn.meta("/data/a.txt").unwrap().len, 10);
+        assert!(nn.exists("/data/a.txt"));
+
+        nn.begin_file("/data/b.txt", false).unwrap();
+        nn.begin_file("/other/c.txt", false).unwrap();
+        let listed = nn.list("/data/");
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].path, "/data/a.txt");
+
+        nn.delete("/data/a.txt").unwrap();
+        assert!(!nn.exists("/data/a.txt"));
+        assert!(nn.delete("/data/a.txt").is_err());
+    }
+
+    #[test]
+    fn allocate_fails_with_no_live_nodes() {
+        let mut nn = NameNode::new();
+        assert!(nn.allocate_block(&[], 3).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! In-memory partitioned datasets — the engine's RDD analogue.
+
+use std::sync::Arc;
+
+use sqlml_common::{Result, Row, SqlmlError};
+
+/// One training example: numeric features plus a numeric label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    pub label: f64,
+    pub features: Vec<f64>,
+}
+
+impl LabeledPoint {
+    pub fn new(label: f64, features: Vec<f64>) -> Self {
+        LabeledPoint { label, features }
+    }
+
+    /// Interpret a row as a labeled point: `label_col` is the label, all
+    /// other columns are features in order. Fails on non-numeric values —
+    /// which is precisely why the paper recodes categorical variables
+    /// before the hand-off.
+    pub fn from_row(row: &Row, label_col: usize) -> Result<LabeledPoint> {
+        if label_col >= row.len() {
+            return Err(SqlmlError::Ml(format!(
+                "label column {label_col} out of range for {}-column row",
+                row.len()
+            )));
+        }
+        let all = row.to_f64_vec()?;
+        let label = all[label_col];
+        let features = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != label_col)
+            .map(|(_, v)| *v)
+            .collect();
+        Ok(LabeledPoint { label, features })
+    }
+}
+
+/// A dataset partitioned across ML workers. Immutable and cheaply
+/// clonable, like a cached RDD.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    partitions: Vec<Arc<Vec<LabeledPoint>>>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Build from per-worker partitions, verifying dimensional
+    /// consistency.
+    pub fn new(partitions: Vec<Vec<LabeledPoint>>) -> Result<Self> {
+        let dim = partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|p| p.features.len())
+            .next()
+            .unwrap_or(0);
+        for p in partitions.iter().flat_map(|p| p.iter()) {
+            if p.features.len() != dim {
+                return Err(SqlmlError::Ml(format!(
+                    "inconsistent feature dimension: {} vs {}",
+                    p.features.len(),
+                    dim
+                )));
+            }
+        }
+        Ok(Dataset {
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            dim,
+        })
+    }
+
+    /// Build from partitioned rows with the given label column.
+    pub fn from_rows(partitions: &[Vec<Row>], label_col: usize) -> Result<Self> {
+        let mut out = Vec::with_capacity(partitions.len());
+        for part in partitions {
+            let mut points = Vec::with_capacity(part.len());
+            for r in part {
+                points.push(LabeledPoint::from_row(r, label_col)?);
+            }
+            out.push(points);
+        }
+        Dataset::new(out)
+    }
+
+    /// Single-partition dataset (tests and small data).
+    pub fn from_points(points: Vec<LabeledPoint>) -> Result<Self> {
+        Dataset::new(vec![points])
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn partition(&self, i: usize) -> &[LabeledPoint] {
+        &self.partitions[i]
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Feature dimension (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Iterate over all points (partition order).
+    pub fn iter(&self) -> impl Iterator<Item = &LabeledPoint> {
+        self.partitions.iter().flat_map(|p| p.iter())
+    }
+
+    /// The distinct labels, sorted.
+    pub fn labels(&self) -> Vec<f64> {
+        let mut ls: Vec<f64> = Vec::new();
+        for p in self.iter() {
+            if !ls.contains(&p.label) {
+                ls.push(p.label);
+            }
+        }
+        ls.sort_by(f64::total_cmp);
+        ls
+    }
+
+    /// Deterministic train/test split: every `k`-th point (by global
+    /// index) goes to the test set, preserving partitioning for train.
+    pub fn split_every_kth(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k >= 2, "k must be at least 2");
+        let mut train: Vec<Vec<LabeledPoint>> = Vec::new();
+        let mut test = Vec::new();
+        let mut idx = 0usize;
+        for part in &self.partitions {
+            let mut tr = Vec::new();
+            for p in part.iter() {
+                if idx.is_multiple_of(k) {
+                    test.push(p.clone());
+                } else {
+                    tr.push(p.clone());
+                }
+                idx += 1;
+            }
+            train.push(tr);
+        }
+        (
+            Dataset::new(train).expect("dims preserved"),
+            Dataset::from_points(test).expect("dims preserved"),
+        )
+    }
+
+    /// Per-feature (mean, stddev) — used for feature scaling.
+    pub fn feature_stats(&self) -> Vec<(f64, f64)> {
+        let n = self.num_points().max(1) as f64;
+        let mut mean = vec![0.0; self.dim];
+        for p in self.iter() {
+            for (m, x) in mean.iter_mut().zip(&p.features) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; self.dim];
+        for p in self.iter() {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(&p.features) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        mean.into_iter()
+            .zip(var)
+            .map(|(m, v)| (m, (v / n).sqrt()))
+            .collect()
+    }
+}
+
+/// Per-feature standardization (zero mean, unit variance), as Spark
+/// MLlib's linear trainers apply internally before SGD. Constant features
+/// keep scale 1 so they pass through unchanged.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    pub fn fit(data: &Dataset) -> Standardizer {
+        let stats = data.feature_stats();
+        Standardizer {
+            mean: stats.iter().map(|(m, _)| *m).collect(),
+            std: stats
+                .iter()
+                .map(|(_, s)| if *s > 0.0 { *s } else { 1.0 })
+                .collect(),
+        }
+    }
+
+    /// Standardize every feature vector (labels untouched).
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let parts: Vec<Vec<LabeledPoint>> = (0..data.num_partitions())
+            .map(|p| {
+                data.partition(p)
+                    .iter()
+                    .map(|pt| {
+                        let features = pt
+                            .features
+                            .iter()
+                            .zip(self.mean.iter().zip(&self.std))
+                            .map(|(x, (m, s))| (x - m) / s)
+                            .collect();
+                        LabeledPoint::new(pt.label, features)
+                    })
+                    .collect()
+            })
+            .collect();
+        Dataset::new(parts).expect("dimensions preserved")
+    }
+
+    /// Map a linear model trained in standardized space back to raw
+    /// feature space: `w_i = w'_i / s_i`, `b = b' − Σ w'_i·m_i/s_i`.
+    pub fn unscale_linear(&self, weights: &[f64], intercept: f64) -> (Vec<f64>, f64) {
+        let w: Vec<f64> = weights
+            .iter()
+            .zip(&self.std)
+            .map(|(wi, s)| wi / s)
+            .collect();
+        let shift: f64 = weights
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(wi, (m, s))| wi * m / s)
+            .sum();
+        (w, intercept - shift)
+    }
+}
+
+/// Run `f` over every partition in parallel (one thread per partition, as
+/// each partition belongs to one ML worker) and collect the results in
+/// partition order. The backbone of the distributed gradient/statistics
+/// computations in the algorithm modules.
+pub fn par_partitions<R, F>(d: &Dataset, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &[LabeledPoint]) -> R + Sync,
+{
+    let n = d.num_partitions();
+    if n <= 1 {
+        return (0..n).map(|i| f(i, d.partition(i))).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| scope.spawn(move || f(i, d.partition(i))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+
+    #[test]
+    fn from_row_extracts_label_and_features() {
+        let r = row![30i64, 1i64, 55.5, 2i64];
+        let p = LabeledPoint::from_row(&r, 3).unwrap();
+        assert_eq!(p.label, 2.0);
+        assert_eq!(p.features, vec![30.0, 1.0, 55.5]);
+        // Label in the middle works too.
+        let p = LabeledPoint::from_row(&r, 1).unwrap();
+        assert_eq!(p.label, 1.0);
+        assert_eq!(p.features, vec![30.0, 55.5, 2.0]);
+    }
+
+    #[test]
+    fn from_row_rejects_strings() {
+        let r = row![30i64, "F", 1i64];
+        assert!(LabeledPoint::from_row(&r, 2).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let bad = Dataset::new(vec![vec![
+            LabeledPoint::new(1.0, vec![1.0, 2.0]),
+            LabeledPoint::new(0.0, vec![1.0]),
+        ]]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let d = Dataset::new(vec![
+            vec![LabeledPoint::new(1.0, vec![0.0]), LabeledPoint::new(0.0, vec![1.0])],
+            vec![LabeledPoint::new(1.0, vec![2.0])],
+        ])
+        .unwrap();
+        assert_eq!(d.num_points(), 3);
+        assert_eq!(d.num_partitions(), 2);
+        assert_eq!(d.dim(), 1);
+        assert_eq!(d.labels(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn split_every_kth_partitions_points() {
+        let points: Vec<LabeledPoint> =
+            (0..10).map(|i| LabeledPoint::new(i as f64, vec![i as f64])).collect();
+        let d = Dataset::new(vec![points[..5].to_vec(), points[5..].to_vec()]).unwrap();
+        let (train, test) = d.split_every_kth(5);
+        assert_eq!(test.num_points(), 2);
+        assert_eq!(train.num_points(), 8);
+        assert_eq!(train.num_partitions(), 2);
+    }
+
+    #[test]
+    fn par_partitions_preserves_order() {
+        let d = Dataset::new(vec![
+            vec![LabeledPoint::new(0.0, vec![1.0])],
+            vec![LabeledPoint::new(0.0, vec![2.0]), LabeledPoint::new(0.0, vec![3.0])],
+            vec![],
+        ])
+        .unwrap();
+        let sums = par_partitions(&d, |i, part| {
+            (i, part.iter().map(|p| p.features[0]).sum::<f64>())
+        });
+        assert_eq!(sums, vec![(0, 1.0), (1, 5.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn feature_stats_mean_and_std() {
+        let d = Dataset::from_points(vec![
+            LabeledPoint::new(0.0, vec![1.0, 10.0]),
+            LabeledPoint::new(0.0, vec![3.0, 10.0]),
+        ])
+        .unwrap();
+        let stats = d.feature_stats();
+        assert_eq!(stats[0].0, 2.0);
+        assert!((stats[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(stats[1], (10.0, 0.0));
+    }
+}

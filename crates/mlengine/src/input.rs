@@ -1,0 +1,485 @@
+//! The Hadoop-style ingestion interface: `InputFormat`, `InputSplit`, and
+//! `RecordReader`.
+//!
+//! The paper's §3 customizes `getInputSplits()` to negotiate splits with
+//! the coordinator and uses split *locations* to colocate ML workers with
+//! SQL workers; this module defines those extension points plus the two
+//! baseline formats (`TextInputFormat` over the DFS and an in-memory
+//! format for tests).
+
+use std::any::Any;
+use std::io::BufRead;
+use std::sync::Arc;
+
+use sqlml_common::{codec, Result, Row, Schema, SqlmlError};
+use sqlml_dfs::Dfs;
+
+/// A subset of the input consumed by exactly one ML worker task.
+pub trait InputSplit: Send + Sync {
+    /// Preferred node names where reading this split is local. The job
+    /// scheduler colocates workers with these in a best-effort manner.
+    fn locations(&self) -> Vec<String>;
+
+    /// Human-readable description (for logs/EXPLAIN).
+    fn describe(&self) -> String;
+
+    /// Downcast hook so formats can recover their concrete split type.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Pull-based record iterator over one split.
+pub trait RecordReader: Send {
+    /// Next record, or `None` at end of split.
+    fn next_row(&mut self) -> Result<Option<Row>>;
+}
+
+/// A source of splits and readers — the contract every ML job ingests
+/// through.
+pub trait InputFormat: Send + Sync {
+    /// Partition the input into about `requested` splits (formats may
+    /// return a different number, e.g. one per file block or one per SQL
+    /// worker group).
+    fn get_splits(&self, requested: usize) -> Result<Vec<Arc<dyn InputSplit>>>;
+
+    /// Open a reader over one split (previously returned by
+    /// [`InputFormat::get_splits`] of the same format instance).
+    fn create_reader(&self, split: &dyn InputSplit) -> Result<Box<dyn RecordReader>>;
+
+    /// Open a reader knowing which cluster node the reading worker runs
+    /// on. Formats that distinguish local from remote reads (as HDFS
+    /// short-circuit reads do) override this; the default ignores the
+    /// location.
+    fn create_reader_at(
+        &self,
+        split: &dyn InputSplit,
+        _worker_node: &str,
+    ) -> Result<Box<dyn RecordReader>> {
+        self.create_reader(split)
+    }
+
+    /// Schema of the produced rows.
+    fn schema(&self) -> Schema;
+}
+
+// ---------------------------------------------------------------------------
+// TextInputFormat: text part-files on the DFS (the naive / insql paths)
+// ---------------------------------------------------------------------------
+
+/// One split of a DFS text directory: a byte range `[offset, offset+len)`
+/// of one part-file. Whole-file splits have `offset == 0` and
+/// `len == total_len`; block-level splits cover one DFS block each and
+/// follow Hadoop's line-boundary protocol (see [`TextRecordReader`]).
+#[derive(Debug, Clone)]
+pub struct FileSplit {
+    pub path: String,
+    pub offset: u64,
+    pub len: u64,
+    pub total_len: u64,
+    locations: Vec<String>,
+}
+
+impl InputSplit for FileSplit {
+    fn locations(&self) -> Vec<String> {
+        self.locations.clone()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "file:{}[{}..{}] of {}B",
+            self.path,
+            self.offset,
+            self.offset + self.len,
+            self.total_len
+        )
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Reads a directory of text part-files from the DFS.
+pub struct TextInputFormat {
+    dfs: Dfs,
+    dir: String,
+    schema: Schema,
+    block_splits: bool,
+}
+
+impl TextInputFormat {
+    pub fn new(dfs: Dfs, dir: impl Into<String>, schema: Schema) -> Self {
+        TextInputFormat {
+            dfs,
+            dir: dir.into(),
+            schema,
+            block_splits: false,
+        }
+    }
+
+    /// Split at DFS block granularity instead of one split per file —
+    /// what Hadoop's `TextInputFormat` does, so large part-files can be
+    /// read by many tasks. Line-straddling blocks are handled with the
+    /// classic protocol: a non-initial split discards its first
+    /// (possibly partial) line, and every split reads one line past its
+    /// end boundary.
+    pub fn with_block_splits(mut self) -> Self {
+        self.block_splits = true;
+        self
+    }
+}
+
+impl InputFormat for TextInputFormat {
+    fn get_splits(&self, _requested: usize) -> Result<Vec<Arc<dyn InputSplit>>> {
+        let files = self.dfs.list(&format!("{}/", self.dir));
+        if files.is_empty() {
+            return Err(SqlmlError::Ml(format!(
+                "TextInputFormat: no part files under {}",
+                self.dir
+            )));
+        }
+        let mut out: Vec<Arc<dyn InputSplit>> = Vec::with_capacity(files.len());
+        for f in files {
+            let blocks = self.dfs.block_locations(&f.path)?;
+            let node_names = |nodes: &[sqlml_dfs::NodeId]| -> Vec<String> {
+                nodes.iter().copied().map(sqlml_dfs::node_name).collect()
+            };
+            if self.block_splits && blocks.len() > 1 {
+                for b in &blocks {
+                    out.push(Arc::new(FileSplit {
+                        path: f.path.clone(),
+                        offset: b.offset,
+                        len: b.len,
+                        total_len: f.len,
+                        locations: node_names(&b.nodes),
+                    }));
+                }
+            } else {
+                // Locality: the nodes holding the file's first block.
+                let locations = blocks
+                    .first()
+                    .map(|b| node_names(&b.nodes))
+                    .unwrap_or_default();
+                out.push(Arc::new(FileSplit {
+                    path: f.path,
+                    offset: 0,
+                    len: f.len,
+                    total_len: f.len,
+                    locations,
+                }));
+            }
+        }
+        Ok(out)
+    }
+
+    fn create_reader(&self, split: &dyn InputSplit) -> Result<Box<dyn RecordReader>> {
+        self.open_split(split, None)
+    }
+
+    fn create_reader_at(
+        &self,
+        split: &dyn InputSplit,
+        worker_node: &str,
+    ) -> Result<Box<dyn RecordReader>> {
+        self.open_split(split, Some(worker_node))
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+}
+
+impl TextInputFormat {
+    fn open_split(
+        &self,
+        split: &dyn InputSplit,
+        worker_node: Option<&str>,
+    ) -> Result<Box<dyn RecordReader>> {
+        let fs = split
+            .as_any()
+            .downcast_ref::<FileSplit>()
+            .ok_or_else(|| SqlmlError::Ml("TextInputFormat got a foreign split".into()))?;
+        // Open from the split's first block through EOF (a straddling
+        // last line may reach into later blocks). `open_from` charges
+        // remote block reads against the cluster's network bandwidth, so
+        // non-local assignments cost time.
+        let reader = match worker_node {
+            Some(node) => self
+                .dfs
+                .open_range_from(&fs.path, fs.offset, fs.total_len - fs.offset, node)?,
+            None => self
+                .dfs
+                .open_range(&fs.path, fs.offset, fs.total_len - fs.offset)?,
+        };
+        let mut r = TextRecordReader {
+            reader,
+            schema: self.schema.clone(),
+            line: String::new(),
+            pos: fs.offset,
+            end: fs.offset + fs.len,
+        };
+        // Hadoop line protocol: a non-initial split discards its first
+        // (possibly partial) line — the previous split read it.
+        if fs.offset > 0 {
+            r.line.clear();
+            let n = r.reader.read_line(&mut r.line)?;
+            r.pos += n as u64;
+        }
+        Ok(Box::new(r))
+    }
+}
+
+struct TextRecordReader {
+    reader: sqlml_dfs::DfsReader,
+    schema: Schema,
+    line: String,
+    /// Byte position of the next line start within the file.
+    pos: u64,
+    /// Split end boundary: lines starting at `pos <= end` belong to this
+    /// split (the matching discard rule on the next split prevents
+    /// duplicates).
+    end: u64,
+}
+
+impl RecordReader for TextRecordReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if self.pos > self.end {
+                return Ok(None);
+            }
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.pos += n as u64;
+            let trimmed = self.line.trim_end_matches('\n');
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Ok(Some(codec::decode_text_row(trimmed, &self.schema)?));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryInputFormat: pre-partitioned in-memory rows (tests, benchmarks)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct MemorySplit {
+    index: usize,
+    locations: Vec<String>,
+}
+
+impl InputSplit for MemorySplit {
+    fn locations(&self) -> Vec<String> {
+        self.locations.clone()
+    }
+
+    fn describe(&self) -> String {
+        format!("memory:{}", self.index)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Serves rows already resident in memory, one split per partition.
+pub struct MemoryInputFormat {
+    partitions: Vec<Arc<Vec<Row>>>,
+    homes: Vec<String>,
+    schema: Schema,
+}
+
+impl MemoryInputFormat {
+    pub fn new(schema: Schema, partitions: Vec<Vec<Row>>) -> Self {
+        let homes = (0..partitions.len()).map(sqlml_dfs::node_name).collect();
+        MemoryInputFormat {
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            homes,
+            schema,
+        }
+    }
+
+    pub fn with_homes(mut self, homes: Vec<String>) -> Self {
+        assert_eq!(homes.len(), self.partitions.len());
+        self.homes = homes;
+        self
+    }
+}
+
+impl InputFormat for MemoryInputFormat {
+    fn get_splits(&self, _requested: usize) -> Result<Vec<Arc<dyn InputSplit>>> {
+        Ok((0..self.partitions.len())
+            .map(|i| {
+                Arc::new(MemorySplit {
+                    index: i,
+                    locations: vec![self.homes[i].clone()],
+                }) as Arc<dyn InputSplit>
+            })
+            .collect())
+    }
+
+    fn create_reader(&self, split: &dyn InputSplit) -> Result<Box<dyn RecordReader>> {
+        let ms = split
+            .as_any()
+            .downcast_ref::<MemorySplit>()
+            .ok_or_else(|| SqlmlError::Ml("MemoryInputFormat got a foreign split".into()))?;
+        Ok(Box::new(MemoryReader {
+            rows: Arc::clone(&self.partitions[ms.index]),
+            pos: 0,
+        }))
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+}
+
+struct MemoryReader {
+    rows: Arc<Vec<Row>>,
+    pos: usize,
+}
+
+impl RecordReader for MemoryReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let r = self.rows[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field};
+    use sqlml_dfs::DfsConfig;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("x", DataType::Double),
+            Field::new("y", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn text_format_reads_all_part_files() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        dfs.write_string("/ml/in/part-00000", "1.5|1\n2.5|0\n").unwrap();
+        dfs.write_string("/ml/in/part-00001", "3.5|1\n").unwrap();
+        let fmt = TextInputFormat::new(dfs, "/ml/in", schema());
+        let splits = fmt.get_splits(8).unwrap();
+        assert_eq!(splits.len(), 2);
+        let mut rows = Vec::new();
+        for s in &splits {
+            let mut r = fmt.create_reader(s.as_ref()).unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                rows.push(row);
+            }
+        }
+        rows.sort();
+        assert_eq!(rows, vec![row![1.5, 1i64], row![2.5, 0i64], row![3.5, 1i64]]);
+    }
+
+    #[test]
+    fn text_splits_expose_block_locality() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        dfs.write_string("/ml/in/part-00000", "1.0|1\n").unwrap();
+        let fmt = TextInputFormat::new(dfs, "/ml/in", schema());
+        let splits = fmt.get_splits(1).unwrap();
+        let locs = splits[0].locations();
+        assert!(!locs.is_empty());
+        assert!(locs[0].starts_with("node-"));
+    }
+
+    #[test]
+    fn text_format_errors_on_missing_dir() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        let fmt = TextInputFormat::new(dfs, "/nope", schema());
+        assert!(fmt.get_splits(1).is_err());
+    }
+
+    #[test]
+    fn block_splits_read_every_line_exactly_once() {
+        // 64-byte test blocks; varying line widths so lines straddle
+        // block boundaries.
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("{:0width$}", i, width = 5 + (i * 7) % 15));
+            text.push('\n');
+        }
+        dfs.write_string("/blk/part-00000", &text).unwrap();
+        let int_schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+        let fmt = TextInputFormat::new(dfs.clone(), "/blk", int_schema).with_block_splits();
+        let splits = fmt.get_splits(0).unwrap();
+        assert!(
+            splits.len() > 3,
+            "expected many 64-byte block splits, got {}",
+            splits.len()
+        );
+        let mut got = Vec::new();
+        for s in &splits {
+            let mut r = fmt.create_reader(s.as_ref()).unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                got.push(row.get(0).as_i64().unwrap());
+            }
+        }
+        got.sort_unstable();
+        let expect: Vec<i64> = (0..40).collect();
+        assert_eq!(got, expect, "lines lost or duplicated across splits");
+    }
+
+    #[test]
+    fn block_splits_carry_per_block_locality() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        dfs.write_string("/blk2/part-00000", &"x|1\n".repeat(100))
+            .unwrap();
+        let mixed = Schema::new(vec![
+            Field::categorical("s"),
+            Field::new("v", DataType::Int),
+        ]);
+        let fmt = TextInputFormat::new(dfs.clone(), "/blk2", mixed).with_block_splits();
+        let splits = fmt.get_splits(0).unwrap();
+        let blocks = dfs.block_locations("/blk2/part-00000").unwrap();
+        assert_eq!(splits.len(), blocks.len());
+        for (s, b) in splits.iter().zip(&blocks) {
+            let expect: Vec<String> =
+                b.nodes.iter().copied().map(sqlml_dfs::node_name).collect();
+            assert_eq!(s.locations(), expect);
+        }
+    }
+
+    #[test]
+    fn memory_format_round_trips_partitions() {
+        let fmt = MemoryInputFormat::new(
+            schema(),
+            vec![vec![row![1.0, 1i64]], vec![row![2.0, 0i64], row![3.0, 1i64]]],
+        );
+        let splits = fmt.get_splits(99).unwrap();
+        assert_eq!(splits.len(), 2);
+        let mut count = 0;
+        for s in &splits {
+            let mut r = fmt.create_reader(s.as_ref()).unwrap();
+            while r.next_row().unwrap().is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn foreign_split_rejected() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        dfs.write_string("/a/part-00000", "1.0|1\n").unwrap();
+        let text = TextInputFormat::new(dfs, "/a", schema());
+        let mem = MemoryInputFormat::new(schema(), vec![vec![]]);
+        let mem_split = mem.get_splits(1).unwrap();
+        assert!(text.create_reader(mem_split[0].as_ref()).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal dense-vector operations shared by the gradient-based learners.
+
+/// Dot product. Panics on length mismatch in debug builds only (hot path).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scale() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = b.clone();
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+}

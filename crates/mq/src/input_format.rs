@@ -1,0 +1,300 @@
+//! The ML-side `MqInputFormat`: consume a topic through the standard
+//! `InputFormat` interface, with replay-on-failure.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sqlml_common::{codec, Result, Row, Schema, SqlmlError};
+use sqlml_mlengine::input::{InputFormat, InputSplit, RecordReader};
+
+use crate::broker::Broker;
+
+/// How long a consumer waits for the producer before giving up.
+pub const CONSUME_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How many times a reader replays its partition after an (injected or
+/// real) failure.
+pub const MAX_CONSUME_ATTEMPTS: u32 = 8;
+
+/// Deliberate consumer-side failures for the fault tests: "(partition,
+/// fail after N records)" plans, each firing once.
+#[derive(Debug, Default)]
+pub struct ConsumerFaults {
+    plans: Mutex<Vec<(usize, usize)>>,
+    fired: Mutex<Vec<(usize, usize)>>,
+}
+
+impl ConsumerFaults {
+    pub fn new() -> Self {
+        ConsumerFaults::default()
+    }
+
+    pub fn fail_partition_after(&self, partition: usize, records: usize) {
+        self.plans.lock().push((partition, records));
+    }
+
+    fn should_fail(&self, partition: usize, consumed: usize) -> bool {
+        let mut plans = self.plans.lock();
+        if let Some(pos) = plans
+            .iter()
+            .position(|(p, after)| *p == partition && consumed >= *after)
+        {
+            let plan = plans.remove(pos);
+            self.fired.lock().push(plan);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn fired(&self) -> Vec<(usize, usize)> {
+        self.fired.lock().clone()
+    }
+}
+
+/// One split = one topic partition.
+#[derive(Debug, Clone)]
+pub struct MqSplit {
+    pub topic: String,
+    pub partition: usize,
+    /// The broker "node" — queue transfers have no SQL-worker locality,
+    /// which is part of the §8 trade-off this crate makes observable.
+    pub location: String,
+}
+
+impl InputSplit for MqSplit {
+    fn locations(&self) -> Vec<String> {
+        vec![self.location.clone()]
+    }
+
+    fn describe(&self) -> String {
+        format!("mq:{}/{}", self.topic, self.partition)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Consume a topic as ML input.
+pub struct MqInputFormat {
+    broker: Broker,
+    topic: String,
+    schema: Schema,
+    faults: Option<Arc<ConsumerFaults>>,
+}
+
+impl MqInputFormat {
+    pub fn new(broker: Broker, topic: impl Into<String>, schema: Schema) -> Self {
+        MqInputFormat {
+            broker,
+            topic: topic.into(),
+            schema,
+            faults: None,
+        }
+    }
+
+    pub fn with_faults(mut self, faults: Arc<ConsumerFaults>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+impl InputFormat for MqInputFormat {
+    fn get_splits(&self, _requested: usize) -> Result<Vec<Arc<dyn InputSplit>>> {
+        let partitions = self.broker.num_partitions(&self.topic)?;
+        Ok((0..partitions)
+            .map(|p| {
+                Arc::new(MqSplit {
+                    topic: self.topic.clone(),
+                    partition: p,
+                    location: "broker".to_string(),
+                }) as Arc<dyn InputSplit>
+            })
+            .collect())
+    }
+
+    fn create_reader(&self, split: &dyn InputSplit) -> Result<Box<dyn RecordReader>> {
+        let s = split
+            .as_any()
+            .downcast_ref::<MqSplit>()
+            .ok_or_else(|| SqlmlError::Transfer("MqInputFormat got a foreign split".into()))?;
+        Ok(Box::new(MqRecordReader {
+            broker: self.broker.clone(),
+            split: s.clone(),
+            schema: self.schema.clone(),
+            rows: None,
+            faults: self.faults.clone(),
+        }))
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+}
+
+/// Reader over one topic partition. Drains the whole partition (possibly
+/// replaying after failures — the log makes replay always possible)
+/// before yielding the first row, so delivery is exactly-once per split.
+struct MqRecordReader {
+    broker: Broker,
+    split: MqSplit,
+    schema: Schema,
+    rows: Option<VecDeque<Row>>,
+    faults: Option<Arc<ConsumerFaults>>,
+}
+
+impl MqRecordReader {
+    fn drain(&self) -> Result<VecDeque<Row>> {
+        let mut last_err = None;
+        for _ in 0..MAX_CONSUME_ATTEMPTS {
+            match self.consume_from_start() {
+                Ok(rows) => return Ok(rows),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| SqlmlError::Transfer("consume failed".into())))
+    }
+
+    /// One consume attempt: replay the partition from offset 0 — the
+    /// at-least-once read the paper wants from Kafka.
+    fn consume_from_start(&self) -> Result<VecDeque<Row>> {
+        let mut rows = VecDeque::new();
+        let mut offset = 0u64;
+        let mut consumed_records = 0usize;
+        loop {
+            if let Some(f) = &self.faults {
+                if f.should_fail(self.split.partition, consumed_records) {
+                    return Err(SqlmlError::InjectedFault(format!(
+                        "consumer of {}/{} killed after {consumed_records} records",
+                        self.split.topic, self.split.partition
+                    )));
+                }
+            }
+            match self.broker.read(
+                &self.split.topic,
+                self.split.partition,
+                offset,
+                CONSUME_TIMEOUT,
+            )? {
+                Some(record) => {
+                    let mut body: &[u8] = &record;
+                    while !body.is_empty() {
+                        let (row, used) = codec::decode_binary_row(body)?;
+                        // Guard against schema drift between publisher
+                        // and consumer.
+                        if row.len() != self.schema.len() {
+                            return Err(SqlmlError::Transfer(format!(
+                                "record arity {} does not match schema arity {}",
+                                row.len(),
+                                self.schema.len()
+                            )));
+                        }
+                        rows.push_back(row);
+                        body = &body[used..];
+                    }
+                    offset += 1;
+                    consumed_records += 1;
+                }
+                None => return Ok(rows), // sealed: clean EOF
+            }
+        }
+    }
+}
+
+impl RecordReader for MqRecordReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.rows.is_none() {
+            self.rows = Some(self.drain()?);
+        }
+        Ok(self.rows.as_mut().expect("filled above").pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("x", DataType::Int)])
+    }
+
+    fn publish(broker: &Broker, topic: &str, partition: usize, rows: &[Row]) {
+        let mut buf = Vec::new();
+        for r in rows {
+            codec::encode_binary_row(r, &mut buf);
+        }
+        broker.append(topic, partition, buf).unwrap();
+        broker.seal(topic, partition).unwrap();
+    }
+
+    #[test]
+    fn consumes_all_partitions() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 2).unwrap();
+        publish(&broker, "t", 0, &[row![1i64], row![2i64]]);
+        publish(&broker, "t", 1, &[row![3i64]]);
+        let fmt = MqInputFormat::new(broker, "t", schema());
+        let splits = fmt.get_splits(0).unwrap();
+        assert_eq!(splits.len(), 2);
+        let mut all = Vec::new();
+        for s in &splits {
+            let mut r = fmt.create_reader(s.as_ref()).unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                all.push(row);
+            }
+        }
+        all.sort();
+        assert_eq!(all, vec![row![1i64], row![2i64], row![3i64]]);
+    }
+
+    #[test]
+    fn consumer_fault_replays_from_the_log() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        // Three records of one row each.
+        for i in 0..3i64 {
+            let mut buf = Vec::new();
+            codec::encode_binary_row(&row![i], &mut buf);
+            broker.append("t", 0, buf).unwrap();
+        }
+        broker.seal("t", 0).unwrap();
+
+        let faults = Arc::new(ConsumerFaults::new());
+        faults.fail_partition_after(0, 2);
+        let fmt = MqInputFormat::new(broker, "t", schema()).with_faults(Arc::clone(&faults));
+        let splits = fmt.get_splits(0).unwrap();
+        let mut r = fmt.create_reader(splits[0].as_ref()).unwrap();
+        let mut rows = Vec::new();
+        while let Some(row) = r.next_row().unwrap() {
+            rows.push(row);
+        }
+        // Exactly-once despite the mid-read failure.
+        assert_eq!(rows, vec![row![0i64], row![1i64], row![2i64]]);
+        assert_eq!(faults.fired(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn schema_arity_mismatch_is_detected() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        publish(&broker, "t", 0, &[row![1i64, 2i64]]); // two columns
+        let fmt = MqInputFormat::new(broker, "t", schema()); // expects one
+        let splits = fmt.get_splits(0).unwrap();
+        let mut r = fmt.create_reader(splits[0].as_ref()).unwrap();
+        assert!(r.next_row().is_err());
+    }
+
+    #[test]
+    fn missing_topic_fails_at_split_time() {
+        let broker = Broker::new(BrokerConfig::default());
+        let fmt = MqInputFormat::new(broker, "missing", schema());
+        assert!(fmt.get_splits(0).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Abstract syntax for the supported SQL subset.
+
+use sqlml_common::schema::DataType;
+use sqlml_common::Value;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `CREATE TABLE name (col TYPE [CATEGORICAL], ...)`
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE TABLE name AS SELECT ...` — materializes a query result as
+    /// a new catalog table (used for recode maps and cached results).
+    CreateTableAs {
+        name: String,
+        query: SelectStmt,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        name: String,
+    },
+    /// `EXPLAIN SELECT ...` — returns the optimized plan as text rows.
+    Explain(SelectStmt),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub categorical: bool,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// Explicit `JOIN ... ON` clauses attached to the FROM list.
+    pub joins: Vec<JoinClause>,
+    pub selection: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// expression with optional output alias
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// A relation in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named catalog table with optional alias: `carts C`.
+    Named { name: String, alias: Option<String> },
+    /// A parallel table UDF invocation: `TABLE(udf(arg, ...)) AS alias`.
+    /// Identifier arguments name input tables; literal arguments are
+    /// passed to the UDF as values.
+    TableFunction {
+        udf: String,
+        args: Vec<TableFuncArg>,
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The name this relation binds in the query scope.
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { alias, name } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::TableFunction { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableFuncArg {
+    /// Refers to a catalog table by name.
+    Table(String),
+    /// A literal value forwarded to the UDF.
+    Literal(Value),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: AstExpr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub desc: bool,
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+
+    /// The comparison with operand order swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// An unresolved (syntactic) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `col` or `alias.col`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Cmp {
+        op: CmpOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    And(Box<AstExpr>, Box<AstExpr>),
+    Or(Box<AstExpr>, Box<AstExpr>),
+    Not(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`
+    Between {
+        expr: Box<AstExpr>,
+        lo: Box<AstExpr>,
+        hi: Box<AstExpr>,
+    },
+    /// Aggregate call; `COUNT(*)` has `arg: None`.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<AstExpr>>,
+        distinct: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (SQL `%`/`_` wildcards).
+    Like {
+        expr: Box<AstExpr>,
+        pattern: Box<AstExpr>,
+        negated: bool,
+    },
+    /// `CAST(expr AS TYPE)`.
+    Cast {
+        expr: Box<AstExpr>,
+        to: sqlml_common::schema::DataType,
+    },
+    /// Scalar UDF (or future built-in function) call by name.
+    FuncCall {
+        name: String,
+        args: Vec<AstExpr>,
+    },
+    Neg(Box<AstExpr>),
+}
+
+impl AstExpr {
+    pub fn col(name: &str) -> AstExpr {
+        AstExpr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn qcol(qualifier: &str, name: &str) -> AstExpr {
+        AstExpr::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> AstExpr {
+        AstExpr::Literal(v.into())
+    }
+
+    /// Split a conjunction into its conjuncts (flattening nested ANDs).
+    pub fn conjuncts(&self) -> Vec<&AstExpr> {
+        match self {
+            AstExpr::And(l, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts; `None` for an empty list.
+    pub fn conjoin(mut exprs: Vec<AstExpr>) -> Option<AstExpr> {
+        let first = exprs.pop()?;
+        Some(
+            exprs
+                .into_iter()
+                .rev()
+                .fold(first, |acc, e| AstExpr::And(Box::new(e), Box::new(acc))),
+        )
+    }
+
+    /// True if the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Column { .. } | AstExpr::Literal(_) => false,
+            AstExpr::Cmp { left, right, .. } | AstExpr::Arith { left, right, .. } => {
+                left.has_aggregate() || right.has_aggregate()
+            }
+            AstExpr::And(l, r) | AstExpr::Or(l, r) => l.has_aggregate() || r.has_aggregate(),
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.has_aggregate(),
+            AstExpr::IsNull { expr, .. } => expr.has_aggregate(),
+            AstExpr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(|e| e.has_aggregate())
+            }
+            AstExpr::Between { expr, lo, hi } => {
+                expr.has_aggregate() || lo.has_aggregate() || hi.has_aggregate()
+            }
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.has_aggregate() || pattern.has_aggregate()
+            }
+            AstExpr::Cast { expr, .. } => expr.has_aggregate(),
+            AstExpr::FuncCall { args, .. } => args.iter().any(|e| e.has_aggregate()),
+        }
+    }
+
+    /// The set of column references (qualifier, name) in this expression.
+    pub fn column_refs(&self) -> Vec<(Option<&str>, &str)> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+        match self {
+            AstExpr::Column { qualifier, name } => out.push((qualifier.as_deref(), name)),
+            AstExpr::Literal(_) => {}
+            AstExpr::Cmp { left, right, .. } | AstExpr::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            AstExpr::And(l, r) | AstExpr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.collect_columns(out),
+            AstExpr::IsNull { expr, .. } => expr.collect_columns(out),
+            AstExpr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            AstExpr::Between { expr, lo, hi } => {
+                expr.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+            AstExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            AstExpr::Cast { expr, .. } => expr.collect_columns(out),
+            AstExpr::FuncCall { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = AstExpr::And(
+            Box::new(AstExpr::And(
+                Box::new(AstExpr::col("a")),
+                Box::new(AstExpr::col("b")),
+            )),
+            Box::new(AstExpr::col("c")),
+        );
+        let names: Vec<&str> = e
+            .conjuncts()
+            .iter()
+            .map(|c| match c {
+                AstExpr::Column { name, .. } => name.as_str(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn conjoin_round_trips() {
+        let parts = vec![AstExpr::col("a"), AstExpr::col("b"), AstExpr::col("c")];
+        let joined = AstExpr::conjoin(parts).unwrap();
+        assert_eq!(joined.conjuncts().len(), 3);
+        assert!(AstExpr::conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(AstExpr::col("x"))),
+            distinct: false,
+        };
+        assert!(agg.has_aggregate());
+        let nested = AstExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(agg),
+            right: Box::new(AstExpr::lit(1i64)),
+        };
+        assert!(nested.has_aggregate());
+        assert!(!AstExpr::col("x").has_aggregate());
+    }
+
+    #[test]
+    fn column_refs_collects_qualified_names() {
+        let e = AstExpr::And(
+            Box::new(AstExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(AstExpr::qcol("C", "userid")),
+                right: Box::new(AstExpr::qcol("U", "userid")),
+            }),
+            Box::new(AstExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(AstExpr::qcol("U", "country")),
+                right: Box::new(AstExpr::lit("USA")),
+            }),
+        );
+        let refs = e.column_refs();
+        assert_eq!(refs.len(), 3);
+        assert!(refs.contains(&(Some("U"), "country")));
+    }
+
+    #[test]
+    fn cmp_flip_is_involutive() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Parallel plan execution.
+//!
+//! Plans execute partition-at-a-time across a pool of worker threads: the
+//! engine's "SQL workers". Worker `w` processes partitions `w, w+W, …` of
+//! every operator, so a table UDF invoked over an `n`-partition table runs
+//! `n` parallel instances spread over `W` workers — exactly the execution
+//! model the paper's In-SQL transformations and streaming-transfer UDF
+//! rely on.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use sqlml_common::{Result, Row, SqlmlError, Value};
+
+use crate::ast::{AggFunc, JoinKind};
+use crate::expr::Expr;
+use crate::plan::{AggExpr, BuildSide, Plan};
+use crate::table::PartitionedTable;
+use crate::udf::PartitionCtx;
+
+/// Execution environment: worker pool size and the cluster node names the
+/// workers live on (worker `w` is on `nodes[w % nodes.len()]`).
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    pub num_workers: usize,
+    pub nodes: Vec<String>,
+}
+
+impl ExecContext {
+    pub fn new(num_workers: usize, nodes: Vec<String>) -> Self {
+        assert!(num_workers > 0);
+        let nodes = if nodes.is_empty() {
+            (0..num_workers).map(sqlml_dfs::node_name).collect()
+        } else {
+            nodes
+        };
+        ExecContext { num_workers, nodes }
+    }
+
+    pub fn worker_node(&self, worker: usize) -> &str {
+        &self.nodes[worker % self.nodes.len()]
+    }
+}
+
+/// Execute a plan, producing a partitioned result.
+pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<PartitionedTable> {
+    match plan {
+        Plan::Scan { table, .. } => Ok(PartitionedTable::from_shared(
+            table.schema().clone(),
+            table.partitions().to_vec(),
+            table.homes().to_vec(),
+        )),
+
+        Plan::Filter { input, predicate } => {
+            let child = execute(input, ctx)?;
+            map_partitions(&child, ctx, |rows, _| {
+                let mut out = Vec::new();
+                for r in rows {
+                    if predicate.eval_predicate(r)? {
+                        out.push(r.clone());
+                    }
+                }
+                Ok(out)
+            })
+        }
+
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = execute(input, ctx)?;
+            let mapped = map_partitions(&child, ctx, |rows, _| {
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        values.push(e.eval(r)?);
+                    }
+                    out.push(Row::new(values));
+                }
+                Ok(out)
+            })?;
+            Ok(replace_schema(mapped, schema.clone()))
+        }
+
+        Plan::TableUdfScan {
+            udf,
+            input,
+            args,
+            schema,
+        } => {
+            let child = execute(input, ctx)?;
+            let input_schema = child.schema().clone();
+            let mapped = map_partitions(&child, ctx, |rows, pctx| {
+                udf.execute(rows, &input_schema, args, pctx)
+            })?;
+            Ok(replace_schema(mapped, schema.clone()))
+        }
+
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            build,
+            schema,
+        } => execute_join(
+            left, right, left_keys, right_keys, *kind, *build, schema, ctx,
+        ),
+
+        Plan::Distinct { input } => {
+            let child = execute(input, ctx)?;
+            execute_distinct(&child, ctx)
+        }
+
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => {
+            let child = execute(input, ctx)?;
+            execute_aggregate(&child, group_exprs, aggs, ctx).map(|rows| {
+                PartitionedTable::single(schema.clone(), rows)
+            })
+        }
+
+        Plan::Sort { input, keys } => {
+            let child = execute(input, ctx)?;
+            let mut rows = child.collect_rows();
+            rows.sort_by(|a, b| {
+                for (idx, desc) in keys {
+                    let ord = a.get(*idx).cmp(b.get(*idx));
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(PartitionedTable::single(child.schema().clone(), rows))
+        }
+
+        Plan::Limit { input, n } => {
+            let child = execute(input, ctx)?;
+            let mut rows = Vec::with_capacity((*n).min(child.num_rows()));
+            'outer: for p in child.partitions() {
+                for r in p.iter() {
+                    if rows.len() >= *n {
+                        break 'outer;
+                    }
+                    rows.push(r.clone());
+                }
+            }
+            Ok(PartitionedTable::single(child.schema().clone(), rows))
+        }
+    }
+}
+
+fn replace_schema(t: PartitionedTable, schema: sqlml_common::Schema) -> PartitionedTable {
+    PartitionedTable::from_shared(schema, t.partitions().to_vec(), t.homes().to_vec())
+}
+
+/// Apply `f` to every partition in parallel across the worker pool,
+/// preserving partition order and homes.
+pub fn map_partitions<F>(
+    input: &PartitionedTable,
+    ctx: &ExecContext,
+    f: F,
+) -> Result<PartitionedTable>
+where
+    F: Fn(&[Row], &PartitionCtx) -> Result<Vec<Row>> + Sync,
+{
+    let n = input.num_partitions();
+    let results = run_on_workers(n, ctx, |p| {
+        let pctx = PartitionCtx {
+            partition: p,
+            num_partitions: n,
+            worker: p % ctx.num_workers,
+            num_workers: ctx.num_workers,
+            node: input.home(p).to_string(),
+        };
+        f(input.partition(p), &pctx)
+    })?;
+    Ok(PartitionedTable::from_shared(
+        input.schema().clone(),
+        results.into_iter().map(Arc::new).collect(),
+        input.homes().to_vec(),
+    ))
+}
+
+/// Run a per-partition closure on the worker pool; returns outputs in
+/// partition order. The whole call fails if any partition fails.
+pub fn run_on_workers<T, F>(num_partitions: usize, ctx: &ExecContext, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if num_partitions == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = ctx.num_workers.min(num_partitions);
+    if workers == 1 {
+        return (0..num_partitions).map(&f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> Result<Vec<(usize, T)>> {
+                    let mut out = Vec::new();
+                    let mut p = w;
+                    while p < num_partitions {
+                        out.push((p, f(p)?));
+                        p += workers;
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..num_partitions).map(|_| None).collect();
+        for h in handles {
+            let chunk = h
+                .join()
+                .map_err(|_| SqlmlError::Execution("worker thread panicked".into()))??;
+            for (p, v) in chunk {
+                slots[p] = Some(v);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all partitions produced"))
+            .collect())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn execute_join(
+    left: &Plan,
+    right: &Plan,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    kind: JoinKind,
+    build: BuildSide,
+    schema: &sqlml_common::Schema,
+    ctx: &ExecContext,
+) -> Result<PartitionedTable> {
+    let left_data = execute(left, ctx)?;
+    let right_data = execute(right, ctx)?;
+
+    let (build_data, probe_data, build_keys, probe_keys) = match build {
+        BuildSide::Right => (&right_data, &left_data, right_keys, left_keys),
+        BuildSide::Left => (&left_data, &right_data, left_keys, right_keys),
+    };
+    debug_assert!(
+        kind == JoinKind::Inner || build == BuildSide::Right,
+        "left-outer joins must build from the right side"
+    );
+
+    // Build phase: hash the (gathered/broadcast) build side.
+    let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut cross_rows: Vec<Row> = Vec::new();
+    let is_cross = build_keys.is_empty();
+    for part in build_data.partitions() {
+        for r in part.iter() {
+            if is_cross {
+                cross_rows.push(r.clone());
+                continue;
+            }
+            // NULL keys never match, so they are simply not added.
+            if let Some(k) = eval_keys(build_keys, r)? {
+                table.entry(k).or_default().push(r.clone());
+            }
+        }
+    }
+
+    let right_width = right_data.schema().len();
+    let null_tail = Row::new(vec![Value::Null; right_width]);
+
+    let result = map_partitions(probe_data, ctx, |rows, _| {
+        let mut out = Vec::new();
+        for probe_row in rows {
+            let matches: Option<&Vec<Row>> = if is_cross {
+                if cross_rows.is_empty() {
+                    None
+                } else {
+                    Some(&cross_rows)
+                }
+            } else {
+                match eval_keys(probe_keys, probe_row)? {
+                    Some(k) => table.get(&k),
+                    None => None,
+                }
+            };
+            match matches {
+                Some(ms) => {
+                    for m in ms {
+                        // Output layout is always (left ++ right).
+                        let joined = match build {
+                            BuildSide::Right => probe_row.concat(m),
+                            BuildSide::Left => m.concat(probe_row),
+                        };
+                        out.push(joined);
+                    }
+                }
+                None => {
+                    if kind == JoinKind::LeftOuter {
+                        out.push(probe_row.concat(&null_tail));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(replace_schema(result, schema.clone()))
+}
+
+/// Evaluate join keys; `None` when any key is NULL (no match in SQL).
+fn eval_keys(keys: &[Expr], row: &Row) -> Result<Option<Vec<Value>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = k.eval(row)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
+// ---------------------------------------------------------------------------
+// Distinct (two-phase, mirroring §2.1's distributed distinct)
+// ---------------------------------------------------------------------------
+
+fn execute_distinct(input: &PartitionedTable, ctx: &ExecContext) -> Result<PartitionedTable> {
+    let n = input.num_partitions().max(1);
+
+    // Phase 1: local distinct per partition, already bucketed by target
+    // partition (hash of the whole row) for the exchange.
+    let buckets: Vec<Vec<Vec<Row>>> = run_on_workers(input.num_partitions(), ctx, |p| {
+        let mut seen: HashSet<&Row> = HashSet::new();
+        let mut out: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        for r in input.partition(p).iter() {
+            if seen.insert(r) {
+                out[row_hash(r) as usize % n].push(r.clone());
+            }
+        }
+        Ok(out)
+    })?;
+
+    // Phase 2: merge each target bucket and dedupe globally.
+    let parts = run_on_workers(n, ctx, |t| {
+        let mut seen: HashSet<Row> = HashSet::new();
+        let mut out = Vec::new();
+        for b in &buckets {
+            for r in &b[t] {
+                if seen.insert(r.clone()) {
+                    out.push(r.clone());
+                }
+            }
+        }
+        Ok(out)
+    })?;
+
+    let homes: Vec<String> = (0..n).map(|i| ctx.worker_node(i).to_string()).collect();
+    Ok(PartitionedTable::from_shared(
+        input.schema().clone(),
+        parts.into_iter().map(Arc::new).collect(),
+        homes,
+    ))
+}
+
+fn row_hash(r: &Row) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    r.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation (parallel partials, sequential merge)
+// ---------------------------------------------------------------------------
+
+/// Accumulator state for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum Accum {
+    CountAll(i64),
+    Count(i64),
+    SumDouble(Option<f64>),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(HashSet<Value>),
+}
+
+impl Accum {
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            Accum::CountAll(c) => *c += 1,
+            Accum::Count(c) => {
+                if matches!(&v, Some(x) if !x.is_null()) {
+                    *c += 1;
+                }
+            }
+            Accum::SumDouble(s) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        *s = Some(s.unwrap_or(0.0) + x.as_f64()?);
+                    }
+                }
+            }
+            Accum::Avg { sum, count } => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        *sum += x.as_f64()?;
+                        *count += 1;
+                    }
+                }
+            }
+            Accum::Min(m) => {
+                if let Some(x) = v {
+                    if !x.is_null() && m.as_ref().is_none_or(|cur| x < *cur) {
+                        *m = Some(x);
+                    }
+                }
+            }
+            Accum::Max(m) => {
+                if let Some(x) = v {
+                    if !x.is_null() && m.as_ref().is_none_or(|cur| x > *cur) {
+                        *m = Some(x);
+                    }
+                }
+            }
+            Accum::Distinct(set) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        set.insert(x);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: Accum) -> Result<()> {
+        match (self, other) {
+            (Accum::CountAll(a), Accum::CountAll(b)) => *a += b,
+            (Accum::Count(a), Accum::Count(b)) => *a += b,
+            (Accum::SumDouble(a), Accum::SumDouble(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(a.unwrap_or(0.0) + bv);
+                }
+            }
+            (Accum::Avg { sum, count }, Accum::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (Accum::Min(a), Accum::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|cur| bv < *cur) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            (Accum::Max(a), Accum::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|cur| bv > *cur) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            (Accum::Distinct(a), Accum::Distinct(b)) => a.extend(b),
+            _ => {
+                return Err(SqlmlError::Execution(
+                    "mismatched accumulators in aggregate merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self, func: AggFunc) -> Value {
+        match self {
+            Accum::CountAll(c) | Accum::Count(c) => Value::Int(c),
+            Accum::SumDouble(s) => s.map(Value::Double).unwrap_or(Value::Null),
+            Accum::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / count as f64)
+                }
+            }
+            Accum::Min(m) | Accum::Max(m) => m.unwrap_or(Value::Null),
+            Accum::Distinct(set) => match func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                AggFunc::Sum => {
+                    if set.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Double(set.iter().filter_map(|v| v.as_f64().ok()).sum())
+                    }
+                }
+                AggFunc::Avg => {
+                    if set.is_empty() {
+                        Value::Null
+                    } else {
+                        let s: f64 = set.iter().filter_map(|v| v.as_f64().ok()).sum();
+                        Value::Double(s / set.len() as f64)
+                    }
+                }
+                AggFunc::Min => set.into_iter().min().unwrap_or(Value::Null),
+                AggFunc::Max => set.into_iter().max().unwrap_or(Value::Null),
+            },
+        }
+    }
+}
+
+fn execute_aggregate(
+    input: &PartitionedTable,
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    ctx: &ExecContext,
+) -> Result<Vec<Row>> {
+    // Partial aggregation per partition, in parallel.
+    type Groups = HashMap<Vec<Value>, Vec<Accum>>;
+    let partials: Vec<Groups> = run_on_workers(input.num_partitions(), ctx, |p| {
+        let mut groups: Groups = HashMap::new();
+        for r in input.partition(p).iter() {
+            let mut key = Vec::with_capacity(group_exprs.len());
+            for g in group_exprs {
+                key.push(g.eval(r)?);
+            }
+            let accums = groups
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(new_accum).collect());
+            for (a, acc) in aggs.iter().zip(accums.iter_mut()) {
+                let v = match &a.arg {
+                    Some(e) => Some(e.eval(r)?),
+                    None => None,
+                };
+                acc.update(v)?;
+            }
+        }
+        Ok(groups)
+    })?;
+
+    // Merge partials.
+    let mut merged: Groups = HashMap::new();
+    for part in partials {
+        for (k, accs) in part {
+            match merged.entry(k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(accs) {
+                        a.merge(b)?;
+                    }
+                }
+            }
+        }
+    }
+
+    // A global aggregate (no GROUP BY) over zero rows still yields a row.
+    if merged.is_empty() && group_exprs.is_empty() {
+        merged.insert(Vec::new(), aggs.iter().map(new_accum).collect());
+    }
+
+    let mut rows: Vec<Row> = merged
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut values = key;
+            for (a, acc) in aggs.iter().zip(accs) {
+                values.push(acc.finalize(a.func));
+            }
+            Row::new(values)
+        })
+        .collect();
+    // Deterministic output order (grouped results are small).
+    rows.sort();
+    Ok(rows)
+}
+
+fn new_accum(a: &AggExpr) -> Accum {
+    if a.distinct {
+        return Accum::Distinct(HashSet::new());
+    }
+    match a.func {
+        AggFunc::Count if a.arg.is_none() => Accum::CountAll(0),
+        AggFunc::Count => Accum::Count(0),
+        // SUM always accumulates (and reports) DOUBLE; see planner's
+        // `agg_output_type`.
+        AggFunc::Sum => Accum::SumDouble(None),
+        AggFunc::Avg => Accum::Avg { sum: 0.0, count: 0 },
+        AggFunc::Min => Accum::Min(None),
+        AggFunc::Max => Accum::Max(None),
+    }
+}

@@ -1,0 +1,561 @@
+//! Compiled (physical) expressions.
+//!
+//! The planner resolves syntactic [`crate::ast::AstExpr`]s against a scope
+//! into these index-based expressions, which evaluate directly over rows
+//! with SQL three-valued logic.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sqlml_common::{Result, Row, SqlmlError, Value};
+
+use crate::ast::{ArithOp, CmpOp};
+use crate::udf::ScalarUdf;
+
+/// A resolved expression over a fixed input row layout.
+#[derive(Clone)]
+pub enum Expr {
+    /// Input column by position.
+    Col(usize),
+    Lit(Value),
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: sqlml_common::schema::DataType,
+    },
+    Scalar {
+        udf: Arc<dyn ScalarUdf>,
+        args: Vec<Expr>,
+    },
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate against one row. NULL handling follows SQL: comparisons
+    /// and arithmetic propagate NULL; AND/OR use Kleene logic.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Col(i) => Ok(row.get(*i).clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(compare(*op, &l, &r)))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &l, &r)
+            }
+            Expr::And(l, r) => {
+                // Kleene: false dominates, then null.
+                match (truth(l.eval(row)?)?, truth(r.eval(row)?)?) {
+                    (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+                    (Some(true), Some(true)) => Ok(Value::Bool(true)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Or(l, r) => match (truth(l.eval(row)?)?, truth(r.eval(row)?)?) {
+                (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+                (Some(false), Some(false)) => Ok(Value::Bool(false)),
+                _ => Ok(Value::Null),
+            },
+            Expr::Not(e) => match truth(e.eval(row)?)? {
+                Some(b) => Ok(Value::Bool(!b)),
+                None => Ok(Value::Null),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                    } else if iv == v {
+                        return Ok(Value::Bool(!*negated));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Between { expr, lo, hi } => {
+                let v = expr.eval(row)?;
+                let l = lo.eval(row)?;
+                let h = hi.eval(row)?;
+                if v.is_null() || l.is_null() || h.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(
+                    compare(CmpOp::GtEq, &v, &l) && compare(CmpOp::LtEq, &v, &h),
+                ))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let matched = like_match(v.as_str()?, p.as_str()?);
+                Ok(Value::Bool(matched != *negated))
+            }
+            Expr::Cast { expr, to } => cast_value(expr.eval(row)?, *to),
+            Expr::Scalar { udf, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                udf.eval(&vals)
+            }
+            Expr::Neg(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                other => Err(SqlmlError::Type(format!("cannot negate {other}"))),
+            },
+        }
+    }
+
+    /// Evaluate as a filter predicate: NULL and false both reject.
+    pub fn eval_predicate(&self, row: &Row) -> Result<bool> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
+    }
+}
+
+/// Map a value to Kleene truth (None = NULL/unknown).
+fn truth(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(SqlmlError::Type(format!(
+            "expected a boolean condition, got {other}"
+        ))),
+    }
+}
+
+/// Non-null comparison. Cross-type Int/Double comparisons are numeric;
+/// otherwise [`Value`]'s total order applies.
+fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    match op {
+        CmpOp::Eq => l == r,
+        CmpOp::NotEq => l != r,
+        CmpOp::Lt => l < r,
+        CmpOp::LtEq => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::GtEq => l >= r,
+    }
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            // Division always yields DOUBLE: the ML-bound pipelines this
+            // engine serves must not silently truncate features.
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(SqlmlError::Execution("division by zero".into()));
+                }
+                Value::Double(*a as f64 / *b as f64)
+            }
+        }),
+        _ => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            Ok(match op {
+                ArithOp::Add => Value::Double(a + b),
+                ArithOp::Sub => Value::Double(a - b),
+                ArithOp::Mul => Value::Double(a * b),
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(SqlmlError::Execution("division by zero".into()));
+                    }
+                    Value::Double(a / b)
+                }
+            })
+        }
+    }
+}
+
+/// SQL LIKE matching: `%` = any sequence, `_` = exactly one character.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                // Greedy-free: try every split point.
+                (0..=t.len()).any(|i| rec(&t[i..], rest))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// SQL CAST semantics. NULL casts to NULL; numeric↔numeric truncates
+/// toward zero (Int) or widens (Double); anything casts to VARCHAR via
+/// the text rendering; strings parse into the target type.
+pub fn cast_value(v: Value, to: sqlml_common::schema::DataType) -> Result<Value> {
+    use sqlml_common::schema::DataType;
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(match (v, to) {
+        (v @ Value::Bool(_), DataType::Bool) => v,
+        (v @ Value::Int(_), DataType::Int) => v,
+        (v @ Value::Double(_), DataType::Double) => v,
+        (v @ Value::Str(_), DataType::Str) => v,
+        (Value::Bool(b), DataType::Int) => Value::Int(b as i64),
+        (Value::Bool(b), DataType::Double) => Value::Double(b as i64 as f64),
+        (Value::Int(i), DataType::Double) => Value::Double(i as f64),
+        (Value::Int(i), DataType::Bool) => Value::Bool(i != 0),
+        (Value::Double(d), DataType::Int) => {
+            if !d.is_finite() || d < i64::MIN as f64 || d > i64::MAX as f64 {
+                return Err(SqlmlError::Execution(format!(
+                    "cannot cast {d} to BIGINT"
+                )));
+            }
+            Value::Int(d.trunc() as i64)
+        }
+        (Value::Double(d), DataType::Bool) => Value::Bool(d != 0.0),
+        (v, DataType::Str) => Value::Str(v.render()),
+        (Value::Str(s), ty) => Value::parse_typed(s.trim(), ty).map_err(|e| {
+            SqlmlError::Execution(format!("CAST failed: {e}"))
+        })?,
+        (Value::Null, _) => Value::Null, // unreachable: handled above
+    })
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp { op, left, right } => {
+                write!(f, "({left:?} {} {right:?})", op.symbol())
+            }
+            Expr::Arith { op, left, right } => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({left:?} {sym} {right:?})")
+            }
+            Expr::And(l, r) => write!(f, "({l:?} AND {r:?})"),
+            Expr::Or(l, r) => write!(f, "({l:?} OR {r:?})"),
+            Expr::Not(e) => write!(f, "(NOT {e:?})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => write!(
+                f,
+                "({expr:?} {}IN {list:?})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between { expr, lo, hi } => {
+                write!(f, "({expr:?} BETWEEN {lo:?} AND {hi:?})")
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr:?} {}LIKE {pattern:?})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Cast { expr, to } => write!(f, "CAST({expr:?} AS {to})"),
+            Expr::Scalar { udf, args } => write!(f, "{}({args:?})", udf.name()),
+            Expr::Neg(e) => write!(f, "(-{e:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+
+    fn col(i: usize) -> Box<Expr> {
+        Box::new(Expr::Col(i))
+    }
+
+    fn lit(v: impl Into<Value>) -> Box<Expr> {
+        Box::new(Expr::Lit(v.into()))
+    }
+
+    #[test]
+    fn comparisons_over_row_values() {
+        let r = row![5i64, "USA", 2.5];
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: col(1),
+            right: lit("USA"),
+        };
+        assert!(e.eval_predicate(&r).unwrap());
+        let e = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: col(0),
+            right: lit(2.5),
+        };
+        assert!(e.eval_predicate(&r).unwrap());
+    }
+
+    #[test]
+    fn null_comparison_yields_null_and_filters_out() {
+        let r = Row::new(vec![Value::Null]);
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: col(0),
+            right: lit(1i64),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&r).unwrap());
+    }
+    use sqlml_common::Row;
+
+    #[test]
+    fn kleene_and_or() {
+        let r = Row::new(vec![Value::Null]);
+        let null_cond = || {
+            Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                left: col(0),
+                right: lit(1i64),
+            })
+        };
+        // false AND NULL = false
+        let e = Expr::And(lit(false), null_cond());
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+        // true AND NULL = NULL
+        let e = Expr::And(lit(true), null_cond());
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        // true OR NULL = true
+        let e = Expr::Or(null_cond(), lit(true));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        // false OR NULL = NULL
+        let e = Expr::Or(lit(false), null_cond());
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        // NOT NULL = NULL
+        let e = Expr::Not(null_cond());
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let r = row![7i64, 2i64, 1.5];
+        let add = Expr::Arith {
+            op: ArithOp::Add,
+            left: col(0),
+            right: col(1),
+        };
+        assert_eq!(add.eval(&r).unwrap(), Value::Int(9));
+        let div = Expr::Arith {
+            op: ArithOp::Div,
+            left: col(0),
+            right: col(1),
+        };
+        assert_eq!(div.eval(&r).unwrap(), Value::Double(3.5));
+        let mixed = Expr::Arith {
+            op: ArithOp::Mul,
+            left: col(0),
+            right: col(2),
+        };
+        assert_eq!(mixed.eval(&r).unwrap(), Value::Double(10.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let r = row![1i64, 0i64];
+        let div = Expr::Arith {
+            op: ArithOp::Div,
+            left: col(0),
+            right: col(1),
+        };
+        assert!(div.eval(&r).is_err());
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let r = row![2i64];
+        let e = Expr::InList {
+            expr: col(0),
+            list: vec![Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(2))],
+            negated: false,
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        // 3 NOT IN (1, NULL) is NULL (unknown).
+        let r = row![3i64];
+        let e = Expr::InList {
+            expr: col(0),
+            list: vec![Expr::Lit(Value::Int(1)), Expr::Lit(Value::Null)],
+            negated: true,
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let e = Expr::Between {
+            expr: col(0),
+            lo: lit(1i64),
+            hi: lit(3i64),
+        };
+        assert!(e.eval_predicate(&row![1i64]).unwrap());
+        assert!(e.eval_predicate(&row![3i64]).unwrap());
+        assert!(!e.eval_predicate(&row![4i64]).unwrap());
+    }
+
+    #[test]
+    fn is_null_variants() {
+        let null_row = Row::new(vec![Value::Null]);
+        let e = Expr::IsNull {
+            expr: col(0),
+            negated: false,
+        };
+        assert!(e.eval_predicate(&null_row).unwrap());
+        let e = Expr::IsNull {
+            expr: col(0),
+            negated: true,
+        };
+        assert!(!e.eval_predicate(&null_row).unwrap());
+        assert!(e.eval_predicate(&row![1i64]).unwrap());
+    }
+
+    #[test]
+    fn like_matching_semantics() {
+        for (text, pattern, expect) in [
+            ("hello", "hello", true),
+            ("hello", "h%", true),
+            ("hello", "%o", true),
+            ("hello", "%ell%", true),
+            ("hello", "h_llo", true),
+            ("hello", "h_l_o", true),
+            ("hello", "h_l_x", false),
+            ("hello", "h_llo_", false),
+            ("hello", "", false),
+            ("", "%", true),
+            ("", "", true),
+            ("abc", "a%b%c", true),
+            ("mississippi", "%ss%ss%", true),
+            ("über", "ü%", true),
+        ] {
+            assert_eq!(
+                like_match(text, pattern),
+                expect,
+                "{text:?} LIKE {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn like_null_propagates() {
+        let e = Expr::Like {
+            expr: col(0),
+            pattern: lit("x%"),
+            negated: false,
+        };
+        assert_eq!(e.eval(&Row::new(vec![Value::Null])).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn cast_semantics() {
+        use sqlml_common::schema::DataType;
+        assert_eq!(
+            cast_value(Value::Double(3.9), DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            cast_value(Value::Double(-3.9), DataType::Int).unwrap(),
+            Value::Int(-3)
+        );
+        assert_eq!(
+            cast_value(Value::Int(5), DataType::Str).unwrap(),
+            Value::Str("5".into())
+        );
+        assert_eq!(
+            cast_value(Value::Str(" 7 ".into()), DataType::Int).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            cast_value(Value::Null, DataType::Int).unwrap(),
+            Value::Null
+        );
+        assert!(cast_value(Value::Double(f64::NAN), DataType::Int).is_err());
+        assert!(cast_value(Value::Str("abc".into()), DataType::Int).is_err());
+    }
+
+    #[test]
+    fn neg_and_debug_format() {
+        let e = Expr::Neg(col(0));
+        assert_eq!(e.eval(&row![5i64]).unwrap(), Value::Int(-5));
+        assert_eq!(e.eval(&row![2.5]).unwrap(), Value::Double(-2.5));
+        let formatted = format!("{e:?}");
+        assert!(formatted.contains("#0"), "{formatted}");
+    }
+}

@@ -1,0 +1,430 @@
+//! Built-in scalar functions, registered on every engine.
+//!
+//! These share the UDF machinery (they *are* scalar UDFs), which keeps
+//! the expression evaluator free of special cases and demonstrates that
+//! the extension surface the paper relies on is the engine's native
+//! function mechanism.
+
+use std::sync::Arc;
+
+use sqlml_common::schema::DataType;
+use sqlml_common::{Result, SqlmlError, Value};
+
+use crate::catalog::Catalog;
+use crate::udf::ScalarUdf;
+
+/// Register the standard function library into a catalog.
+pub fn register_builtins(catalog: &Catalog) {
+    for f in builtins() {
+        catalog.register_scalar_udf(f);
+    }
+}
+
+fn builtins() -> Vec<Arc<dyn ScalarUdf>> {
+    vec![
+        Arc::new(Abs),
+        Arc::new(Round),
+        Arc::new(Floor),
+        Arc::new(Ceil),
+        Arc::new(Sqrt),
+        Arc::new(Ln),
+        Arc::new(Exp),
+        Arc::new(Power),
+        Arc::new(Upper),
+        Arc::new(Lower),
+        Arc::new(Length),
+        Arc::new(Trim),
+        Arc::new(Substr),
+        Arc::new(Concat),
+        Arc::new(Coalesce),
+        Arc::new(Least),
+        Arc::new(Greatest),
+    ]
+}
+
+fn arity(name: &str, args: &[Value], n: usize) -> Result<()> {
+    if args.len() != n {
+        return Err(SqlmlError::Type(format!(
+            "{name} takes {n} argument(s), got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+/// NULL in → NULL out, for the strict numeric functions.
+macro_rules! null_prop {
+    ($args:expr) => {
+        if $args.iter().any(|v| v.is_null()) {
+            return Ok(Value::Null);
+        }
+    };
+}
+
+struct Abs;
+impl ScalarUdf for Abs {
+    fn name(&self) -> &str {
+        "abs"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("abs", args, 1)?;
+        null_prop!(args);
+        Ok(match &args[0] {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            other => Value::Double(other.as_f64()?.abs()),
+        })
+    }
+    fn return_type(&self, arg_types: &[DataType]) -> DataType {
+        arg_types.first().copied().unwrap_or(DataType::Double)
+    }
+}
+
+struct Round;
+impl ScalarUdf for Round {
+    fn name(&self) -> &str {
+        "round"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        // round(x) or round(x, digits)
+        if args.is_empty() || args.len() > 2 {
+            return Err(SqlmlError::Type("round takes 1 or 2 arguments".into()));
+        }
+        null_prop!(args);
+        let x = args[0].as_f64()?;
+        let digits = if args.len() == 2 { args[1].as_i64()? } else { 0 };
+        let scale = 10f64.powi(digits as i32);
+        Ok(Value::Double((x * scale).round() / scale))
+    }
+}
+
+struct Floor;
+impl ScalarUdf for Floor {
+    fn name(&self) -> &str {
+        "floor"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("floor", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Int(args[0].as_f64()?.floor() as i64))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Int
+    }
+}
+
+struct Ceil;
+impl ScalarUdf for Ceil {
+    fn name(&self) -> &str {
+        "ceil"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("ceil", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Int(args[0].as_f64()?.ceil() as i64))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Int
+    }
+}
+
+struct Sqrt;
+impl ScalarUdf for Sqrt {
+    fn name(&self) -> &str {
+        "sqrt"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("sqrt", args, 1)?;
+        null_prop!(args);
+        let x = args[0].as_f64()?;
+        if x < 0.0 {
+            return Err(SqlmlError::Execution(format!("sqrt of negative {x}")));
+        }
+        Ok(Value::Double(x.sqrt()))
+    }
+}
+
+struct Ln;
+impl ScalarUdf for Ln {
+    fn name(&self) -> &str {
+        "ln"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("ln", args, 1)?;
+        null_prop!(args);
+        let x = args[0].as_f64()?;
+        if x <= 0.0 {
+            return Err(SqlmlError::Execution(format!("ln of non-positive {x}")));
+        }
+        Ok(Value::Double(x.ln()))
+    }
+}
+
+struct Exp;
+impl ScalarUdf for Exp {
+    fn name(&self) -> &str {
+        "exp"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("exp", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Double(args[0].as_f64()?.exp()))
+    }
+}
+
+struct Power;
+impl ScalarUdf for Power {
+    fn name(&self) -> &str {
+        "power"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("power", args, 2)?;
+        null_prop!(args);
+        Ok(Value::Double(args[0].as_f64()?.powf(args[1].as_f64()?)))
+    }
+}
+
+struct Upper;
+impl ScalarUdf for Upper {
+    fn name(&self) -> &str {
+        "upper"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("upper", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Str(args[0].as_str()?.to_uppercase()))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Str
+    }
+}
+
+struct Lower;
+impl ScalarUdf for Lower {
+    fn name(&self) -> &str {
+        "lower"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("lower", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Str(args[0].as_str()?.to_lowercase()))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Str
+    }
+}
+
+struct Length;
+impl ScalarUdf for Length {
+    fn name(&self) -> &str {
+        "length"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("length", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Int(args[0].as_str()?.chars().count() as i64))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Int
+    }
+}
+
+struct Trim;
+impl ScalarUdf for Trim {
+    fn name(&self) -> &str {
+        "trim"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("trim", args, 1)?;
+        null_prop!(args);
+        Ok(Value::Str(args[0].as_str()?.trim().to_string()))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Str
+    }
+}
+
+/// `substr(s, start, len)` — 1-based start, SQL style.
+struct Substr;
+impl ScalarUdf for Substr {
+    fn name(&self) -> &str {
+        "substr"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        arity("substr", args, 3)?;
+        null_prop!(args);
+        let s = args[0].as_str()?;
+        let start = args[1].as_i64()?.max(1) as usize - 1;
+        let len = args[2].as_i64()?.max(0) as usize;
+        Ok(Value::Str(s.chars().skip(start).take(len).collect()))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Str
+    }
+}
+
+struct Concat;
+impl ScalarUdf for Concat {
+    fn name(&self) -> &str {
+        "concat"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        // Variadic; NULLs render as empty, matching common SQL CONCAT.
+        let mut out = String::new();
+        for a in args {
+            match a {
+                Value::Null => {}
+                Value::Str(s) => out.push_str(s),
+                other => out.push_str(&other.render()),
+            }
+        }
+        Ok(Value::Str(out))
+    }
+    fn return_type(&self, _: &[DataType]) -> DataType {
+        DataType::Str
+    }
+}
+
+struct Coalesce;
+impl ScalarUdf for Coalesce {
+    fn name(&self) -> &str {
+        "coalesce"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null))
+    }
+    fn return_type(&self, arg_types: &[DataType]) -> DataType {
+        arg_types.first().copied().unwrap_or(DataType::Double)
+    }
+}
+
+struct Least;
+impl ScalarUdf for Least {
+    fn name(&self) -> &str {
+        "least"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        null_prop!(args);
+        args.iter()
+            .min()
+            .cloned()
+            .ok_or_else(|| SqlmlError::Type("least needs at least one argument".into()))
+    }
+    fn return_type(&self, arg_types: &[DataType]) -> DataType {
+        arg_types.first().copied().unwrap_or(DataType::Double)
+    }
+}
+
+struct Greatest;
+impl ScalarUdf for Greatest {
+    fn name(&self) -> &str {
+        "greatest"
+    }
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        null_prop!(args);
+        args.iter()
+            .max()
+            .cloned()
+            .ok_or_else(|| SqlmlError::Type("greatest needs at least one argument".into()))
+    }
+    fn return_type(&self, arg_types: &[DataType]) -> DataType {
+        arg_types.first().copied().unwrap_or(DataType::Double)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use sqlml_common::row;
+    use sqlml_common::schema::{Field, Schema};
+
+    fn engine() -> Engine {
+        let e = Engine::new(EngineConfig::with_workers(2));
+        e.register_rows(
+            "t",
+            Schema::new(vec![
+                Field::new("x", DataType::Double),
+                Field::new("n", DataType::Int),
+                Field::categorical("s"),
+            ]),
+            vec![row![-2.5, 7i64, "  Hello World  "]],
+        );
+        e
+    }
+
+    fn eval1(sql: &str) -> Value {
+        engine().query(sql).unwrap().collect_rows()[0].get(0).clone()
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(eval1("SELECT abs(x) FROM t"), Value::Double(2.5));
+        assert_eq!(eval1("SELECT abs(n - 10) FROM t"), Value::Int(3));
+        assert_eq!(eval1("SELECT round(x) FROM t"), Value::Double(-3.0));
+        assert_eq!(eval1("SELECT round(2.71828, 2) FROM t"), Value::Double(2.72));
+        assert_eq!(eval1("SELECT floor(x) FROM t"), Value::Int(-3));
+        assert_eq!(eval1("SELECT ceil(x) FROM t"), Value::Int(-2));
+        assert_eq!(eval1("SELECT sqrt(n + 2) FROM t"), Value::Double(3.0));
+        assert_eq!(eval1("SELECT power(n, 2) FROM t"), Value::Double(49.0));
+        let e = eval1("SELECT exp(0) FROM t");
+        assert_eq!(e, Value::Double(1.0));
+        assert_eq!(eval1("SELECT ln(1) FROM t"), Value::Double(0.0));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            eval1("SELECT upper(s) FROM t"),
+            Value::Str("  HELLO WORLD  ".into())
+        );
+        assert_eq!(
+            eval1("SELECT trim(s) FROM t"),
+            Value::Str("Hello World".into())
+        );
+        assert_eq!(eval1("SELECT length(trim(s)) FROM t"), Value::Int(11));
+        assert_eq!(
+            eval1("SELECT substr(trim(s), 7, 5) FROM t"),
+            Value::Str("World".into())
+        );
+        assert_eq!(
+            eval1("SELECT concat(lower(trim(s)), '!', n) FROM t"),
+            Value::Str("hello world!7".into())
+        );
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(eval1("SELECT coalesce(NULL, NULL, n) FROM t"), Value::Int(7));
+        assert_eq!(eval1("SELECT abs(NULL + 1) FROM t"), Value::Null);
+        assert_eq!(eval1("SELECT concat('a', NULL, 'b') FROM t"), Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn least_greatest() {
+        assert_eq!(eval1("SELECT least(3, 1, 2) FROM t"), Value::Int(1));
+        assert_eq!(eval1("SELECT greatest(3, 1, 2) FROM t"), Value::Int(3));
+        assert_eq!(eval1("SELECT greatest(n, 2.5) FROM t"), Value::Int(7));
+    }
+
+    #[test]
+    fn domain_errors_surface() {
+        let e = engine();
+        assert!(e.query("SELECT sqrt(0 - 4) FROM t").is_err());
+        assert!(e.query("SELECT ln(0) FROM t").is_err());
+        assert!(e.query("SELECT abs(1, 2) FROM t").is_err());
+    }
+
+    #[test]
+    fn functions_compose_in_predicates() {
+        let e = engine();
+        let rows = e
+            .query("SELECT n FROM t WHERE abs(x) > 2.0 AND length(trim(s)) = 11")
+            .unwrap()
+            .num_rows();
+        assert_eq!(rows, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! SQL tokenizer.
+
+use sqlml_common::{Result, SqlmlError};
+
+/// A lexed token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier, stored upper-cased for keywords; `Ident`
+    /// preserves the original case (lookups are case-insensitive anyway).
+    Ident(String),
+    /// A reserved word (SELECT, FROM, ...), upper-cased.
+    Keyword(String),
+    IntLit(i64),
+    DoubleLit(f64),
+    StrLit(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    Eof,
+}
+
+/// Reserved words. Anything else alphanumeric is an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "DISTINCT", "GROUP", "BY", "ORDER",
+    "LIMIT", "ASC", "DESC", "JOIN", "INNER", "LEFT", "OUTER", "ON", "CREATE", "TABLE", "IS",
+    "NULL", "TRUE", "FALSE", "HAVING", "IN", "BETWEEN", "CATEGORICAL", "DROP", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "LIKE", "CAST", "EXPLAIN",
+];
+
+/// Lex a SQL string into tokens (ending with [`TokenKind::Eof`]).
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, pos: i });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semicolon, pos: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, pos: i });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::NotEq, pos: i });
+                    i += 2;
+                } else {
+                    return Err(err(input, i, "expected `!=`"));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::LtEq, pos: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::NotEq, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::GtEq, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; `''` escapes a quote, SQL style.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err(input, start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte UTF-8 safe: operate on char boundaries.
+                        let ch_str = &input[i..];
+                        let ch = ch_str.chars().next().expect("in bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::StrLit(s),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_double = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_double = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_double = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_double {
+                    TokenKind::DoubleLit(
+                        text.parse::<f64>()
+                            .map_err(|e| err(input, start, &format!("bad number: {e}")))?,
+                    )
+                } else {
+                    TokenKind::IntLit(
+                        text.parse::<i64>()
+                            .map_err(|e| err(input, start, &format!("bad number: {e}")))?,
+                    )
+                };
+                out.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                out.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(err(input, i, &format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(out)
+}
+
+fn err(input: &str, pos: usize, msg: &str) -> SqlmlError {
+    let preview: String = input[pos..].chars().take(20).collect();
+    SqlmlError::Parse(format!("{msg} at byte {pos} (near {preview:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_example_query() {
+        let sql = "SELECT U.age, U.gender, C.amount, C.abandoned \
+                   FROM carts C, users U \
+                   WHERE C.userid=U.userid AND U.country='USA'";
+        let ks = kinds(sql);
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert!(ks.contains(&TokenKind::StrLit("USA".into())));
+        assert!(ks.contains(&TokenKind::Keyword("WHERE".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_int_vs_double() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::DoubleLit(3.5),
+                TokenKind::DoubleLit(1000.0),
+                TokenKind::DoubleLit(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::StrLit("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the projection\n 1"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::IntLit(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive_identifiers_preserved() {
+        let ks = kinds("select MyTable");
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("MyTable".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn bare_bang_is_an_error() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_string_literals() {
+        assert_eq!(
+            kinds("'héllo wörld'"),
+            vec![TokenKind::StrLit("héllo wörld".into()), TokenKind::Eof]
+        );
+    }
+}

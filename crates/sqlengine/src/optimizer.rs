@@ -1,0 +1,179 @@
+//! Plan optimization.
+//!
+//! Predicate pushdown happens at plan time (the planner pushes
+//! single-relation conjuncts below joins); this pass handles what needs
+//! whole-plan statistics:
+//!
+//! * **broadcast-side selection** — each hash join builds its table from
+//!   the estimated-smaller input (the paper's prep query joins a billion-
+//!   row fact table with a much smaller dimension table; broadcasting the
+//!   small side is what an MPP engine does);
+//! * removal of literal-`TRUE` filters and zero-limit shortcuts.
+
+use sqlml_common::Value;
+
+use crate::ast::JoinKind;
+use crate::expr::Expr;
+use crate::plan::{BuildSide, Plan};
+
+/// Optimize a plan tree (consuming it).
+pub fn optimize(plan: Plan) -> Plan {
+    match plan {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            schema,
+            ..
+        } => {
+            let left = Box::new(optimize(*left));
+            let right = Box::new(optimize(*right));
+            // A left-outer probe must stream the left side so unmatched
+            // left rows can be emitted; only inner joins may flip.
+            let build = if kind == JoinKind::Inner
+                && left.estimated_rows() < right.estimated_rows()
+            {
+                BuildSide::Left
+            } else {
+                BuildSide::Right
+            };
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                build,
+                schema,
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            let input = Box::new(optimize(*input));
+            if matches!(predicate, Expr::Lit(Value::Bool(true))) {
+                *input
+            } else {
+                Plan::Filter { input, predicate }
+            }
+        }
+        Plan::TableUdfScan {
+            udf,
+            input,
+            args,
+            schema,
+        } => Plan::TableUdfScan {
+            udf,
+            input: Box::new(optimize(*input)),
+            args,
+            schema,
+        },
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => Plan::Project {
+            input: Box::new(optimize(*input)),
+            exprs,
+            schema,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(optimize(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
+            input: Box::new(optimize(*input)),
+            group_exprs,
+            aggs,
+            schema,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(optimize(*input)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(optimize(*input)),
+            n,
+        },
+        leaf @ Plan::Scan { .. } => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field};
+    use sqlml_common::Schema;
+
+    use crate::table::PartitionedTable;
+
+    fn scan(rows: usize) -> Plan {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let data: Vec<_> = (0..rows).map(|i| row![i as i64]).collect();
+        Plan::Scan {
+            name: format!("t{rows}"),
+            table: Arc::new(PartitionedTable::single(schema, data)),
+        }
+    }
+
+    fn join(kind: JoinKind, left: Plan, right: Plan) -> Plan {
+        let schema = left.schema().join(&right.schema());
+        Plan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys: vec![Expr::Col(0)],
+            right_keys: vec![Expr::Col(0)],
+            kind,
+            build: BuildSide::Right,
+            schema,
+        }
+    }
+
+    #[test]
+    fn inner_join_builds_from_smaller_side() {
+        let p = optimize(join(JoinKind::Inner, scan(10), scan(1000)));
+        match p {
+            Plan::HashJoin { build, .. } => assert_eq!(build, BuildSide::Left),
+            other => panic!("{other:?}"),
+        }
+        let p = optimize(join(JoinKind::Inner, scan(1000), scan(10)));
+        match p {
+            Plan::HashJoin { build, .. } => assert_eq!(build, BuildSide::Right),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_outer_never_builds_from_left() {
+        let p = optimize(join(JoinKind::LeftOuter, scan(10), scan(1000)));
+        match p {
+            Plan::HashJoin { build, .. } => assert_eq!(build, BuildSide::Right),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn true_filter_is_removed() {
+        let p = optimize(Plan::Filter {
+            input: Box::new(scan(5)),
+            predicate: Expr::Lit(Value::Bool(true)),
+        });
+        assert!(matches!(p, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn real_filter_is_kept() {
+        let p = optimize(Plan::Filter {
+            input: Box::new(scan(5)),
+            predicate: Expr::Lit(Value::Bool(false)),
+        });
+        assert!(matches!(p, Plan::Filter { .. }));
+    }
+}

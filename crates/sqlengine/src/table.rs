@@ -1,0 +1,295 @@
+//! Partitioned table storage.
+//!
+//! A [`PartitionedTable`] is the engine's unit of data: a schema plus a
+//! set of horizontal partitions, each with a *home node* recording where
+//! in the simulated cluster the partition lives. Query results are
+//! themselves partitioned tables, so UDFs, the transfer layer, and the
+//! cache all operate on the same representation.
+
+use std::sync::Arc;
+
+use sqlml_common::codec;
+use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
+use sqlml_dfs::Dfs;
+
+/// A horizontally partitioned table. Partitions are immutable and shared
+/// (`Arc`), so projecting/caching/transferring never copies row data
+/// needlessly.
+#[derive(Debug, Clone)]
+pub struct PartitionedTable {
+    schema: Schema,
+    partitions: Vec<Arc<Vec<Row>>>,
+    /// Home node name per partition (same length as `partitions`).
+    homes: Vec<String>,
+}
+
+impl PartitionedTable {
+    /// Build from pre-formed partitions. `homes` defaults to
+    /// `node-{i mod n}` when not supplied via [`Self::with_homes`].
+    pub fn new(schema: Schema, partitions: Vec<Vec<Row>>) -> Self {
+        let homes = (0..partitions.len())
+            .map(sqlml_dfs::node_name)
+            .collect();
+        PartitionedTable {
+            schema,
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            homes,
+        }
+    }
+
+    /// Build from shared partitions (no copy).
+    pub fn from_shared(schema: Schema, partitions: Vec<Arc<Vec<Row>>>, homes: Vec<String>) -> Self {
+        assert_eq!(partitions.len(), homes.len());
+        PartitionedTable {
+            schema,
+            partitions,
+            homes,
+        }
+    }
+
+    /// Override the home nodes (placement) of the partitions.
+    pub fn with_homes(mut self, homes: Vec<String>) -> Self {
+        assert_eq!(homes.len(), self.partitions.len());
+        self.homes = homes;
+        self
+    }
+
+    /// Round-robin partition `rows` into `num_partitions` partitions with
+    /// home nodes cycling over `nodes`.
+    pub fn partition_rows(
+        schema: Schema,
+        rows: Vec<Row>,
+        num_partitions: usize,
+        nodes: &[String],
+    ) -> Self {
+        assert!(num_partitions > 0);
+        let mut parts: Vec<Vec<Row>> = (0..num_partitions)
+            .map(|i| Vec::with_capacity(rows.len() / num_partitions + (i == 0) as usize))
+            .collect();
+        for (i, row) in rows.into_iter().enumerate() {
+            parts[i % num_partitions].push(row);
+        }
+        let homes = (0..num_partitions)
+            .map(|i| {
+                if nodes.is_empty() {
+                    sqlml_dfs::node_name(i)
+                } else {
+                    nodes[i % nodes.len()].clone()
+                }
+            })
+            .collect();
+        PartitionedTable {
+            schema,
+            partitions: parts.into_iter().map(Arc::new).collect(),
+            homes,
+        }
+    }
+
+    /// A single-partition table (useful for small dimension data).
+    pub fn single(schema: Schema, rows: Vec<Row>) -> Self {
+        PartitionedTable::new(schema, vec![rows])
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn partition(&self, i: usize) -> &Arc<Vec<Row>> {
+        &self.partitions[i]
+    }
+
+    pub fn partitions(&self) -> &[Arc<Vec<Row>>] {
+        &self.partitions
+    }
+
+    pub fn home(&self, i: usize) -> &str {
+        &self.homes[i]
+    }
+
+    pub fn homes(&self) -> &[String] {
+        &self.homes
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Total payload size in bytes under the text encoding — the engine's
+    /// coarse cost statistic for join-side and transfer planning.
+    pub fn approx_bytes(&self) -> u64 {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s.len() as u64 + 1,
+                        _ => 8,
+                    })
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Gather all rows into one vector (partition order, then row order).
+    pub fn collect_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.num_rows());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Gather and sort — stable comparison output for tests.
+    pub fn collect_sorted(&self) -> Vec<Row> {
+        let mut rows = self.collect_rows();
+        rows.sort();
+        rows
+    }
+
+    /// Write the table to the DFS as one text file per partition under
+    /// `dir` (`dir/part-00000`, ...), mirroring Hadoop job output layout.
+    /// Partitions are written **in parallel** — each SQL worker writes
+    /// its own partition, as an MPP engine's export does. Returns total
+    /// bytes written.
+    pub fn save_text(&self, dfs: &Dfs, dir: &str) -> Result<u64> {
+        let totals = std::thread::scope(|scope| -> Result<Vec<u64>> {
+            let handles: Vec<_> = self
+                .partitions
+                .iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    scope.spawn(move || -> Result<u64> {
+                        let text = codec::encode_text_batch(part);
+                        dfs.write_string(&format!("{dir}/part-{i:05}"), &text)?;
+                        Ok(text.len() as u64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| SqlmlError::Execution("save_text worker panicked".into()))?
+                })
+                .collect()
+        })?;
+        Ok(totals.iter().sum())
+    }
+
+    /// Load a table previously written by [`Self::save_text`] (or any
+    /// directory of text part-files) with one partition per part-file.
+    pub fn load_text(dfs: &Dfs, dir: &str, schema: Schema) -> Result<Self> {
+        let prefix = format!("{dir}/");
+        let files = dfs.list(&prefix);
+        if files.is_empty() {
+            return Err(SqlmlError::Dfs(format!("no part files under {dir}")));
+        }
+        let mut partitions = Vec::with_capacity(files.len());
+        let mut homes = Vec::with_capacity(files.len());
+        for f in files {
+            let text = dfs.read_string(&f.path)?;
+            partitions.push(Arc::new(codec::decode_text_batch(&text, &schema)?));
+            // Home = node holding the file's first block replica.
+            let home = dfs
+                .block_locations(&f.path)?
+                .first()
+                .and_then(|b| b.nodes.first().copied())
+                .map(sqlml_dfs::node_name)
+                .unwrap_or_else(|| sqlml_dfs::node_name(0));
+            homes.push(home);
+        }
+        Ok(PartitionedTable {
+            schema,
+            partitions,
+            homes,
+        })
+    }
+
+    /// Re-partition into `n` partitions (round-robin), e.g. to match the
+    /// engine's worker count after loading a file with a different layout.
+    pub fn repartition(&self, n: usize, nodes: &[String]) -> Self {
+        PartitionedTable::partition_rows(self.schema.clone(), self.collect_rows(), n, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field};
+    use sqlml_dfs::DfsConfig;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::categorical("tag"),
+        ])
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| row![i as i64, if i % 2 == 0 { "even" } else { "odd" }])
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_partitioning_balances() {
+        let t = PartitionedTable::partition_rows(schema(), rows(10), 4, &[]);
+        assert_eq!(t.num_partitions(), 4);
+        assert_eq!(t.num_rows(), 10);
+        let sizes: Vec<usize> = t.partitions().iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn homes_cycle_over_nodes() {
+        let nodes = vec!["node-0".to_string(), "node-1".to_string()];
+        let t = PartitionedTable::partition_rows(schema(), rows(4), 3, &nodes);
+        assert_eq!(t.homes(), &["node-0", "node-1", "node-0"]);
+    }
+
+    #[test]
+    fn collect_sorted_is_partition_order_independent() {
+        let a = PartitionedTable::partition_rows(schema(), rows(9), 2, &[]);
+        let b = PartitionedTable::partition_rows(schema(), rows(9), 5, &[]);
+        assert_eq!(a.collect_sorted(), b.collect_sorted());
+    }
+
+    #[test]
+    fn dfs_save_load_round_trip() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        let t = PartitionedTable::partition_rows(schema(), rows(23), 3, &[]);
+        let bytes = t.save_text(&dfs, "/tables/t").unwrap();
+        assert!(bytes > 0);
+        let back = PartitionedTable::load_text(&dfs, "/tables/t", schema()).unwrap();
+        assert_eq!(back.num_partitions(), 3);
+        assert_eq!(back.collect_sorted(), t.collect_sorted());
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let dfs = Dfs::new(DfsConfig::for_tests());
+        assert!(PartitionedTable::load_text(&dfs, "/nope", schema()).is_err());
+    }
+
+    #[test]
+    fn repartition_preserves_rows() {
+        let t = PartitionedTable::partition_rows(schema(), rows(17), 2, &[]);
+        let r = t.repartition(5, &[]);
+        assert_eq!(r.num_partitions(), 5);
+        assert_eq!(r.collect_sorted(), t.collect_sorted());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let small = PartitionedTable::single(schema(), rows(10));
+        let large = PartitionedTable::single(schema(), rows(100));
+        assert!(large.approx_bytes() > small.approx_bytes() * 5);
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-peer send buffers with spill-to-disk (§3: "If an ML worker is slow
+//! to ingest its data and the corresponding send buffer becomes full, we
+//! can spill it onto the local disks to synchronize the producer and
+//! consumers").
+//!
+//! A [`SpillableBuffer`] is a bounded in-memory chunk queue between one
+//! producer (the SQL worker's streaming loop) and one consumer (the
+//! socket-writer thread for one ML peer). When the in-memory queue is at
+//! capacity, `push` diverts chunks to a spill file rather than blocking
+//! the producer — the paper's point is exactly that a slow reader must
+//! not stall the SQL pipeline.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use parking_lot::{Condvar, Mutex};
+use sqlml_common::{Result, SqlmlError};
+
+#[derive(Debug, Default)]
+struct SpillFile {
+    file: Option<File>,
+    path: Option<PathBuf>,
+    write_pos: u64,
+    read_pos: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    memory: VecDeque<Vec<u8>>,
+    memory_bytes: usize,
+    spill: SpillFile,
+    closed: bool,
+    bytes_spilled: u64,
+}
+
+/// Statistics observed by tests and the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    pub bytes_spilled: u64,
+}
+
+/// Bounded producer/consumer chunk queue with disk overflow.
+#[derive(Debug)]
+pub struct SpillableBuffer {
+    capacity_bytes: usize,
+    spill_dir: PathBuf,
+    tag: String,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl SpillableBuffer {
+    /// `capacity_bytes` is the in-memory bound (the paper's send-buffer
+    /// size, 4 KiB in its experiments). Spill files are created lazily in
+    /// `spill_dir`.
+    pub fn new(capacity_bytes: usize, spill_dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
+        SpillableBuffer {
+            capacity_bytes: capacity_bytes.max(1),
+            spill_dir: spill_dir.into(),
+            tag: tag.into(),
+            state: Mutex::new(State {
+                memory: VecDeque::new(),
+                memory_bytes: 0,
+                spill: SpillFile::default(),
+                closed: false,
+                bytes_spilled: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a chunk without blocking: memory if there is room, disk
+    /// otherwise.
+    pub fn push(&self, chunk: Vec<u8>) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(SqlmlError::Transfer("push to closed buffer".into()));
+        }
+        // Spill whenever memory is at capacity OR the spill file already
+        // holds unread data (to preserve chunk order).
+        let spill_pending = st.spill.write_pos > st.spill.read_pos;
+        // A chunk larger than the whole capacity still goes to memory when
+        // the queue is empty, so progress is always possible.
+        let over_capacity =
+            st.memory_bytes + chunk.len() > self.capacity_bytes && !st.memory.is_empty();
+        if over_capacity || spill_pending {
+            self.spill_chunk(&mut st, &chunk)?;
+        } else {
+            st.memory_bytes += chunk.len();
+            st.memory.push_back(chunk);
+        }
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    fn spill_chunk(&self, st: &mut State, chunk: &[u8]) -> Result<()> {
+        if st.spill.file.is_none() {
+            std::fs::create_dir_all(&self.spill_dir)?;
+            static SPILL_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let seq = SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let path = self.spill_dir.join(format!(
+                "spill-{}-{}-{seq}.bin",
+                self.tag,
+                std::process::id()
+            ));
+            let file = File::options()
+                .create(true)
+                .truncate(true)
+                .read(true)
+                .write(true)
+                .open(&path)?;
+            st.spill.file = Some(file);
+            st.spill.path = Some(path);
+        }
+        let file = st.spill.file.as_mut().expect("created above");
+        file.seek(SeekFrom::Start(st.spill.write_pos))?;
+        file.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        file.write_all(chunk)?;
+        st.spill.write_pos += 4 + chunk.len() as u64;
+        st.bytes_spilled += chunk.len() as u64;
+        Ok(())
+    }
+
+    fn unspill_chunk(st: &mut State) -> Result<Option<Vec<u8>>> {
+        if st.spill.read_pos >= st.spill.write_pos {
+            return Ok(None);
+        }
+        let read_pos = st.spill.read_pos;
+        let file = st.spill.file.as_mut().expect("spill data implies file");
+        file.seek(SeekFrom::Start(read_pos))?;
+        let mut len_buf = [0u8; 4];
+        file.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut chunk = vec![0u8; len];
+        file.read_exact(&mut chunk)?;
+        st.spill.read_pos += 4 + len as u64;
+        Ok(Some(chunk))
+    }
+
+    /// Dequeue the next chunk, blocking until one is available or the
+    /// buffer is closed (then `None` once drained).
+    pub fn pop(&self) -> Result<Option<Vec<u8>>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(chunk) = st.memory.pop_front() {
+                st.memory_bytes -= chunk.len();
+                return Ok(Some(chunk));
+            }
+            if let Some(chunk) = Self::unspill_chunk(&mut st)? {
+                return Ok(Some(chunk));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            self.available.wait(&mut st);
+        }
+    }
+
+    /// Signal end of stream; blocked consumers drain and then see `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            bytes_spilled: self.state.lock().bytes_spilled,
+        }
+    }
+}
+
+impl Drop for SpillableBuffer {
+    fn drop(&mut self) {
+        let st = self.state.lock();
+        if let Some(p) = &st.spill.path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tmp_dir() -> PathBuf {
+        std::env::temp_dir().join("sqlml-buffer-tests")
+    }
+
+    #[test]
+    fn fifo_order_within_memory() {
+        let b = SpillableBuffer::new(1024, tmp_dir(), "fifo");
+        b.push(vec![1]).unwrap();
+        b.push(vec![2]).unwrap();
+        b.push(vec![3]).unwrap();
+        b.close();
+        assert_eq!(b.pop().unwrap(), Some(vec![1]));
+        assert_eq!(b.pop().unwrap(), Some(vec![2]));
+        assert_eq!(b.pop().unwrap(), Some(vec![3]));
+        assert_eq!(b.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn overflow_spills_and_preserves_order() {
+        let b = SpillableBuffer::new(8, tmp_dir(), "spill-order");
+        // Each chunk is 6 bytes; capacity 8 holds one chunk.
+        let chunks: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 6]).collect();
+        for c in &chunks {
+            b.push(c.clone()).unwrap();
+        }
+        assert!(b.stats().bytes_spilled > 0, "expected spilling");
+        b.close();
+        let mut got = Vec::new();
+        while let Some(c) = b.pop().unwrap() {
+            got.push(c);
+        }
+        assert_eq!(got, chunks, "order must survive the spill file");
+    }
+
+    #[test]
+    fn no_spill_when_consumer_keeps_up() {
+        let b = SpillableBuffer::new(1 << 20, tmp_dir(), "nospill");
+        for i in 0..100u8 {
+            b.push(vec![i; 100]).unwrap();
+            assert!(b.pop().unwrap().is_some());
+        }
+        assert_eq!(b.stats().bytes_spilled, 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_delivers_everything() {
+        let b = Arc::new(SpillableBuffer::new(64, tmp_dir(), "concurrent"));
+        let producer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    b.push(i.to_le_bytes().to_vec()).unwrap();
+                }
+                b.close();
+            })
+        };
+        let consumer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(c) = b.pop().unwrap() {
+                    got.push(u32::from_le_bytes(c.try_into().unwrap()));
+                }
+                got
+            })
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn push_after_close_fails() {
+        let b = SpillableBuffer::new(8, tmp_dir(), "closed");
+        b.close();
+        assert!(b.push(vec![1]).is_err());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        use std::time::{Duration, Instant};
+        let b = Arc::new(SpillableBuffer::new(8, tmp_dir(), "block"));
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let v = b.pop().unwrap();
+                (v, t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        b.push(vec![9]).unwrap();
+        let (v, waited) = waiter.join().unwrap();
+        assert_eq!(v, Some(vec![9]));
+        assert!(waited >= Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,235 @@
+//! The ML-side `SqlStreamInputFormat` — the paper's "specialized
+//! SQLStreamInputFormat": the only change an existing ML job needs to
+//! ingest live SQL streams instead of files.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqlml_common::{Result, Row, Schema, SqlmlError};
+use sqlml_mlengine::input::{InputFormat, InputSplit, RecordReader};
+
+use crate::protocol::{read_message, write_message, Message};
+
+/// How many times a reader re-attempts its stream after a connection
+/// failure (matching the sender's restart protocol).
+pub const MAX_READ_ATTEMPTS: u32 = 8;
+
+/// One streaming split: "read group-index `index_in_group` from SQL
+/// worker `sql_worker` at `data_addr`", preferably on node `location`.
+#[derive(Debug, Clone)]
+pub struct StreamSplit {
+    pub transfer_id: u64,
+    pub sql_worker: u32,
+    pub index_in_group: u32,
+    pub data_addr: String,
+    pub location: String,
+}
+
+impl InputSplit for StreamSplit {
+    fn locations(&self) -> Vec<String> {
+        vec![self.location.clone()]
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "sqlstream:{}/{}#{} @{}",
+            self.transfer_id, self.sql_worker, self.index_in_group, self.data_addr
+        )
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// `InputFormat` over a live parallel SQL stream. `get_splits` implements
+/// the customized `getInputSplits()` of §3: it contacts the coordinator,
+/// which replies with `m = n·k` splits grouped per SQL worker and located
+/// at the SQL workers' nodes.
+pub struct SqlStreamInputFormat {
+    coordinator_addr: String,
+    transfer_id: u64,
+    schema: Schema,
+}
+
+impl SqlStreamInputFormat {
+    pub fn new(coordinator_addr: impl Into<String>, transfer_id: u64, schema: Schema) -> Self {
+        SqlStreamInputFormat {
+            coordinator_addr: coordinator_addr.into(),
+            transfer_id,
+            schema,
+        }
+    }
+}
+
+impl InputFormat for SqlStreamInputFormat {
+    fn get_splits(&self, _requested: usize) -> Result<Vec<Arc<dyn InputSplit>>> {
+        let mut coord = TcpStream::connect(&self.coordinator_addr)
+            .map_err(|e| SqlmlError::Transfer(format!("coordinator unreachable: {e}")))?;
+        write_message(
+            &mut coord,
+            &Message::GetSplits {
+                transfer_id: self.transfer_id,
+            },
+        )?;
+        match read_message(&mut coord)? {
+            Message::Splits { entries } => Ok(entries
+                .into_iter()
+                .map(|e| {
+                    Arc::new(StreamSplit {
+                        transfer_id: self.transfer_id,
+                        sql_worker: e.sql_worker,
+                        index_in_group: e.index_in_group,
+                        data_addr: e.data_addr,
+                        location: e.location,
+                    }) as Arc<dyn InputSplit>
+                })
+                .collect()),
+            Message::Abort { reason } => Err(SqlmlError::Transfer(format!(
+                "coordinator refused splits: {reason}"
+            ))),
+            other => Err(SqlmlError::Transfer(format!(
+                "unexpected coordinator reply {other:?}"
+            ))),
+        }
+    }
+
+    fn create_reader(&self, split: &dyn InputSplit) -> Result<Box<dyn RecordReader>> {
+        let s = split
+            .as_any()
+            .downcast_ref::<StreamSplit>()
+            .ok_or_else(|| SqlmlError::Transfer("SqlStreamInputFormat got a foreign split".into()))?;
+        Ok(Box::new(StreamRecordReader {
+            split: s.clone(),
+            rows: None,
+        }))
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+}
+
+/// Reader over one streaming split.
+///
+/// The stream is drained fully (and the sender's `DataEnd` row count
+/// verified) before the first row is yielded; combined with the sender's
+/// whole-group restart, this gives exactly-once semantics per split — a
+/// reader that observed a broken attempt discards everything it received
+/// and re-reads.
+struct StreamRecordReader {
+    split: StreamSplit,
+    rows: Option<VecDeque<Row>>,
+}
+
+impl StreamRecordReader {
+    fn drain_stream(&self) -> Result<VecDeque<Row>> {
+        let mut last_err: Option<SqlmlError> = None;
+        for attempt in 1..=MAX_READ_ATTEMPTS {
+            match self.read_attempt(attempt) {
+                Ok(rows) => return Ok(rows),
+                Err(e) => {
+                    last_err = Some(e);
+                    // Sender may be mid-restart; give it a moment.
+                    std::thread::sleep(Duration::from_millis(25 * attempt as u64));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| SqlmlError::Transfer("stream read failed".into())))
+    }
+
+    fn read_attempt(&self, attempt: u32) -> Result<VecDeque<Row>> {
+        let mut stream = TcpStream::connect(&self.split.data_addr)
+            .map_err(|e| SqlmlError::Transfer(format!("sender unreachable: {e}")))?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        write_message(
+            &mut stream,
+            &Message::DataHello {
+                transfer_id: self.split.transfer_id,
+                split_index: self.split.index_in_group,
+                attempt,
+            },
+        )?;
+        match read_message(&mut stream)? {
+            Message::DataStart { .. } => {}
+            Message::Abort { reason } => {
+                return Err(SqlmlError::Transfer(format!("sender aborted: {reason}")))
+            }
+            other => {
+                return Err(SqlmlError::Transfer(format!(
+                    "expected DataStart, got {other:?}"
+                )))
+            }
+        }
+        let mut rows = VecDeque::new();
+        loop {
+            match read_message(&mut stream)? {
+                Message::RowBatch { rows: batch } => rows.extend(batch),
+                Message::DataEnd { total_rows } => {
+                    if rows.len() as u64 != total_rows {
+                        return Err(SqlmlError::Transfer(format!(
+                            "row count mismatch: got {}, sender said {total_rows}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(rows);
+                }
+                Message::Abort { reason } => {
+                    return Err(SqlmlError::Transfer(format!("sender aborted: {reason}")))
+                }
+                other => {
+                    return Err(SqlmlError::Transfer(format!(
+                        "unexpected data frame {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl RecordReader for StreamRecordReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.rows.is_none() {
+            self.rows = Some(self.drain_stream()?);
+        }
+        Ok(self.rows.as_mut().expect("filled above").pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_metadata() {
+        let s = StreamSplit {
+            transfer_id: 5,
+            sql_worker: 2,
+            index_in_group: 1,
+            data_addr: "127.0.0.1:9999".into(),
+            location: "node-2".into(),
+        };
+        assert_eq!(s.locations(), vec!["node-2"]);
+        assert!(s.describe().contains("5/2#1"));
+    }
+
+    #[test]
+    fn foreign_split_is_rejected() {
+        use sqlml_mlengine::input::MemoryInputFormat;
+        let fmt = SqlStreamInputFormat::new("127.0.0.1:1", 1, Schema::empty());
+        let mem = MemoryInputFormat::new(Schema::empty(), vec![vec![]]);
+        let split = mem.get_splits(1).unwrap();
+        assert!(fmt.create_reader(split[0].as_ref()).is_err());
+    }
+
+    #[test]
+    fn get_splits_fails_fast_without_coordinator() {
+        // Port 1 is essentially never listening.
+        let fmt = SqlStreamInputFormat::new("127.0.0.1:1", 1, Schema::empty());
+        assert!(fmt.get_splits(4).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! Wire protocol for the coordinator control plane and the SQL→ML data
+//! plane.
+//!
+//! Every message is a frame: `u32` little-endian payload length, then the
+//! payload (first payload byte is the message tag). Strings are `u32`
+//! length + UTF-8. Rows use the workspace binary row codec.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use bytes::{Buf, BufMut, BytesMut};
+use sqlml_common::{codec, Result, Row, SqlmlError};
+
+/// Maximum accepted frame size (guards against corrupt length prefixes).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Control- and data-plane messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// SQL worker → coordinator (step 1).
+    RegisterSql {
+        transfer_id: u64,
+        worker: u32,
+        total_workers: u32,
+        data_addr: String,
+        node: String,
+        command: String,
+        splits_per_worker: u32,
+    },
+    /// Coordinator → SQL worker: registration accepted; stream to
+    /// `splits_per_worker` readers.
+    SqlAck { splits_per_worker: u32 },
+    /// ML InputFormat → coordinator (step 3).
+    GetSplits { transfer_id: u64 },
+    /// Coordinator → ML InputFormat: the split table.
+    Splits { entries: Vec<SplitEntry> },
+    /// ML worker → coordinator (step 4).
+    RegisterMl {
+        transfer_id: u64,
+        ml_worker: u32,
+        node: String,
+    },
+    /// Coordinator → ML worker.
+    MlAck,
+    /// Reader → SQL worker data listener (step 7).
+    DataHello {
+        transfer_id: u64,
+        split_index: u32,
+        attempt: u32,
+    },
+    /// SQL worker → reader: stream (re)starting.
+    DataStart { attempt: u32 },
+    /// SQL worker → reader: a batch of rows.
+    RowBatch { rows: Vec<Row> },
+    /// SQL worker → reader: end of stream with the expected row count.
+    DataEnd { total_rows: u64 },
+    /// Either side → peer: abort current attempt (used by the restart
+    /// protocol and fault injection).
+    Abort { reason: String },
+}
+
+/// One entry of the split table (steps 3+5 combined: the split already
+/// names its SQL worker's address, which is how readers get matched).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitEntry {
+    pub sql_worker: u32,
+    /// Index of this split within its SQL worker's group (0..k).
+    pub index_in_group: u32,
+    pub data_addr: String,
+    /// Preferred location: the SQL worker's node.
+    pub location: String,
+}
+
+const T_REGISTER_SQL: u8 = 0x01;
+const T_SQL_ACK: u8 = 0x02;
+const T_GET_SPLITS: u8 = 0x03;
+const T_SPLITS: u8 = 0x04;
+const T_REGISTER_ML: u8 = 0x05;
+const T_ML_ACK: u8 = 0x06;
+const T_DATA_HELLO: u8 = 0x10;
+const T_DATA_START: u8 = 0x11;
+const T_ROW_BATCH: u8 = 0x12;
+const T_DATA_END: u8 = 0x13;
+const T_ABORT: u8 = 0x1F;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    if buf.len() < 4 {
+        return Err(corrupt("string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.len() < len {
+        return Err(corrupt("string body"));
+    }
+    let s = String::from_utf8(buf[..len].to_vec())
+        .map_err(|e| SqlmlError::Transfer(format!("invalid utf8 on wire: {e}")))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+fn corrupt(what: &str) -> SqlmlError {
+    SqlmlError::Transfer(format!("corrupt frame: truncated {what}"))
+}
+
+impl Message {
+    /// Serialize into a frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32_le(0); // length placeholder
+        match self {
+            Message::RegisterSql {
+                transfer_id,
+                worker,
+                total_workers,
+                data_addr,
+                node,
+                command,
+                splits_per_worker,
+            } => {
+                buf.put_u8(T_REGISTER_SQL);
+                buf.put_u64_le(*transfer_id);
+                buf.put_u32_le(*worker);
+                buf.put_u32_le(*total_workers);
+                put_string(&mut buf, data_addr);
+                put_string(&mut buf, node);
+                put_string(&mut buf, command);
+                buf.put_u32_le(*splits_per_worker);
+            }
+            Message::SqlAck { splits_per_worker } => {
+                buf.put_u8(T_SQL_ACK);
+                buf.put_u32_le(*splits_per_worker);
+            }
+            Message::GetSplits { transfer_id } => {
+                buf.put_u8(T_GET_SPLITS);
+                buf.put_u64_le(*transfer_id);
+            }
+            Message::Splits { entries } => {
+                buf.put_u8(T_SPLITS);
+                buf.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    buf.put_u32_le(e.sql_worker);
+                    buf.put_u32_le(e.index_in_group);
+                    put_string(&mut buf, &e.data_addr);
+                    put_string(&mut buf, &e.location);
+                }
+            }
+            Message::RegisterMl {
+                transfer_id,
+                ml_worker,
+                node,
+            } => {
+                buf.put_u8(T_REGISTER_ML);
+                buf.put_u64_le(*transfer_id);
+                buf.put_u32_le(*ml_worker);
+                put_string(&mut buf, node);
+            }
+            Message::MlAck => {
+                buf.put_u8(T_ML_ACK);
+            }
+            Message::DataHello {
+                transfer_id,
+                split_index,
+                attempt,
+            } => {
+                buf.put_u8(T_DATA_HELLO);
+                buf.put_u64_le(*transfer_id);
+                buf.put_u32_le(*split_index);
+                buf.put_u32_le(*attempt);
+            }
+            Message::DataStart { attempt } => {
+                buf.put_u8(T_DATA_START);
+                buf.put_u32_le(*attempt);
+            }
+            Message::RowBatch { rows } => {
+                buf.put_u8(T_ROW_BATCH);
+                buf.put_u32_le(rows.len() as u32);
+                let mut body = Vec::new();
+                for r in rows {
+                    codec::encode_binary_row(r, &mut body);
+                }
+                buf.put_slice(&body);
+            }
+            Message::DataEnd { total_rows } => {
+                buf.put_u8(T_DATA_END);
+                buf.put_u64_le(*total_rows);
+            }
+            Message::Abort { reason } => {
+                buf.put_u8(T_ABORT);
+                put_string(&mut buf, reason);
+            }
+        }
+        let len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        buf.to_vec()
+    }
+
+    /// Decode a frame payload (without the length prefix).
+    pub fn decode(mut payload: &[u8]) -> Result<Message> {
+        if payload.is_empty() {
+            return Err(corrupt("tag"));
+        }
+        let tag = payload.get_u8();
+        let need = |p: &[u8], n: usize, what: &str| -> Result<()> {
+            if p.len() < n {
+                Err(corrupt(what))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            T_REGISTER_SQL => {
+                need(payload, 16, "register header")?;
+                let transfer_id = payload.get_u64_le();
+                let worker = payload.get_u32_le();
+                let total_workers = payload.get_u32_le();
+                let data_addr = get_string(&mut payload)?;
+                let node = get_string(&mut payload)?;
+                let command = get_string(&mut payload)?;
+                need(payload, 4, "k")?;
+                let splits_per_worker = payload.get_u32_le();
+                Ok(Message::RegisterSql {
+                    transfer_id,
+                    worker,
+                    total_workers,
+                    data_addr,
+                    node,
+                    command,
+                    splits_per_worker,
+                })
+            }
+            T_SQL_ACK => {
+                need(payload, 4, "ack")?;
+                Ok(Message::SqlAck {
+                    splits_per_worker: payload.get_u32_le(),
+                })
+            }
+            T_GET_SPLITS => {
+                need(payload, 8, "transfer id")?;
+                Ok(Message::GetSplits {
+                    transfer_id: payload.get_u64_le(),
+                })
+            }
+            T_SPLITS => {
+                need(payload, 4, "split count")?;
+                let n = payload.get_u32_le() as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    need(payload, 8, "split header")?;
+                    let sql_worker = payload.get_u32_le();
+                    let index_in_group = payload.get_u32_le();
+                    let data_addr = get_string(&mut payload)?;
+                    let location = get_string(&mut payload)?;
+                    entries.push(SplitEntry {
+                        sql_worker,
+                        index_in_group,
+                        data_addr,
+                        location,
+                    });
+                }
+                Ok(Message::Splits { entries })
+            }
+            T_REGISTER_ML => {
+                need(payload, 12, "ml header")?;
+                let transfer_id = payload.get_u64_le();
+                let ml_worker = payload.get_u32_le();
+                let node = get_string(&mut payload)?;
+                Ok(Message::RegisterMl {
+                    transfer_id,
+                    ml_worker,
+                    node,
+                })
+            }
+            T_ML_ACK => Ok(Message::MlAck),
+            T_DATA_HELLO => {
+                need(payload, 16, "hello")?;
+                Ok(Message::DataHello {
+                    transfer_id: payload.get_u64_le(),
+                    split_index: payload.get_u32_le(),
+                    attempt: payload.get_u32_le(),
+                })
+            }
+            T_DATA_START => {
+                need(payload, 4, "start")?;
+                Ok(Message::DataStart {
+                    attempt: payload.get_u32_le(),
+                })
+            }
+            T_ROW_BATCH => {
+                need(payload, 4, "batch count")?;
+                let n = payload.get_u32_le() as usize;
+                let mut rows = Vec::with_capacity(n);
+                let mut body = payload;
+                for _ in 0..n {
+                    let (row, used) = codec::decode_binary_row(body)?;
+                    rows.push(row);
+                    body = &body[used..];
+                }
+                Ok(Message::RowBatch { rows })
+            }
+            T_DATA_END => {
+                need(payload, 8, "end")?;
+                Ok(Message::DataEnd {
+                    total_rows: payload.get_u64_le(),
+                })
+            }
+            T_ABORT => Ok(Message::Abort {
+                reason: get_string(&mut payload)?,
+            }),
+            other => Err(SqlmlError::Transfer(format!("unknown frame tag {other:#x}"))),
+        }
+    }
+}
+
+/// Write one message as a frame to a stream.
+pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<()> {
+    stream
+        .write_all(&msg.encode())
+        .map_err(|e| SqlmlError::Transfer(format!("write failed: {e}")))
+}
+
+/// Read one message frame from a stream.
+pub fn read_message(stream: &mut TcpStream) -> Result<Message> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|e| SqlmlError::Transfer(format!("read failed: {e}")))?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(SqlmlError::Transfer(format!("bad frame length {len}")));
+    }
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| SqlmlError::Transfer(format!("read failed: {e}")))?;
+    Message::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use sqlml_common::Value;
+
+    fn round_trip(msg: Message) {
+        let frame = msg.encode();
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let back = Message::decode(&frame[4..]).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(Message::RegisterSql {
+            transfer_id: 42,
+            worker: 3,
+            total_workers: 4,
+            data_addr: "127.0.0.1:5555".into(),
+            node: "node-3".into(),
+            command: "svm label=3 iterations=10".into(),
+            splits_per_worker: 2,
+        });
+        round_trip(Message::SqlAck { splits_per_worker: 2 });
+        round_trip(Message::GetSplits { transfer_id: 42 });
+        round_trip(Message::Splits {
+            entries: vec![
+                SplitEntry {
+                    sql_worker: 0,
+                    index_in_group: 0,
+                    data_addr: "127.0.0.1:1".into(),
+                    location: "node-0".into(),
+                },
+                SplitEntry {
+                    sql_worker: 1,
+                    index_in_group: 1,
+                    data_addr: "127.0.0.1:2".into(),
+                    location: "node-1".into(),
+                },
+            ],
+        });
+        round_trip(Message::RegisterMl {
+            transfer_id: 42,
+            ml_worker: 5,
+            node: "node-1".into(),
+        });
+        round_trip(Message::MlAck);
+        round_trip(Message::DataHello {
+            transfer_id: 42,
+            split_index: 1,
+            attempt: 2,
+        });
+        round_trip(Message::DataStart { attempt: 2 });
+        round_trip(Message::RowBatch {
+            rows: vec![
+                row![1i64, "hello", 2.5],
+                sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
+            ],
+        });
+        round_trip(Message::DataEnd { total_rows: 1_000_000 });
+        round_trip(Message::Abort {
+            reason: "injected".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = Message::GetSplits { transfer_id: 9 }.encode();
+        for cut in 1..frame.len() - 4 {
+            assert!(Message::decode(&frame[4..4 + cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(Message::decode(&[0xEE]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end streaming-transfer sessions: SQL query → table UDF →
+//! coordinator → ML job, all in flight at once.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sqlml_common::{Result, SqlmlError};
+use sqlml_mlengine::job::{JobConfig, JobOutcome, JobRunner, TrainingSpec};
+use sqlml_sqlengine::Engine;
+
+use crate::coordinator::Coordinator;
+use crate::input_format::SqlStreamInputFormat;
+use crate::stream_udf::StreamTransferUdf;
+
+pub use crate::stream_udf::FaultInjector;
+
+/// Per-session tunables.
+#[derive(Debug, Clone)]
+pub struct StreamSessionConfig {
+    /// The paper's `k`: readers per SQL worker (`m = n·k` splits).
+    pub splits_per_worker: u32,
+    /// In-memory send-buffer bytes per peer (the paper used 4 KiB).
+    pub send_buffer_bytes: usize,
+    /// ML cluster layout for the launched job.
+    pub ml_job: JobConfig,
+    /// Directory for send-buffer spill files.
+    pub spill_dir: PathBuf,
+}
+
+impl Default for StreamSessionConfig {
+    fn default() -> Self {
+        StreamSessionConfig {
+            splits_per_worker: 1,
+            send_buffer_bytes: 4 * 1024,
+            ml_job: JobConfig::default(),
+            spill_dir: std::env::temp_dir().join("sqlml-spill"),
+        }
+    }
+}
+
+/// Aggregated transfer statistics for one session.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    pub rows_sent: u64,
+    pub bytes_sent: u64,
+    pub bytes_spilled: u64,
+    /// Max attempts over all SQL workers (>1 means the restart protocol
+    /// fired).
+    pub max_attempts: u32,
+    /// Rows the ML job actually ingested.
+    pub rows_ingested: usize,
+    /// Data-local splits on the ML side.
+    pub local_splits: usize,
+    pub num_splits: usize,
+}
+
+/// What a completed streaming run returns.
+#[derive(Debug)]
+pub struct StreamRunOutcome {
+    pub job: JobOutcome,
+    pub stats: StreamStats,
+}
+
+type JobResultSender = mpsc::Sender<Result<JobOutcome>>;
+
+/// ML job config plus the row schema the stream carries (known to the
+/// SQL side, needed by the reader).
+#[derive(Debug, Clone)]
+struct PendingJob {
+    job: JobConfig,
+    schema: sqlml_common::Schema,
+}
+
+/// A long-standing streaming-transfer service wrapping one coordinator.
+/// Sessions (transfers) are numbered and independent, so one
+/// `StreamSession` can serve many pipeline runs — the coordinator is the
+/// paper's "long standing coordinator service".
+pub struct StreamSession {
+    coordinator: Coordinator,
+    next_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, (PendingJob, JobResultSender)>>>,
+}
+
+impl StreamSession {
+    pub fn start() -> Result<StreamSession> {
+        let coordinator = Coordinator::start()?;
+        let pending: Arc<Mutex<HashMap<u64, (PendingJob, JobResultSender)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let coord_addr = coordinator.addr().to_string();
+        {
+            let pending = Arc::clone(&pending);
+            // Step 2 of Figure 2: when a session's registration barrier
+            // completes, the coordinator launches the ML job with the
+            // command the SQL workers passed along.
+            coordinator.set_job_launcher(Arc::new(move |info| {
+                let Some((pending_job, sender)) = pending.lock().remove(&info.transfer_id)
+                else {
+                    return; // unknown session (e.g. external test traffic)
+                };
+                let result = (|| -> Result<JobOutcome> {
+                    let spec = TrainingSpec::parse(&info.command)?;
+                    // The row schema travels out of band: the SQL side
+                    // recorded it when the session was opened.
+                    let format = SqlStreamInputFormat::new(
+                        coord_addr.clone(),
+                        info.transfer_id,
+                        pending_job.schema.clone(),
+                    );
+                    JobRunner::new(pending_job.job).run(&format, &spec)
+                })();
+                let _ = sender.send(result);
+            }));
+        }
+        Ok(StreamSession {
+            coordinator,
+            next_id: AtomicU64::new(1),
+            pending,
+        })
+    }
+
+    pub fn coordinator_addr(&self) -> &str {
+        self.coordinator.addr()
+    }
+
+    /// Register the `stream_transfer` UDF on an engine, optionally wired
+    /// to a fault injector. Call once per engine.
+    pub fn install_udf(
+        &self,
+        engine: &Engine,
+        config: &StreamSessionConfig,
+        fault: Option<Arc<FaultInjector>>,
+    ) {
+        let mut udf = StreamTransferUdf::new(config.spill_dir.clone());
+        if let Some(f) = fault {
+            udf = udf.with_fault_injector(f);
+        }
+        engine.register_table_udf(Arc::new(udf));
+    }
+
+    /// Run one streaming transfer: stream `table` out of `engine` into a
+    /// freshly launched ML job running `command` (e.g.
+    /// `"svm label=3 iterations=50"`). Blocks until both sides finish.
+    pub fn run(
+        &self,
+        engine: &Engine,
+        table: &str,
+        command: &str,
+        config: &StreamSessionConfig,
+    ) -> Result<StreamRunOutcome> {
+        // Validate the command before anything moves.
+        TrainingSpec::parse(command)?;
+        let schema = engine.catalog().table(table)?.schema().clone();
+        let transfer_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(
+            transfer_id,
+            (
+                PendingJob {
+                    job: config.ml_job.clone(),
+                    schema,
+                },
+                tx,
+            ),
+        );
+
+        // Kick off the SQL side; this blocks until all rows are streamed.
+        let sql = format!(
+            "SELECT * FROM TABLE(stream_transfer({table}, '{}', {transfer_id}, '{command}', {}, {})) AS s",
+            self.coordinator_addr(),
+            config.splits_per_worker,
+            config.send_buffer_bytes,
+        );
+        let stats_result = engine.query(&sql);
+
+        // Collect the ML job result (it may still be training).
+        let job_result = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| SqlmlError::Transfer("ML job did not report back".into()));
+        self.coordinator.handle().forget_session(transfer_id);
+
+        let stats_table = stats_result?;
+        let job = job_result??;
+
+        let mut stats = StreamStats {
+            rows_ingested: job.ingest.rows,
+            local_splits: job.ingest.local_splits,
+            num_splits: job.ingest.num_splits,
+            ..Default::default()
+        };
+        for r in stats_table.collect_rows() {
+            stats.rows_sent += r.get(1).as_i64()? as u64;
+            stats.bytes_sent += r.get(2).as_i64()? as u64;
+            stats.bytes_spilled += r.get(3).as_i64()? as u64;
+            stats.max_attempts = stats.max_attempts.max(r.get(4).as_i64()? as u32);
+        }
+        Ok(StreamRunOutcome { job, stats })
+    }
+}
+

@@ -1,0 +1,450 @@
+//! The SQL-side streaming table UDF (the paper's "parallel table UDF in
+//! the SQL system" that starts the transfer).
+//!
+//! Invoked as
+//! `TABLE(stream_transfer(result, '<coordinator-addr>', <transfer-id>,
+//! '<ml command>', <k>, <send-buffer-bytes>))`, it runs once per
+//! partition (= per SQL worker): registers with the coordinator, accepts
+//! `k` reader connections, and streams the partition's rows round-robin
+//! over them through spillable send buffers. Its SQL-visible output is
+//! one statistics row per worker.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sqlml_common::schema::{DataType, Field};
+use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
+use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
+
+use crate::buffer::SpillableBuffer;
+use crate::protocol::{read_message, write_message, Message};
+
+/// Rows per `RowBatch` frame.
+pub const BATCH_ROWS: usize = 64;
+
+/// How many times a SQL worker retries its whole group after a transfer
+/// failure (§6's restart protocol) before giving up.
+pub const MAX_ATTEMPTS: u32 = 4;
+
+/// Deliberate failure plans for fault-tolerance tests and ablations.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    /// (sql worker, fail after this many rows sent) — each fires once.
+    plans: Mutex<Vec<(usize, usize)>>,
+    fired: Mutex<Vec<(usize, usize)>>,
+}
+
+impl FaultInjector {
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Schedule: SQL worker `worker` kills its connections after sending
+    /// `after_rows` rows (once).
+    pub fn fail_worker_after(&self, worker: usize, after_rows: usize) {
+        self.plans.lock().push((worker, after_rows));
+    }
+
+    /// Called by the streaming loop; consumes a matching plan.
+    fn should_fail(&self, worker: usize, rows_sent: usize) -> bool {
+        let mut plans = self.plans.lock();
+        if let Some(pos) = plans
+            .iter()
+            .position(|(w, after)| *w == worker && rows_sent >= *after)
+        {
+            let plan = plans.remove(pos);
+            self.fired.lock().push(plan);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Faults actually triggered so far.
+    pub fn fired(&self) -> Vec<(usize, usize)> {
+        self.fired.lock().clone()
+    }
+}
+
+/// Per-worker transfer statistics (also emitted as the UDF's output row).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTransferStats {
+    pub worker: usize,
+    pub rows_sent: u64,
+    pub bytes_sent: u64,
+    pub bytes_spilled: u64,
+    pub attempts: u32,
+}
+
+impl WorkerTransferStats {
+    fn to_row(&self) -> Row {
+        Row::new(vec![
+            Value::Int(self.worker as i64),
+            Value::Int(self.rows_sent as i64),
+            Value::Int(self.bytes_sent as i64),
+            Value::Int(self.bytes_spilled as i64),
+            Value::Int(self.attempts as i64),
+        ])
+    }
+}
+
+/// Output layout of the UDF.
+pub fn stats_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("worker", DataType::Int),
+        Field::new("rows_sent", DataType::Int),
+        Field::new("bytes_sent", DataType::Int),
+        Field::new("bytes_spilled", DataType::Int),
+        Field::new("attempts", DataType::Int),
+    ])
+}
+
+/// The streaming-transfer table UDF.
+pub struct StreamTransferUdf {
+    spill_dir: PathBuf,
+    fault: Option<Arc<FaultInjector>>,
+}
+
+impl StreamTransferUdf {
+    pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
+        StreamTransferUdf {
+            spill_dir: spill_dir.into(),
+            fault: None,
+        }
+    }
+
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+
+    fn parse_args(args: &[Value]) -> Result<(String, u64, String, u32, usize)> {
+        if args.len() != 5 {
+            return Err(SqlmlError::Plan(
+                "stream_transfer takes (coordinator_addr, transfer_id, command, k, buffer_bytes)"
+                    .into(),
+            ));
+        }
+        let addr = args[0].as_str()?.to_string();
+        let transfer_id = args[1].as_i64()? as u64;
+        let command = args[2].as_str()?.to_string();
+        let k = args[3].as_i64()?;
+        let buffer = args[4].as_i64()?;
+        if k < 1 {
+            return Err(SqlmlError::Plan("k must be >= 1".into()));
+        }
+        if buffer < 1 {
+            return Err(SqlmlError::Plan("buffer_bytes must be >= 1".into()));
+        }
+        Ok((addr, transfer_id, command, k as u32, buffer as usize))
+    }
+}
+
+impl TableUdf for StreamTransferUdf {
+    fn name(&self) -> &str {
+        "stream_transfer"
+    }
+
+    fn output_schema(&self, _input: &Schema, args: &[Value]) -> Result<Schema> {
+        Self::parse_args(args)?;
+        Ok(stats_schema())
+    }
+
+    fn execute(
+        &self,
+        rows: &[Row],
+        _input_schema: &Schema,
+        args: &[Value],
+        ctx: &PartitionCtx,
+    ) -> Result<Vec<Row>> {
+        let (coord_addr, transfer_id, command, k, buffer_bytes) = Self::parse_args(args)?;
+        if ctx.num_partitions > ctx.num_workers {
+            return Err(SqlmlError::Transfer(format!(
+                "stream_transfer needs one partition per SQL worker \
+                 ({} partitions > {} workers would deadlock the registration barrier)",
+                ctx.num_partitions, ctx.num_workers
+            )));
+        }
+
+        // Step 7 preparation: data listener up before registering, so the
+        // address we advertise is immediately connectable.
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let data_addr = listener.local_addr()?.to_string();
+
+        // Step 1: register with the coordinator.
+        let mut coord = TcpStream::connect(&coord_addr)
+            .map_err(|e| SqlmlError::Transfer(format!("coordinator unreachable: {e}")))?;
+        write_message(
+            &mut coord,
+            &Message::RegisterSql {
+                transfer_id,
+                worker: ctx.partition as u32,
+                total_workers: ctx.num_partitions as u32,
+                data_addr,
+                node: ctx.node.clone(),
+                command,
+                splits_per_worker: k,
+            },
+        )?;
+        match read_message(&mut coord)? {
+            Message::SqlAck { .. } => {}
+            Message::Abort { reason } => {
+                return Err(SqlmlError::Transfer(format!(
+                    "coordinator rejected registration: {reason}"
+                )))
+            }
+            other => {
+                return Err(SqlmlError::Transfer(format!(
+                    "unexpected coordinator reply {other:?}"
+                )))
+            }
+        }
+        drop(coord);
+
+        // Steps 7+8 with the §6 restart protocol around them.
+        let mut stats = WorkerTransferStats {
+            worker: ctx.partition,
+            ..Default::default()
+        };
+        let mut last_err: Option<SqlmlError> = None;
+        for attempt in 1..=MAX_ATTEMPTS {
+            stats.attempts = attempt;
+            match self.stream_group(rows, &listener, transfer_id, k, buffer_bytes, ctx, attempt)
+            {
+                Ok((bytes_sent, bytes_spilled)) => {
+                    stats.rows_sent = rows.len() as u64;
+                    stats.bytes_sent = bytes_sent;
+                    stats.bytes_spilled = bytes_spilled;
+                    return Ok(vec![stats.to_row()]);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    // Restart: connections are dropped by stream_group on
+                    // error; readers will reconnect for the next attempt.
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| SqlmlError::Transfer("transfer failed".into())))
+    }
+}
+
+impl StreamTransferUdf {
+    /// One attempt: accept `k` readers, stream all rows round-robin, end
+    /// each stream. Any failure tears the whole group down (the restart
+    /// granularity §6 prescribes).
+    #[allow(clippy::too_many_arguments)]
+    fn stream_group(
+        &self,
+        rows: &[Row],
+        listener: &TcpListener,
+        transfer_id: u64,
+        k: u32,
+        buffer_bytes: usize,
+        ctx: &PartitionCtx,
+        attempt: u32,
+    ) -> Result<(u64, u64)> {
+        // Accept k hellos (any split order), with a deadline so a dead ML
+        // job cannot hang the SQL worker forever.
+        listener.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut conns: Vec<TcpStream> = Vec::with_capacity(k as usize);
+        let mut seen = vec![false; k as usize];
+        while conns.len() < k as usize {
+            let (mut stream, _) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() > deadline {
+                        return Err(SqlmlError::Transfer(
+                            "timed out waiting for ML readers to connect".into(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_nodelay(true)?;
+            match read_message(&mut stream)? {
+                Message::DataHello {
+                    transfer_id: tid,
+                    split_index,
+                    ..
+                } if tid == transfer_id && (split_index as usize) < seen.len() => {
+                    if seen[split_index as usize] {
+                        // Stale reader from a previous attempt: refuse it;
+                        // it will reconnect.
+                        write_message(
+                            &mut stream,
+                            &Message::Abort {
+                                reason: "duplicate split".into(),
+                            },
+                        )?;
+                        continue;
+                    }
+                    seen[split_index as usize] = true;
+                    write_message(&mut stream, &Message::DataStart { attempt })?;
+                    conns.push(stream);
+                }
+                _ => {
+                    let _ = write_message(
+                        &mut stream,
+                        &Message::Abort {
+                            reason: "bad hello".into(),
+                        },
+                    );
+                }
+            }
+        }
+
+        // One spillable buffer + writer thread per peer.
+        let buffers: Vec<Arc<SpillableBuffer>> = (0..k)
+            .map(|i| {
+                Arc::new(SpillableBuffer::new(
+                    buffer_bytes,
+                    &self.spill_dir,
+                    format!("w{}p{}a{attempt}s{i}", ctx.worker, ctx.partition),
+                ))
+            })
+            .collect();
+        let failed = Arc::new(AtomicBool::new(false));
+
+        let result = std::thread::scope(|scope| -> Result<u64> {
+            let writers: Vec<_> = conns
+                .into_iter()
+                .zip(buffers.iter())
+                .map(|(mut stream, buffer)| {
+                    let buffer = Arc::clone(buffer);
+                    let failed = Arc::clone(&failed);
+                    scope.spawn(move || -> Result<()> {
+                        while let Some(chunk) = buffer.pop()? {
+                            if let Err(e) = std::io::Write::write_all(&mut stream, &chunk) {
+                                failed.store(true, Ordering::SeqCst);
+                                return Err(SqlmlError::Transfer(format!(
+                                    "peer write failed: {e}"
+                                )));
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+
+            // Producer: batch rows, round-robin over peers (step 8).
+            let mut bytes_sent = 0u64;
+            let mut per_peer_rows = vec![0u64; k as usize];
+            let mut peer = 0usize;
+            let mut sent_rows = 0usize;
+            let mut produce = || -> Result<u64> {
+                for batch in rows.chunks(BATCH_ROWS) {
+                    if failed.load(Ordering::SeqCst) {
+                        return Err(SqlmlError::Transfer("a peer connection failed".into()));
+                    }
+                    if let Some(injector) = &self.fault {
+                        if injector.should_fail(ctx.partition, sent_rows) {
+                            return Err(SqlmlError::InjectedFault(format!(
+                                "worker {} killed after {sent_rows} rows",
+                                ctx.partition
+                            )));
+                        }
+                    }
+                    let frame = Message::RowBatch {
+                        rows: batch.to_vec(),
+                    }
+                    .encode();
+                    bytes_sent += frame.len() as u64;
+                    buffers[peer].push(frame)?;
+                    per_peer_rows[peer] += batch.len() as u64;
+                    sent_rows += batch.len();
+                    peer = (peer + 1) % k as usize;
+                }
+                for (i, b) in buffers.iter().enumerate() {
+                    let end = Message::DataEnd {
+                        total_rows: per_peer_rows[i],
+                    }
+                    .encode();
+                    bytes_sent += end.len() as u64;
+                    b.push(end)?;
+                }
+                Ok(bytes_sent)
+            };
+            let produced = produce();
+
+            // Close buffers so writers drain and exit (even on failure,
+            // where sockets drop and readers see the break).
+            for b in &buffers {
+                b.close();
+            }
+            let mut writer_err = None;
+            for w in writers {
+                if let Err(e) = w
+                    .join()
+                    .map_err(|_| SqlmlError::Transfer("writer thread panicked".into()))?
+                {
+                    writer_err = Some(e);
+                }
+            }
+            let bytes = produced?;
+            if let Some(e) = writer_err {
+                return Err(e);
+            }
+            Ok(bytes)
+        });
+
+        let bytes_spilled: u64 = buffers.iter().map(|b| b.stats().bytes_spilled).sum();
+        result.map(|bytes| (bytes, bytes_spilled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_validation() {
+        let udf = StreamTransferUdf::new(std::env::temp_dir());
+        let good = vec![
+            Value::Str("127.0.0.1:1".into()),
+            Value::Int(1),
+            Value::Str("svm label=0".into()),
+            Value::Int(2),
+            Value::Int(4096),
+        ];
+        assert!(udf.output_schema(&Schema::empty(), &good).is_ok());
+        let mut bad_k = good.clone();
+        bad_k[3] = Value::Int(0);
+        assert!(udf.output_schema(&Schema::empty(), &bad_k).is_err());
+        assert!(udf.output_schema(&Schema::empty(), &good[..3]).is_err());
+    }
+
+    #[test]
+    fn fault_injector_fires_once_per_plan() {
+        let f = FaultInjector::new();
+        f.fail_worker_after(1, 10);
+        assert!(!f.should_fail(1, 5));
+        assert!(!f.should_fail(0, 50));
+        assert!(f.should_fail(1, 10));
+        assert!(!f.should_fail(1, 10), "plan must fire only once");
+        assert_eq!(f.fired(), vec![(1, 10)]);
+    }
+
+    #[test]
+    fn stats_row_layout_matches_schema() {
+        let s = WorkerTransferStats {
+            worker: 2,
+            rows_sent: 100,
+            bytes_sent: 5000,
+            bytes_spilled: 128,
+            attempts: 1,
+        };
+        let row = s.to_row();
+        assert_eq!(row.len(), stats_schema().len());
+        assert_eq!(row.get(0), &Value::Int(2));
+        assert_eq!(row.get(4), &Value::Int(1));
+    }
+}

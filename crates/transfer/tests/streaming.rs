@@ -1,0 +1,177 @@
+//! End-to-end tests of the parallel streaming data transfer: a real SQL
+//! engine streams to a real ML job over TCP through the coordinator.
+
+use std::sync::Arc;
+
+use sqlml_common::row;
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64};
+use sqlml_mlengine::job::JobConfig;
+use sqlml_mlengine::TrainedModel;
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transfer::{FaultInjector, StreamSession, StreamSessionConfig};
+
+/// A recoded-and-numeric table: features (x, y) + binary label, the shape
+/// the In-SQL transformation hands to the ML system.
+fn engine_with_points(workers: usize, n: usize, seed: u64) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        num_workers: workers,
+        nodes: (0..workers).map(sqlml_dfs::node_name).collect(),
+    });
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Double),
+        Field::new("y", DataType::Double),
+        Field::new("label", DataType::Int),
+    ]);
+    let mut rng = SplitMix64::new(seed);
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let cls = (i % 2) as i64;
+            let c = if cls == 0 { -2.0 } else { 2.0 };
+            row![
+                c + rng.next_gaussian() * 0.4,
+                c + rng.next_gaussian() * 0.4,
+                cls
+            ]
+        })
+        .collect();
+    engine.register_rows("points", schema, rows);
+    engine
+}
+
+fn config(workers: usize, k: u32, buffer: usize) -> StreamSessionConfig {
+    StreamSessionConfig {
+        splits_per_worker: k,
+        send_buffer_bytes: buffer,
+        ml_job: JobConfig {
+            num_workers: workers,
+            worker_nodes: (0..workers).map(sqlml_dfs::node_name).collect(),
+            splits_per_worker: k as usize,
+        },
+        spill_dir: std::env::temp_dir().join("sqlml-transfer-tests"),
+    }
+}
+
+#[test]
+fn streams_a_table_into_a_trained_svm() {
+    let engine = engine_with_points(3, 600, 71);
+    let session = StreamSession::start().unwrap();
+    let cfg = config(3, 1, 4096);
+    session.install_udf(&engine, &cfg, None);
+
+    let outcome = session
+        .run(&engine, "points", "svm label=2 iterations=60", &cfg)
+        .unwrap();
+
+    assert_eq!(outcome.stats.rows_sent, 600);
+    assert_eq!(outcome.stats.rows_ingested, 600);
+    assert_eq!(outcome.stats.num_splits, 3);
+    assert_eq!(outcome.stats.max_attempts, 1, "no restarts expected");
+    // Colocated nodes => every split local (the locality goal of §3).
+    assert_eq!(outcome.stats.local_splits, 3);
+
+    match &outcome.job.model {
+        TrainedModel::Svm(m) => {
+            assert_eq!(m.predict(&[2.0, 2.0]), 1.0);
+            assert_eq!(m.predict(&[-2.0, -2.0]), 0.0);
+        }
+        other => panic!("unexpected model {other:?}"),
+    }
+}
+
+#[test]
+fn higher_parallelism_k_multiplies_splits() {
+    let engine = engine_with_points(2, 200, 73);
+    let session = StreamSession::start().unwrap();
+    let cfg = config(4, 3, 4096);
+    session.install_udf(&engine, &cfg, None);
+
+    let outcome = session
+        .run(&engine, "points", "logreg label=2 iterations=20", &cfg)
+        .unwrap();
+    // m = n_sql * k = 2 * 3.
+    assert_eq!(outcome.stats.num_splits, 6);
+    assert_eq!(outcome.stats.rows_ingested, 200);
+}
+
+#[test]
+fn tiny_send_buffer_spills_to_disk() {
+    let engine = engine_with_points(2, 4000, 79);
+    let session = StreamSession::start().unwrap();
+    // 1-byte in-memory budget: essentially every queued frame after the
+    // first must take the spill path.
+    let cfg = config(2, 1, 1);
+    session.install_udf(&engine, &cfg, None);
+
+    let outcome = session
+        .run(&engine, "points", "nb label=2", &cfg)
+        .unwrap();
+    assert_eq!(outcome.stats.rows_ingested, 4000);
+    assert!(
+        outcome.stats.bytes_spilled > 0,
+        "expected spill with a 1-byte buffer, stats: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn injected_fault_triggers_group_restart_and_exact_delivery() {
+    let engine = engine_with_points(2, 500, 83);
+    let session = StreamSession::start().unwrap();
+    let cfg = config(2, 2, 4096);
+    let injector = Arc::new(FaultInjector::new());
+    injector.fail_worker_after(1, 100);
+    session.install_udf(&engine, &cfg, Some(Arc::clone(&injector)));
+
+    let outcome = session
+        .run(&engine, "points", "svm label=2 iterations=30", &cfg)
+        .unwrap();
+
+    assert_eq!(injector.fired(), vec![(1, 100)], "fault must have fired");
+    assert_eq!(
+        outcome.stats.max_attempts, 2,
+        "worker 1 should have restarted once"
+    );
+    // Exactly-once delivery despite the restart.
+    assert_eq!(outcome.stats.rows_ingested, 500);
+}
+
+#[test]
+fn several_sequential_sessions_share_one_coordinator() {
+    let session = StreamSession::start().unwrap();
+    for seed in [91u64, 93, 95] {
+        let engine = engine_with_points(2, 150, seed);
+        let cfg = config(2, 1, 4096);
+        session.install_udf(&engine, &cfg, None);
+        let outcome = session
+            .run(&engine, "points", "tree label=2 depth=3", &cfg)
+            .unwrap();
+        assert_eq!(outcome.stats.rows_ingested, 150);
+    }
+}
+
+#[test]
+fn rejects_unknown_commands_before_transfer() {
+    let engine = engine_with_points(2, 10, 97);
+    let session = StreamSession::start().unwrap();
+    let cfg = config(2, 1, 4096);
+    session.install_udf(&engine, &cfg, None);
+    assert!(session.run(&engine, "points", "bogus algo=1", &cfg).is_err());
+}
+
+#[test]
+fn misaligned_nodes_mean_remote_reads() {
+    // SQL workers on node-0/node-1, ML workers on node-8/node-9: zero
+    // local splits but the transfer still completes (best-effort
+    // locality, as the paper specifies).
+    let engine = engine_with_points(2, 100, 99);
+    let session = StreamSession::start().unwrap();
+    let mut cfg = config(2, 1, 4096);
+    cfg.ml_job.worker_nodes = vec![sqlml_dfs::node_name(8), sqlml_dfs::node_name(9)];
+    session.install_udf(&engine, &cfg, None);
+    let outcome = session
+        .run(&engine, "points", "nb label=2", &cfg)
+        .unwrap();
+    assert_eq!(outcome.stats.local_splits, 0);
+    assert_eq!(outcome.stats.rows_ingested, 100);
+}

@@ -1,0 +1,29 @@
+//! In-SQL data transformations for ML (the paper's §2).
+//!
+//! Machine-learning systems consume numeric values; SQL warehouses store
+//! categorical variables as strings. This crate implements the common
+//! transformations **inside the SQL engine** as parallel table UDFs plus
+//! generated SQL, exploiting the engine's partition parallelism:
+//!
+//! * **Recoding of categorical variables** ([`recode`]) — the two-phase
+//!   distributed algorithm: phase 1 computes per-partition distinct
+//!   values via the `distinct_values` table UDF and merges them with
+//!   `SELECT DISTINCT`; phase 2 recodes via a join against the recode-map
+//!   table (the exact query shape of §2.1). Recoded values are
+//!   consecutive integers starting at 1 (the SystemML requirement the
+//!   paper cites).
+//! * **Dummy coding** ([`dummy`]) — one-hot expansion of a recoded
+//!   column into K binary columns via the `dummy_code` table UDF.
+//! * **Effect and orthogonal (Helmert) coding** ([`effect`]) — the "less
+//!   common transformations" §2 mentions, implemented the same way.
+//! * **The pipeline** ([`pipeline`]) — orchestrates query → recode →
+//!   dummy code, optionally reusing a cached recode map (§5.2's
+//!   optimization: skipping one of the two passes).
+
+pub mod dummy;
+pub mod effect;
+pub mod pipeline;
+pub mod recode;
+
+pub use pipeline::{register_udfs, InSqlTransformer, TransformOutput, TransformSpec};
+pub use recode::RecodeMap;

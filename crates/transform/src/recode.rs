@@ -1,0 +1,446 @@
+//! Recoding of categorical variables (§2.1).
+
+use std::collections::BTreeMap;
+
+use sqlml_common::schema::{DataType, Field};
+use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
+use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
+
+/// The recode-map table layout: `(colname, colval, recodeval)` — the
+/// paper's `M` table.
+pub fn recode_map_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("colname", DataType::Str),
+        Field::new("colval", DataType::Str),
+        Field::new("recodeval", DataType::Int),
+    ])
+}
+
+/// The distinct-pairs layout produced by phase 1: `(colname, colval)`.
+pub fn distinct_pairs_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("colname", DataType::Str),
+        Field::new("colval", DataType::Str),
+    ])
+}
+
+/// A recode map: per categorical column, a bijection from string values
+/// onto `1..=K` (consecutive, 1-based, assigned in sorted value order so
+/// the map is deterministic under any partitioning).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecodeMap {
+    columns: BTreeMap<String, BTreeMap<String, i64>>,
+}
+
+impl RecodeMap {
+    /// Build from (column, value) pairs; values are sorted per column and
+    /// assigned consecutive codes from 1.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, String)>) -> Self {
+        let mut sets: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (c, v) in pairs {
+            sets.entry(c).or_default().push(v);
+        }
+        let mut columns = BTreeMap::new();
+        for (c, mut vals) in sets {
+            vals.sort();
+            vals.dedup();
+            let m = vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v, i as i64 + 1))
+                .collect();
+            columns.insert(c, m);
+        }
+        RecodeMap { columns }
+    }
+
+    /// Build directly from a table by scanning the named categorical
+    /// columns — the centralized one-pass algorithm the paper describes
+    /// for a single machine. Used as the reference in tests.
+    pub fn from_table_scan(
+        partitions: &[std::sync::Arc<Vec<Row>>],
+        schema: &Schema,
+        columns: &[String],
+    ) -> Result<RecodeMap> {
+        let mut pairs = Vec::new();
+        for col in columns {
+            let idx = schema.index_of(col)?;
+            for part in partitions {
+                for r in part.iter() {
+                    if let Value::Str(s) = r.get(idx) {
+                        pairs.push((col.clone(), s.clone()));
+                    }
+                }
+            }
+        }
+        Ok(RecodeMap::from_pairs(pairs))
+    }
+
+    /// The code for a value of a column.
+    pub fn code(&self, column: &str, value: &str) -> Option<i64> {
+        self.columns.get(column)?.get(value).copied()
+    }
+
+    /// Number of distinct values of a column (0 if unknown).
+    pub fn cardinality(&self, column: &str) -> usize {
+        self.columns.get(column).map(|m| m.len()).unwrap_or(0)
+    }
+
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(|s| s.as_str())
+    }
+
+    pub fn has_column(&self, column: &str) -> bool {
+        self.columns.contains_key(column)
+    }
+
+    /// The values of a column in code order (code 1 first).
+    pub fn values_in_code_order(&self, column: &str) -> Vec<String> {
+        let Some(m) = self.columns.get(column) else {
+            return Vec::new();
+        };
+        let mut pairs: Vec<(&i64, &String)> = m.iter().map(|(v, c)| (c, v)).collect();
+        pairs.sort();
+        pairs.into_iter().map(|(_, v)| v.clone()).collect()
+    }
+
+    /// Serialize as rows of the `M` table.
+    pub fn to_rows(&self) -> Vec<Row> {
+        let mut out = Vec::new();
+        for (c, m) in &self.columns {
+            for (v, code) in m {
+                out.push(Row::new(vec![
+                    Value::Str(c.clone()),
+                    Value::Str(v.clone()),
+                    Value::Int(*code),
+                ]));
+            }
+        }
+        out
+    }
+
+    /// Parse from rows of the `M` table.
+    pub fn from_rows(rows: &[Row]) -> Result<RecodeMap> {
+        let mut columns: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+        for r in rows {
+            if r.len() != 3 {
+                return Err(SqlmlError::Execution(
+                    "recode map rows must have 3 columns".into(),
+                ));
+            }
+            columns
+                .entry(r.get(0).as_str()?.to_string())
+                .or_default()
+                .insert(r.get(1).as_str()?.to_string(), r.get(2).as_i64()?);
+        }
+        Ok(RecodeMap { columns })
+    }
+
+    /// Check the invariant: per column, codes are exactly `1..=K`.
+    pub fn validate(&self) -> Result<()> {
+        for (c, m) in &self.columns {
+            let mut codes: Vec<i64> = m.values().copied().collect();
+            codes.sort_unstable();
+            let expect: Vec<i64> = (1..=m.len() as i64).collect();
+            if codes != expect {
+                return Err(SqlmlError::Execution(format!(
+                    "recode map for {c:?} is not consecutive-from-1: {codes:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Phase-1 table UDF: `TABLE(distinct_values(t, 'col1', 'col2', ...))`.
+///
+/// Runs once per partition in parallel, emitting the partition-local
+/// distinct `(colname, colval)` pairs of every requested column — one
+/// scan of the data computes the distincts for *all* columns, which §2.1
+/// argues is the advantage over issuing one `SELECT DISTINCT` per column.
+pub struct DistinctValuesUdf;
+
+impl TableUdf for DistinctValuesUdf {
+    fn name(&self) -> &str {
+        "distinct_values"
+    }
+
+    fn output_schema(&self, _input: &Schema, args: &[Value]) -> Result<Schema> {
+        if args.is_empty() {
+            return Err(SqlmlError::Plan(
+                "distinct_values needs at least one column name".into(),
+            ));
+        }
+        Ok(distinct_pairs_schema())
+    }
+
+    fn execute(
+        &self,
+        rows: &[Row],
+        input_schema: &Schema,
+        args: &[Value],
+        _ctx: &PartitionCtx,
+    ) -> Result<Vec<Row>> {
+        let mut col_indices = Vec::with_capacity(args.len());
+        for a in args {
+            let name = a.as_str()?;
+            col_indices.push((name.to_string(), input_schema.index_of(name)?));
+        }
+        let mut seen: std::collections::HashSet<(usize, &str)> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in rows {
+            for (i, (name, idx)) in col_indices.iter().enumerate() {
+                match r.get(*idx) {
+                    Value::Str(s) => {
+                        if seen.insert((i, s.as_str())) {
+                            out.push(Row::new(vec![
+                                Value::Str(name.clone()),
+                                Value::Str(s.clone()),
+                            ]));
+                        }
+                    }
+                    Value::Null => {} // NULLs are not recoded.
+                    other => {
+                        return Err(SqlmlError::Type(format!(
+                            "distinct_values: column {name:?} holds non-string {other}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Phase-1.5 table UDF: `TABLE(assign_recode_ids(d))` where `d` is the
+/// *globally deduplicated, sorted* `(colname, colval)` table gathered
+/// into a single partition (the pipeline produces it with
+/// `SELECT DISTINCT ... ORDER BY colname, colval`). Assigns consecutive
+/// codes from 1 per column.
+pub struct AssignRecodeIdsUdf;
+
+impl TableUdf for AssignRecodeIdsUdf {
+    fn name(&self) -> &str {
+        "assign_recode_ids"
+    }
+
+    fn output_schema(&self, input: &Schema, _args: &[Value]) -> Result<Schema> {
+        if input.len() != 2 {
+            return Err(SqlmlError::Plan(
+                "assign_recode_ids expects a (colname, colval) input".into(),
+            ));
+        }
+        Ok(recode_map_schema())
+    }
+
+    fn execute(
+        &self,
+        rows: &[Row],
+        _input_schema: &Schema,
+        _args: &[Value],
+        ctx: &PartitionCtx,
+    ) -> Result<Vec<Row>> {
+        // Code assignment is global: the input must be gathered.
+        if ctx.num_partitions != 1 && !rows.is_empty() {
+            return Err(SqlmlError::Execution(
+                "assign_recode_ids requires a single-partition (gathered) input; \
+                 use ORDER BY to gather the distinct pairs first"
+                    .into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        let mut current_col: Option<String> = None;
+        let mut next_code = 1i64;
+        let mut last_val: Option<String> = None;
+        for r in rows {
+            let col = r.get(0).as_str()?.to_string();
+            let val = r.get(1).as_str()?.to_string();
+            if current_col.as_deref() != Some(col.as_str()) {
+                current_col = Some(col.clone());
+                next_code = 1;
+            } else if let Some(prev) = &last_val {
+                if *prev >= val {
+                    return Err(SqlmlError::Execution(
+                        "assign_recode_ids input must be sorted by (colname, colval) \
+                         with no duplicates"
+                            .into(),
+                    ));
+                }
+            }
+            out.push(Row::new(vec![
+                Value::Str(col),
+                Value::Str(val.clone()),
+                Value::Int(next_code),
+            ]));
+            last_val = Some(val);
+            next_code += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use std::sync::Arc;
+
+    #[test]
+    fn from_pairs_assigns_sorted_consecutive_codes() {
+        let m = RecodeMap::from_pairs(vec![
+            ("gender".into(), "M".into()),
+            ("gender".into(), "F".into()),
+            ("gender".into(), "M".into()),
+            ("abandoned".into(), "Yes".into()),
+            ("abandoned".into(), "No".into()),
+        ]);
+        assert_eq!(m.code("gender", "F"), Some(1));
+        assert_eq!(m.code("gender", "M"), Some(2));
+        assert_eq!(m.code("abandoned", "No"), Some(1));
+        assert_eq!(m.code("abandoned", "Yes"), Some(2));
+        assert_eq!(m.cardinality("gender"), 2);
+        assert_eq!(m.code("gender", "X"), None);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let m = RecodeMap::from_pairs(vec![
+            ("c".into(), "a".into()),
+            ("c".into(), "b".into()),
+            ("d".into(), "z".into()),
+        ]);
+        let back = RecodeMap::from_rows(&m.to_rows()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn values_in_code_order() {
+        let m = RecodeMap::from_pairs(vec![
+            ("c".into(), "beta".into()),
+            ("c".into(), "alpha".into()),
+            ("c".into(), "gamma".into()),
+        ]);
+        assert_eq!(m.values_in_code_order("c"), vec!["alpha", "beta", "gamma"]);
+        assert!(m.values_in_code_order("missing").is_empty());
+    }
+
+    #[test]
+    fn distinct_values_udf_scans_all_columns_in_one_pass() {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::categorical("abandoned"),
+        ]);
+        let rows = vec![
+            row![57i64, "F", "Yes"],
+            row![40i64, "M", "Yes"],
+            row![35i64, "F", "No"],
+        ];
+        let ctx = PartitionCtx {
+            partition: 0,
+            num_partitions: 1,
+            worker: 0,
+            num_workers: 1,
+            node: "node-0".into(),
+        };
+        let out = DistinctValuesUdf
+            .execute(
+                &rows,
+                &schema,
+                &[Value::Str("gender".into()), Value::Str("abandoned".into())],
+                &ctx,
+            )
+            .unwrap();
+        let mut pairs: Vec<(String, String)> = out
+            .iter()
+            .map(|r| {
+                (
+                    r.get(0).as_str().unwrap().to_string(),
+                    r.get(1).as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                ("abandoned".to_string(), "No".to_string()),
+                ("abandoned".to_string(), "Yes".to_string()),
+                ("gender".to_string(), "F".to_string()),
+                ("gender".to_string(), "M".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_values_udf_skips_nulls_rejects_numbers() {
+        let schema = Schema::new(vec![Field::categorical("g"), Field::new("n", DataType::Int)]);
+        let ctx = PartitionCtx {
+            partition: 0,
+            num_partitions: 1,
+            worker: 0,
+            num_workers: 1,
+            node: "node-0".into(),
+        };
+        let rows = vec![Row::new(vec![Value::Null, Value::Int(1)])];
+        let out = DistinctValuesUdf
+            .execute(&rows, &schema, &[Value::Str("g".into())], &ctx)
+            .unwrap();
+        assert!(out.is_empty());
+        let bad = DistinctValuesUdf.execute(&rows, &schema, &[Value::Str("n".into())], &ctx);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn assign_ids_requires_sorted_gathered_input() {
+        let ctx1 = PartitionCtx {
+            partition: 0,
+            num_partitions: 1,
+            worker: 0,
+            num_workers: 1,
+            node: "node-0".into(),
+        };
+        let sorted = vec![
+            row!["abandoned", "No"],
+            row!["abandoned", "Yes"],
+            row!["gender", "F"],
+            row!["gender", "M"],
+        ];
+        let out = AssignRecodeIdsUdf
+            .execute(&sorted, &distinct_pairs_schema(), &[], &ctx1)
+            .unwrap();
+        let m = RecodeMap::from_rows(&out).unwrap();
+        assert_eq!(m.code("gender", "F"), Some(1));
+        assert_eq!(m.code("abandoned", "Yes"), Some(2));
+        m.validate().unwrap();
+
+        // Unsorted input is rejected.
+        let unsorted = vec![row!["gender", "M"], row!["gender", "F"]];
+        assert!(AssignRecodeIdsUdf
+            .execute(&unsorted, &distinct_pairs_schema(), &[], &ctx1)
+            .is_err());
+
+        // Multi-partition non-empty input is rejected.
+        let ctx2 = PartitionCtx {
+            num_partitions: 2,
+            ..ctx1
+        };
+        assert!(AssignRecodeIdsUdf
+            .execute(&sorted, &distinct_pairs_schema(), &[], &ctx2)
+            .is_err());
+    }
+
+    #[test]
+    fn centralized_scan_matches_from_pairs() {
+        let schema = Schema::new(vec![Field::categorical("g")]);
+        let parts = vec![
+            Arc::new(vec![row!["b"], row!["a"]]),
+            Arc::new(vec![row!["c"], row!["a"]]),
+        ];
+        let m = RecodeMap::from_table_scan(&parts, &schema, &["g".to_string()]).unwrap();
+        assert_eq!(m.code("g", "a"), Some(1));
+        assert_eq!(m.code("g", "b"), Some(2));
+        assert_eq!(m.code("g", "c"), Some(3));
+    }
+}

@@ -1,0 +1,99 @@
+//! Caching workflows (§5): an analyst compares several classifiers on
+//! the same prepared dataset, then issues the paper's follow-up queries.
+//!
+//! * Runs 1–4: SVM, logistic regression, naive Bayes, decision tree on
+//!   the same preparation query — after the first run, every subsequent
+//!   one is a **full-result cache hit** (the §5.1 motivation: "an analyst
+//!   wants to run a number of classification algorithms ... on a
+//!   particular dataset").
+//! * Run 5: the §5.1 subset query (extra predicate on a projected field)
+//!   — also a full hit, answered by a rewritten query over the
+//!   materialization.
+//! * Run 6: the §5.2 query (new projected column + predicate on an
+//!   unprojected field) — full reuse impossible, **recode map** reused.
+//!
+//! Run with: `cargo run --release --example cached_workflows`
+
+use sqlml_core::workload::PREP_QUERY;
+use sqlml_core::{
+    CacheMode, ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy, WorkloadScale,
+};
+use sqlml_transform::TransformSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = SimCluster::start(ClusterConfig::default())?;
+    cluster.load_workload(WorkloadScale { carts: 30_000, users: 1_000 }, 13)?;
+    let pipeline = Pipeline::with_cache(&cluster);
+
+    let base = |ml: &str| PipelineRequest {
+        prep_sql: PREP_QUERY.to_string(),
+        spec: TransformSpec::default(), // recode gender + abandoned
+        ml_command: ml.to_string(),     // layout: age, gender, amount, abandoned
+    };
+
+    println!("--- comparing classifiers on one prepared dataset (§5.1 motivation) ---");
+    for (i, ml) in [
+        "svm label=3 iterations=30",
+        "logreg label=3 iterations=30",
+        "nb label=3",
+        "tree label=3 depth=4",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let report = pipeline.run(&base(ml), Strategy::InSqlStream)?;
+        println!(
+            "run {}: {:<28} cache={:?}  pipeline={:.1?}",
+            i + 1,
+            report.model.kind(),
+            report.cache_use,
+            report.pipeline_time()
+        );
+        if i == 0 {
+            assert_eq!(report.cache_use, CacheMode::None);
+        } else {
+            assert_eq!(report.cache_use, CacheMode::FullResult);
+        }
+    }
+
+    println!("\n--- the §5.1 subset query (gender = 'F') ---");
+    let subset = PipelineRequest {
+        prep_sql: "SELECT U.age, C.amount, C.abandoned FROM carts C, users U \
+                   WHERE C.userid = U.userid AND U.country = 'USA' AND U.gender = 'F'"
+            .to_string(),
+        spec: TransformSpec::default(),
+        ml_command: "svm label=2 iterations=30".to_string(),
+    };
+    let report = pipeline.run(&subset, Strategy::InSqlStream)?;
+    println!(
+        "cache={:?}  rows={}  pipeline={:.1?}",
+        report.cache_use,
+        report.rows_to_ml,
+        report.pipeline_time()
+    );
+    assert_eq!(report.cache_use, CacheMode::FullResult);
+
+    println!("\n--- the §5.2 query (new column nitems, predicate on year) ---");
+    let follow_up = PipelineRequest {
+        prep_sql: "SELECT U.age, U.gender, C.amount, C.nitems, C.abandoned \
+                   FROM carts C, users U \
+                   WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014"
+            .to_string(),
+        spec: TransformSpec::default(),
+        ml_command: "svm label=4 iterations=30".to_string(),
+    };
+    let report = pipeline.run(&follow_up, Strategy::InSqlStream)?;
+    println!(
+        "cache={:?}  rows={}  pipeline={:.1?}",
+        report.cache_use,
+        report.rows_to_ml,
+        report.pipeline_time()
+    );
+    assert_eq!(report.cache_use, CacheMode::RecodeMap);
+
+    let (full, map, miss) = pipeline.cache().unwrap().stats.snapshot();
+    println!("\ncache stats: {full} full hits, {map} map hits, {miss} misses");
+    assert_eq!((full, map), (4, 1));
+    println!("cached_workflows OK");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Queue-based transfer (§8 future work): publish the prepared data to a
+//! Kafka-like broker once, then train several models from the same log —
+//! including a consumer that crashes mid-read and replays, with the SQL
+//! side never involved again.
+//!
+//! Run with: `cargo run --release --example multi_model_queue`
+
+use std::sync::Arc;
+
+use sqlml_core::workload::PREP_QUERY;
+use sqlml_core::{ClusterConfig, SimCluster, WorkloadScale};
+use sqlml_mq::{broker::BrokerConfig, session, Broker, ConsumerFaults};
+use sqlml_transform::{InSqlTransformer, TransformSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = SimCluster::start(ClusterConfig::default())?;
+    cluster.load_workload(WorkloadScale { carts: 40_000, users: 800 }, 77)?;
+    let engine = &cluster.engine;
+
+    // Prepare + transform In-SQL, as usual.
+    engine.execute(&format!("CREATE TABLE prep AS {PREP_QUERY}"))?;
+    let transformer = InSqlTransformer::new(engine.clone());
+    let out = transformer.transform("prep", &TransformSpec::new(&["gender"]))?;
+    let rows = out.table.num_rows();
+    engine.register_table("handoff", out.table);
+
+    // Publish once.
+    let broker = Broker::new(BrokerConfig::default());
+    session::install_udf(engine, &broker);
+    let (published, bytes, schema) =
+        session::publish_table(engine, &broker, "handoff", "prepared-data")?;
+    println!("published {published} rows ({bytes} bytes) to topic 'prepared-data'");
+    assert_eq!(published as usize, rows);
+
+    // Train four different models from the same topic — the "Kafka as
+    // cache" workflow.
+    for command in [
+        "svm label=4 iterations=30",
+        "logreg label=4 iterations=30",
+        "nb label=4",
+        "tree label=4 depth=4",
+    ] {
+        let job = session::run_mq_job(
+            &broker,
+            "prepared-data",
+            schema.clone(),
+            command,
+            cluster.ml_job_config(),
+            None,
+        )?;
+        println!(
+            "trained {:<10} from the log: {} rows in {:.1?} (+{:.1?} training)",
+            job.model.kind(),
+            job.ingest.rows,
+            job.ingest.duration,
+            job.train_duration
+        );
+        assert_eq!(job.ingest.rows, rows);
+    }
+
+    // A consumer crash replays from the durable log; the SQL side is
+    // never re-run (contrast with §6's socket restart protocol).
+    let faults = Arc::new(ConsumerFaults::new());
+    faults.fail_partition_after(0, 3);
+    let job = session::run_mq_job(
+        &broker,
+        "prepared-data",
+        schema,
+        "nb label=4",
+        cluster.ml_job_config(),
+        Some(Arc::clone(&faults)),
+    )?;
+    println!(
+        "\nconsumer fault fired ({:?}) — replayed from the log, {} rows, exactly once",
+        faults.fired(),
+        job.ingest.rows
+    );
+    assert_eq!(job.ingest.rows, rows);
+    assert_eq!(faults.fired().len(), 1);
+    println!("multi_model_queue OK");
+    Ok(())
+}

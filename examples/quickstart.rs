@@ -1,0 +1,79 @@
+//! Quickstart: the smallest end-to-end tour of the public API.
+//!
+//! Builds a toy warehouse, prepares data with SQL, recodes + dummy-codes
+//! it **inside the SQL engine** via UDFs, and hands it to an SVM job two
+//! ways: through shared files and through the parallel streaming
+//! transfer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_core::{ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy};
+use sqlml_transform::TransformSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated cluster: DFS + MPP SQL engine + ML workers +
+    //    streaming coordinator, on 2 nodes.
+    let cluster = SimCluster::start(ClusterConfig::for_tests())?;
+
+    // 2. A toy table: loan applications with two categorical columns.
+    let schema = Schema::new(vec![
+        Field::new("income", DataType::Double),
+        Field::new("debt", DataType::Double),
+        Field::categorical("employment"),
+        Field::categorical("approved"),
+    ]);
+    let mut rng = SplitMix64::new(7);
+    let rows: Vec<Row> = (0..2_000)
+        .map(|_| {
+            let income = 30.0 + rng.next_f64() * 90.0;
+            let debt = rng.next_f64() * 50.0;
+            let employment = *rng.choose(&["salaried", "self_employed", "student"]);
+            // Approval depends on income vs debt: a learnable rule.
+            let approved = if income - 1.5 * debt > 40.0 { "Yes" } else { "No" };
+            Row::new(vec![
+                Value::Double(income),
+                Value::Double(debt),
+                Value::Str(employment.to_string()),
+                Value::Str(approved.to_string()),
+            ])
+        })
+        .collect();
+    cluster.engine.register_rows("loans", schema, rows);
+
+    // 3. Prepare + transform + train, with one call per strategy.
+    let request = PipelineRequest {
+        prep_sql: "SELECT income, debt, employment, approved FROM loans \
+                   WHERE income > 35.0"
+            .to_string(),
+        // Recode both categorical columns; one-hot the employment type.
+        spec: TransformSpec::new(&["employment"]),
+        // Transformed layout: income, debt, employment_salaried,
+        // employment_self_employed, employment_student, approved → the
+        // label is column 5.
+        ml_command: "svm label=5 iterations=100".to_string(),
+    };
+
+    let pipeline = Pipeline::new(&cluster);
+    for strategy in [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream] {
+        let report = pipeline.run(&request, strategy)?;
+        println!("=== {} ===", strategy.label());
+        println!("rows to ML: {}", report.rows_to_ml);
+        print!("{}", report.timer);
+        if let Some(stats) = &report.stream_stats {
+            println!(
+                "streamed {} bytes over {} splits ({} local)",
+                stats.bytes_sent, stats.num_splits, stats.local_splits
+            );
+        }
+        // Sanity-check the model on two obvious cases.
+        let rich = report.model.predict(&[110.0, 5.0, 1.0, 0.0, 0.0]);
+        let indebted = report.model.predict(&[40.0, 45.0, 1.0, 0.0, 0.0]);
+        println!("predict(rich)={rich}  predict(indebted)={indebted}\n");
+        assert_eq!(rich, 1.0, "model should approve the easy case");
+        assert_eq!(indebted, 0.0, "model should reject the hard case");
+    }
+    println!("quickstart OK");
+    Ok(())
+}

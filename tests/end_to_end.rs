@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: the full SQL → transform → transfer →
+//! ML pipeline, across all three strategies.
+
+use sqlml_core::workload::PREP_QUERY;
+use sqlml_core::{
+    CacheMode, ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy, WorkloadScale,
+};
+use sqlml_mlengine::job::TrainedModel;
+use sqlml_transform::TransformSpec;
+
+fn cluster() -> SimCluster {
+    let c = SimCluster::start(ClusterConfig::for_tests()).unwrap();
+    c.load_workload(WorkloadScale::TINY, 2024).unwrap();
+    c
+}
+
+fn request(ml: &str) -> PipelineRequest {
+    PipelineRequest {
+        prep_sql: PREP_QUERY.to_string(),
+        spec: TransformSpec::new(&["gender"]),
+        ml_command: ml.to_string(),
+    }
+}
+
+#[test]
+fn the_three_strategies_agree_on_rows_and_labels() {
+    let cluster = cluster();
+    let pipeline = Pipeline::new(&cluster);
+    let mut reports = Vec::new();
+    for strategy in [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream] {
+        reports.push(pipeline.run(&request("svm label=4 iterations=20"), strategy).unwrap());
+    }
+    let rows: Vec<usize> = reports.iter().map(|r| r.rows_to_ml).collect();
+    assert_eq!(rows[0], rows[1]);
+    assert_eq!(rows[1], rows[2]);
+    assert!(rows[0] > 0);
+
+    // The SVMs trained through different transports should agree on
+    // clear-cut inputs (identical data; SGD is deterministic given
+    // partition-invariant reduction).
+    let probes: [&[f64]; 3] = [
+        &[20.0, 1.0, 0.0, 240.0], // young, pricey: abandon
+        &[78.0, 0.0, 1.0, 10.0],  // old, cheap: keep
+        &[25.0, 0.0, 1.0, 200.0],
+    ];
+    for probe in probes {
+        let preds: Vec<f64> = reports.iter().map(|r| r.model.predict(probe)).collect();
+        assert_eq!(preds[0], preds[1], "naive vs insql disagree on {probe:?}");
+        assert_eq!(preds[1], preds[2], "insql vs stream disagree on {probe:?}");
+    }
+}
+
+#[test]
+fn every_algorithm_runs_through_the_streaming_pipeline() {
+    let cluster = cluster();
+    let pipeline = Pipeline::new(&cluster);
+    for ml in [
+        "svm label=4 iterations=10",
+        "logreg label=4 iterations=10",
+        "nb label=4",
+        "tree label=4 depth=3",
+        "linreg label=0 iterations=10", // predict age from the rest
+        "kmeans k=2 iterations=5",
+    ] {
+        let report = pipeline.run(&request(ml), Strategy::InSqlStream).unwrap();
+        assert!(report.rows_to_ml > 0, "{ml}: no rows");
+        match (&report.model, ml.split(' ').next().unwrap()) {
+            (TrainedModel::Svm(_), "svm")
+            | (TrainedModel::LogReg(_), "logreg")
+            | (TrainedModel::NaiveBayes(_), "nb")
+            | (TrainedModel::Tree(_), "tree")
+            | (TrainedModel::LinReg(_), "linreg")
+            | (TrainedModel::KMeans(_), "kmeans") => {}
+            (m, a) => panic!("{a} produced {m:?}"),
+        }
+    }
+}
+
+#[test]
+fn transformed_bytes_on_dfs_equal_streamed_bytes_semantically() {
+    // insql writes the transformed table to the DFS; insql+stream ships
+    // it over TCP. Both must deliver the exact same multiset of rows to
+    // the ML side. We verify via the ingest row-count plus a full
+    // dataset comparison using the engine directly.
+    let cluster = cluster();
+    let engine = &cluster.engine;
+    engine
+        .execute(&format!("CREATE TABLE prep AS {PREP_QUERY}"))
+        .unwrap();
+    let transformer = sqlml_transform::InSqlTransformer::new(engine.clone());
+    let out = transformer
+        .transform("prep", &TransformSpec::new(&["gender"]))
+        .unwrap();
+
+    // DFS round trip.
+    out.table.save_text(&cluster.dfs, "/verify").unwrap();
+    let back = sqlml_sqlengine::PartitionedTable::load_text(
+        &cluster.dfs,
+        "/verify",
+        out.table.schema().clone(),
+    )
+    .unwrap();
+    assert_eq!(back.collect_sorted(), out.table.collect_sorted());
+
+    // Streaming round trip: collect what the ML job would see.
+    engine.register_table("verify_stream", out.table.clone());
+    let cfg = cluster.stream_config();
+    cluster.stream.install_udf(engine, &cfg, None);
+    let outcome = cluster
+        .stream
+        .run(engine, "verify_stream", "nb label=4", &cfg)
+        .unwrap();
+    assert_eq!(outcome.stats.rows_ingested, out.table.num_rows());
+    assert_eq!(outcome.stats.rows_sent as usize, out.table.num_rows());
+}
+
+#[test]
+fn figure_shapes_hold_even_at_test_scale_with_throttle() {
+    // A miniature of the figure3/figure4 logic so regressions in the
+    // relative ordering fail CI, not just the bench binaries.
+    let config = ClusterConfig {
+        num_nodes: 2,
+        sql_workers: 2,
+        ml_workers: 2,
+        dfs: sqlml_dfs::DfsConfig {
+            num_datanodes: 2,
+            block_size: 64 * 1024,
+            replication: 2,
+            bytes_per_sec: Some(2 * 1024 * 1024),
+            remote_bytes_per_sec: None,
+        },
+        ..ClusterConfig::default()
+    };
+    let cluster = SimCluster::start(config).unwrap();
+    cluster
+        .load_workload(WorkloadScale { carts: 20_000, users: 400 }, 5)
+        .unwrap();
+    let pipeline = Pipeline::with_cache(&cluster);
+    let req = request("svm label=4 iterations=5");
+
+    let naive = pipeline.run(&req, Strategy::Naive).unwrap();
+    let insql = pipeline.run(&req, Strategy::InSqlStream).unwrap();
+    // Second streaming run hits the cache (Figure 4's best bar).
+    let cached = pipeline.run(&req, Strategy::InSqlStream).unwrap();
+    assert_eq!(cached.cache_use, CacheMode::FullResult);
+
+    assert!(
+        insql.pipeline_time() < naive.pipeline_time(),
+        "insql+stream {:?} should beat naive {:?}",
+        insql.pipeline_time(),
+        naive.pipeline_time()
+    );
+    assert!(
+        cached.pipeline_time() < insql.pipeline_time(),
+        "cached {:?} should beat uncached {:?}",
+        cached.pipeline_time(),
+        insql.pipeline_time()
+    );
+}
+
+#[test]
+fn block_level_splits_deliver_identical_pipelines() {
+    // Hadoop-style block splits (many splits per part-file) through the
+    // full naive and insql pipelines: same rows, same model behaviour.
+    let make = |block_splits: bool| {
+        let config = ClusterConfig {
+            num_nodes: 2,
+            sql_workers: 2,
+            ml_workers: 2,
+            dfs: sqlml_dfs::DfsConfig {
+                num_datanodes: 2,
+                block_size: 4 * 1024, // small blocks => many splits
+                replication: 2,
+                bytes_per_sec: None,
+                remote_bytes_per_sec: None,
+            },
+            block_level_splits: block_splits,
+            ..ClusterConfig::default()
+        };
+        let cluster = SimCluster::start(config).unwrap();
+        cluster.load_workload(WorkloadScale::TINY, 404).unwrap();
+        cluster
+    };
+    let mut row_counts = Vec::new();
+    for block_splits in [false, true] {
+        let cluster = make(block_splits);
+        let pipeline = Pipeline::new(&cluster);
+        for strategy in [Strategy::Naive, Strategy::InSql] {
+            let report = pipeline
+                .run(&request("svm label=4 iterations=10"), strategy)
+                .unwrap();
+            row_counts.push(report.rows_to_ml);
+        }
+    }
+    assert!(
+        row_counts.iter().all(|c| *c == row_counts[0]),
+        "row counts diverged across split granularities: {row_counts:?}"
+    );
+}
+
+#[test]
+fn rewriter_script_and_pipeline_agree() {
+    // The §4 rewriter's executable script must produce the same
+    // transformed rows as the pipeline's direct path (up to dummy-column
+    // names, which the static script genericizes).
+    let cluster = cluster();
+    let engine = cluster.engine.clone();
+    let rewriter = sqlml_rewriter::QueryRewriter::new(engine.clone());
+    let spec = TransformSpec::new(&["gender"]);
+    let (via_script, _) = rewriter.rewrite_and_run(PREP_QUERY, &spec, None).unwrap();
+
+    engine
+        .execute(&format!("CREATE TABLE prep2 AS {PREP_QUERY}"))
+        .unwrap();
+    let transformer = sqlml_transform::InSqlTransformer::new(engine.clone());
+    let direct = transformer.transform("prep2", &spec).unwrap();
+
+    assert_eq!(
+        via_script.collect_sorted(),
+        direct.table.collect_sorted(),
+        "script path and direct path diverge"
+    );
+}

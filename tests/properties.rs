@@ -1,0 +1,538 @@
+//! Property-based tests of the invariants DESIGN.md calls out.
+
+use proptest::prelude::*;
+
+use sqlml_common::codec;
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, Value};
+use sqlml_sqlengine::ast::CmpOp;
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transform::{InSqlTransformer, RecodeMap, TransformSpec};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: NaN equality is bit-exact by design but a
+        // NaN literal can't round-trip through the text grammar.
+        (-1e12f64..1e12).prop_map(Value::Double),
+        ".*".prop_map(Value::Str),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), 0..6).prop_map(Row::new)
+}
+
+/// Categorical-only rows drawn from a bounded vocabulary.
+fn arb_categorical_rows() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let vocab = prop::sample::select(vec![
+        "a", "b", "c", "delta", "Echo", "f-f", "", "ünïcode",
+    ])
+    .prop_map(str::to_string);
+    prop::collection::vec(prop::collection::vec(vocab, 2), 1..120)
+}
+
+// ---------------------------------------------------------------------------
+// Codec invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_codec_round_trips_any_row(row in arb_row()) {
+        let mut buf = Vec::new();
+        codec::encode_binary_row(&row, &mut buf);
+        let (back, used) = codec::decode_binary_row(&buf).unwrap();
+        prop_assert_eq!(back, row);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn text_codec_round_trips_arbitrary_strings(values in prop::collection::vec(".*", 1..5)) {
+        let schema = Schema::new(
+            (0..values.len()).map(|i| Field::categorical(format!("c{i}"))).collect(),
+        );
+        let row = Row::new(values.into_iter().map(Value::Str).collect());
+        let mut line = String::new();
+        codec::encode_text_row(&row, &mut line);
+        prop_assert!(!line.contains('\n'), "encoded line must be single-line");
+        let back = codec::decode_text_row(&line, &schema).unwrap();
+        prop_assert_eq!(back, row);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recoding invariants (§2.1)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distributed two-phase recoding equals the centralized scan, and
+    /// is invariant under the number of SQL workers.
+    #[test]
+    fn recode_map_is_partitioning_invariant(
+        rows in arb_categorical_rows(),
+        workers in 1usize..7,
+    ) {
+        let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
+        let data: Vec<Row> = rows
+            .iter()
+            .map(|r| Row::new(r.iter().map(|s| Value::Str(s.clone())).collect()))
+            .collect();
+
+        let reference = RecodeMap::from_pairs(
+            rows.iter()
+                .flat_map(|r| [("u".to_string(), r[0].clone()), ("v".to_string(), r[1].clone())]),
+        );
+
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("t", schema, data);
+        let transformer = InSqlTransformer::new(engine);
+        let distributed = transformer
+            .build_recode_map("t", &["u".to_string(), "v".to_string()])
+            .unwrap();
+        prop_assert_eq!(&distributed, &reference);
+        distributed.validate().unwrap();
+    }
+
+    /// Recoding is a bijection onto 1..=K per column.
+    #[test]
+    fn recode_codes_are_consecutive_from_one(rows in arb_categorical_rows()) {
+        let map = RecodeMap::from_pairs(
+            rows.iter().map(|r| ("c".to_string(), r[0].clone())),
+        );
+        map.validate().unwrap();
+        let k = map.cardinality("c");
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &rows {
+            let code = map.code("c", &r[0]).unwrap();
+            prop_assert!((1..=k as i64).contains(&code));
+            seen.insert(code);
+        }
+        prop_assert_eq!(seen.len(), k);
+    }
+
+    /// Recode → dummy-code yields exactly one hot indicator per row, and
+    /// the hot position identifies the original value.
+    #[test]
+    fn dummy_coding_is_invertible(rows in arb_categorical_rows(), workers in 1usize..5) {
+        let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
+        let data: Vec<Row> = rows
+            .iter()
+            .map(|r| Row::new(r.iter().map(|s| Value::Str(s.clone())).collect()))
+            .collect();
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("t", schema, data);
+        let transformer = InSqlTransformer::new(engine);
+        let out = transformer.transform("t", &TransformSpec::new(&["u"])).unwrap();
+        let k = out.recode_map.cardinality("u");
+        let values = out.recode_map.values_in_code_order("u");
+
+        // Output layout: u_<v1>..u_<vK>, v.
+        let mut decoded: Vec<(String, i64)> = Vec::new();
+        for row in out.table.collect_rows() {
+            let hot: Vec<usize> = (0..k)
+                .filter(|i| row.get(*i) == &Value::Int(1))
+                .collect();
+            prop_assert_eq!(hot.len(), 1, "exactly one hot indicator");
+            decoded.push((values[hot[0]].clone(), row.get(k).as_i64().unwrap()));
+        }
+        // Multiset of decoded (u, recoded v) equals the input multiset.
+        let mut expect: Vec<(String, i64)> = rows
+            .iter()
+            .map(|r| (r[0].clone(), out.recode_map.code("v", &r[1]).unwrap()))
+            .collect();
+        decoded.sort();
+        expect.sort();
+        prop_assert_eq!(decoded, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-implication soundness (§5.2)
+// ---------------------------------------------------------------------------
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::NotEq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::LtEq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::GtEq),
+    ]
+}
+
+fn satisfies(op: CmpOp, v: i64, bound: i64) -> bool {
+    match op {
+        CmpOp::Eq => v == bound,
+        CmpOp::NotEq => v != bound,
+        CmpOp::Lt => v < bound,
+        CmpOp::LtEq => v <= bound,
+        CmpOp::Gt => v > bound,
+        CmpOp::GtEq => v >= bound,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: whenever the checker says "q implies c", every value
+    /// satisfying q must satisfy c. (Completeness is not required — a
+    /// false negative only costs a cache miss.)
+    #[test]
+    fn predicate_implication_is_sound(
+        q_op in arb_cmp(),
+        q_bound in -50i64..50,
+        c_op in arb_cmp(),
+        c_bound in -50i64..50,
+        probe in -60i64..60,
+    ) {
+        use sqlml_cache::{predicate_implies, ColRef, SimplePredicate};
+        let q = SimplePredicate {
+            col: ColRef::new("t", "x"),
+            op: q_op,
+            value: Value::Int(q_bound),
+        };
+        let c = SimplePredicate {
+            col: ColRef::new("t", "x"),
+            op: c_op,
+            value: Value::Int(c_bound),
+        };
+        if predicate_implies(&q, &c) && satisfies(q_op, probe, q_bound) {
+            prop_assert!(
+                satisfies(c_op, probe, c_bound),
+                "{probe} satisfies q ({q_op:?} {q_bound}) but not c ({c_op:?} {c_bound})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hadoop block-split line protocol
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Splitting a text file at block boundaries and reading every split
+    /// yields every line exactly once, for any block size and any line
+    /// lengths (the classic discard-first / read-past-end protocol).
+    #[test]
+    fn block_splits_partition_lines_exactly(
+        widths in prop::collection::vec(1usize..40, 1..80),
+        block_size in 8usize..128,
+    ) {
+        use sqlml_dfs::{Dfs, DfsConfig};
+        use sqlml_mlengine::input::{InputFormat, TextInputFormat};
+        let dfs = Dfs::new(DfsConfig {
+            num_datanodes: 3,
+            block_size,
+            replication: 1,
+            bytes_per_sec: None,
+            remote_bytes_per_sec: None,
+        });
+        let mut text = String::new();
+        let mut expect = Vec::new();
+        for (i, w) in widths.iter().enumerate() {
+            let line = format!("{:0w$}", i, w = *w.max(&digits(i)));
+            expect.push(line.clone());
+            text.push_str(&line);
+            text.push('\n');
+        }
+        dfs.write_string("/p/part-00000", &text).unwrap();
+        let schema = Schema::new(vec![Field::categorical("v")]);
+        let fmt = TextInputFormat::new(dfs, "/p", schema).with_block_splits();
+        let mut got = Vec::new();
+        for s in fmt.get_splits(0).unwrap() {
+            let mut r = fmt.create_reader(s.as_ref()).unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                got.push(row.get(0).as_str().unwrap().to_string());
+            }
+        }
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+fn digits(i: usize) -> usize {
+    i.to_string().len()
+}
+
+// ---------------------------------------------------------------------------
+// Message-queue log invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever is appended to a topic partition is read back in order,
+    /// exactly once per pass, for any record sizes — and replaying from
+    /// offset 0 reproduces it bit-for-bit.
+    #[test]
+    fn broker_log_round_trips_and_replays(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..40),
+    ) {
+        use sqlml_mq::{broker::BrokerConfig, Broker};
+        use std::time::Duration;
+        let broker = Broker::new(BrokerConfig::default());
+        broker.create_topic("t", 1).unwrap();
+        for r in &records {
+            broker.append("t", 0, r.clone()).unwrap();
+        }
+        broker.seal("t", 0).unwrap();
+        for _pass in 0..2 {
+            let mut got = Vec::new();
+            let mut offset = 0;
+            while let Some(rec) = broker
+                .read("t", 0, offset, Duration::from_millis(100))
+                .unwrap()
+            {
+                got.push((*rec).clone());
+                offset += 1;
+            }
+            prop_assert_eq!(&got, &records);
+        }
+    }
+
+    /// The spillable send buffer is an exact FIFO under any chunk-size
+    /// pattern and any capacity (including capacities that force every
+    /// chunk through the spill file).
+    #[test]
+    fn spillable_buffer_is_exact_fifo(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..50), 1..60),
+        capacity in 1usize..256,
+    ) {
+        use sqlml_transfer::SpillableBuffer;
+        let buf = SpillableBuffer::new(
+            capacity,
+            std::env::temp_dir().join("sqlml-prop-buffer"),
+            "prop",
+        );
+        for c in &chunks {
+            buf.push(c.clone()).unwrap();
+        }
+        buf.close();
+        let mut got = Vec::new();
+        while let Some(c) = buf.pop().unwrap() {
+            got.push(c);
+        }
+        prop_assert_eq!(got, chunks);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser robustness
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser returns a clean error (never panics) on arbitrary
+    /// input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = sqlml_sqlengine::parser::parse_statement(&input);
+    }
+
+    /// SQL-ish token soup is also panic-free.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "AND", "OR", "(", ")", ",", "*",
+                "=", "<", ">=", "t", "x", "'s'", "1", "2.5", "JOIN", "ON",
+                "GROUP", "BY", "LIKE", "CAST", "AS", "NULL", "NOT", "IN",
+            ]),
+            0..25,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = sqlml_sqlengine::parser::parse_statement(&sql);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LIKE laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Literal-prefix/suffix/containment laws of SQL LIKE over
+    /// wildcard-free fragments.
+    #[test]
+    fn like_agrees_with_string_predicates(
+        text in "[a-z]{0,12}",
+        frag in "[a-z]{0,4}",
+    ) {
+        use sqlml_sqlengine::expr::like_match;
+        prop_assert_eq!(like_match(&text, &format!("{frag}%")), text.starts_with(&frag));
+        prop_assert_eq!(like_match(&text, &format!("%{frag}")), text.ends_with(&frag));
+        prop_assert_eq!(like_match(&text, &format!("%{frag}%")), text.contains(&frag));
+        prop_assert_eq!(like_match(&text, &frag), text == frag);
+        // `_` consumes exactly one character.
+        let underscores: String = "_".repeat(text.chars().count());
+        prop_assert!(like_match(&text, &underscores));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL engine vs reference evaluation
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filter + projection results match a direct Rust evaluation over
+    /// the same rows, for any partitioning.
+    #[test]
+    fn filters_match_reference_semantics(
+        xs in prop::collection::vec(-100i64..100, 1..200),
+        bound in -100i64..100,
+        workers in 1usize..6,
+    ) {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("t", schema, rows);
+        let got: Vec<i64> = engine
+            .query(&format!("SELECT x FROM t WHERE x > {bound} AND x <= {} ", bound.saturating_add(40)))
+            .unwrap()
+            .collect_sorted()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = xs
+            .iter()
+            .copied()
+            .filter(|x| *x > bound && *x <= bound.saturating_add(40))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Aggregates match reference computation.
+    #[test]
+    fn aggregates_match_reference(
+        xs in prop::collection::vec(-1000i64..1000, 1..150),
+        workers in 1usize..6,
+    ) {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("t", schema, rows);
+        let out = engine
+            .query("SELECT COUNT(*), SUM(x), MIN(x), MAX(x) FROM t")
+            .unwrap()
+            .collect_rows();
+        prop_assert_eq!(out[0].get(0), &Value::Int(xs.len() as i64));
+        let sum: i64 = xs.iter().sum();
+        prop_assert!((out[0].get(1).as_f64().unwrap() - sum as f64).abs() < 1e-6);
+        prop_assert_eq!(out[0].get(2), &Value::Int(*xs.iter().min().unwrap()));
+        prop_assert_eq!(out[0].get(3), &Value::Int(*xs.iter().max().unwrap()));
+    }
+
+    /// Hash joins match a reference nested-loop join, including the
+    /// LEFT OUTER null-extension, for any partitioning and build side.
+    #[test]
+    fn joins_match_nested_loop_reference(
+        left_keys in prop::collection::vec(0i64..8, 1..40),
+        right_keys in prop::collection::vec(0i64..8, 0..40),
+        workers in 1usize..5,
+        outer in any::<bool>(),
+    ) {
+        let schema_l = Schema::new(vec![
+            Field::new("lid", DataType::Int),
+            Field::new("k", DataType::Int),
+        ]);
+        let schema_r = Schema::new(vec![
+            Field::new("rid", DataType::Int),
+            Field::new("k", DataType::Int),
+        ]);
+        let lrows: Vec<Row> = left_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Row::new(vec![Value::Int(i as i64), Value::Int(*k)]))
+            .collect();
+        let rrows: Vec<Row> = right_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Row::new(vec![Value::Int(i as i64), Value::Int(*k)]))
+            .collect();
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("l", schema_l, lrows);
+        engine.register_rows("r", schema_r, rrows);
+
+        let sql = if outer {
+            "SELECT l.lid, r.rid FROM l LEFT JOIN r ON l.k = r.k"
+        } else {
+            "SELECT l.lid, r.rid FROM l, r WHERE l.k = r.k"
+        };
+        let mut got: Vec<(i64, Option<i64>)> = engine
+            .query(sql)
+            .unwrap()
+            .collect_rows()
+            .iter()
+            .map(|row| {
+                (
+                    row.get(0).as_i64().unwrap(),
+                    match row.get(1) {
+                        Value::Null => None,
+                        v => Some(v.as_i64().unwrap()),
+                    },
+                )
+            })
+            .collect();
+
+        // Reference nested loops.
+        let mut expect: Vec<(i64, Option<i64>)> = Vec::new();
+        for (li, lk) in left_keys.iter().enumerate() {
+            let mut matched = false;
+            for (ri, rk) in right_keys.iter().enumerate() {
+                if lk == rk {
+                    expect.push((li as i64, Some(ri as i64)));
+                    matched = true;
+                }
+            }
+            if outer && !matched {
+                expect.push((li as i64, None));
+            }
+        }
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// DISTINCT matches reference dedup for any partitioning.
+    #[test]
+    fn distinct_matches_reference(
+        xs in prop::collection::vec(0i64..20, 1..300),
+        workers in 1usize..6,
+    ) {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        engine.register_rows("t", schema, rows);
+        let got: Vec<i64> = engine
+            .query("SELECT DISTINCT x FROM t")
+            .unwrap()
+            .collect_sorted()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = xs.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+    }
+}
