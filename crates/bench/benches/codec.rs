@@ -67,6 +67,30 @@ fn bench_codecs(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Batched wire frames at the sizes the streaming data plane actually
+    // cuts: single-row, the default 64-row frame, and a jumbo 1024-row
+    // frame. Encoding reuses one scratch buffer across iterations, as the
+    // sender does.
+    let mut group = c.benchmark_group("codec_batch");
+    for batch in [1usize, 64, 1024] {
+        let chunk = &rows[..batch];
+        let mut encoded = Vec::new();
+        codec::encode_binary_batch(chunk, &mut encoded);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        let mut scratch = Vec::with_capacity(encoded.len());
+        group.bench_function(&format!("binary_batch_encode_{batch}_rows"), |b| {
+            b.iter(|| {
+                scratch.clear();
+                codec::encode_binary_batch(black_box(chunk), &mut scratch);
+                scratch.len()
+            })
+        });
+        group.bench_function(&format!("binary_batch_decode_{batch}_rows"), |b| {
+            b.iter(|| codec::decode_binary_batch(black_box(&encoded)).unwrap())
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {

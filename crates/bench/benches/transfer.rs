@@ -90,6 +90,7 @@ fn bench_session(c: &mut Criterion) {
             splits_per_worker: 1,
         },
         spill_dir: std::env::temp_dir().join("sqlml-bench-spill"),
+        ..Default::default()
     };
     session.install_udf(&engine, &cfg, None);
 

@@ -40,7 +40,12 @@ fn bench_transform(c: &mut Criterion) {
         b.iter(|| tr.build_recode_map(black_box("t"), &cols).unwrap())
     });
     group.bench_function("full_recode_100k", |b| {
-        b.iter(|| tr.transform("t", &TransformSpec::default()).unwrap().table.num_rows())
+        b.iter(|| {
+            tr.transform("t", &TransformSpec::default())
+                .unwrap()
+                .table
+                .num_rows()
+        })
     });
     group.bench_function("recode_plus_dummy_100k", |b| {
         b.iter(|| {

@@ -27,16 +27,21 @@ fn main() {
         ml_command: "svm label=4 iterations=5".to_string(),
     };
 
-    println!("A1: send-buffer size sweep ({} carts)\n", params.scale.carts);
     println!(
-        "{:>12} {:>12} {:>14} {:>12}",
-        "buffer", "time (s)", "spilled (B)", "rows"
+        "A1: send-buffer size sweep ({} carts)\n",
+        params.scale.carts
+    );
+    println!(
+        "{:>12} {:>12} {:>14} {:>8} {:>10} {:>12}",
+        "buffer", "time (s)", "spilled (B)", "spills", "batches", "rows"
     );
     let mut results = Vec::new();
     for buffer in [64usize, 1 << 10, 4 << 10, 64 << 10, 1 << 20] {
         let cluster = {
             let c = sqlml_core::ClusterConfig {
                 send_buffer_bytes: buffer,
+                batch_rows: params.batch_rows,
+                frame_bytes: params.frame_bytes,
                 ..Default::default()
             };
             let cluster = sqlml_core::SimCluster::start(c).expect("cluster");
@@ -51,11 +56,18 @@ fn main() {
             .run(&request, Strategy::InSqlStream)
             .expect("stream run");
         let elapsed = t0.elapsed().as_secs_f64();
+        let summary = report.transfer_summary().expect("transfer summary");
         let stats = report.stream_stats.expect("stream stats");
         println!(
-            "{:>12} {:>12.3} {:>14} {:>12}",
-            buffer, elapsed, stats.bytes_spilled, stats.rows_ingested
+            "{:>12} {:>12.3} {:>14} {:>8} {:>10} {:>12}",
+            buffer,
+            elapsed,
+            stats.bytes_spilled,
+            stats.spill_events,
+            stats.batches_sent,
+            stats.rows_ingested
         );
+        println!("             {summary}");
         results.push((buffer, elapsed, stats.bytes_spilled, stats.rows_ingested));
     }
 

@@ -29,8 +29,7 @@ fn main() {
 
     // The tempting part: dictionary compression genuinely shrinks the
     // column.
-    let dicts = encode_column_per_partition(users.partitions(), country_col)
-        .expect("encode");
+    let dicts = encode_column_per_partition(users.partitions(), country_col).expect("encode");
     let compressed: usize = dicts.iter().map(|d| d.compressed_bytes()).sum();
     let raw: usize = dicts.iter().map(|d| d.raw_bytes()).sum();
     println!(

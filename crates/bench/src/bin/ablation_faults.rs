@@ -41,7 +41,10 @@ fn main() {
     let cfg = cluster.stream_config();
 
     println!("A5: §6 restart protocol, {rows} rows streamed\n");
-    println!("{:>28} {:>12} {:>10} {:>8}", "scenario", "time (s)", "attempts", "rows");
+    println!(
+        "{:>28} {:>12} {:>10} {:>8}",
+        "scenario", "time (s)", "attempts", "rows"
+    );
 
     // Fault-free baseline.
     cluster.stream.install_udf(engine, &cfg, None);

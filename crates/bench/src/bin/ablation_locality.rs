@@ -45,16 +45,17 @@ fn main() {
     let out = transformer
         .transform("prep", &TransformSpec::new(&["gender"]))
         .expect("transform");
-    out.table
-        .save_text(&cluster.dfs, "/handoff")
-        .expect("save");
+    out.table.save_text(&cluster.dfs, "/handoff").expect("save");
     let schema = out.table.schema().clone();
 
     println!(
         "A4: ingestion locality ({} rows over a 8 MB/s interconnect)\n",
         out.table.num_rows()
     );
-    println!("{:>14} {:>8} {:>8} {:>12}", "placement", "splits", "local", "time (s)");
+    println!(
+        "{:>14} {:>8} {:>8} {:>12}",
+        "placement", "splits", "local", "time (s)"
+    );
 
     let run = |label: &str, nodes: Vec<String>| {
         let fmt = TextInputFormat::new(cluster.dfs.clone(), "/handoff", schema.clone());

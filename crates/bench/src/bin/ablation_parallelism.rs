@@ -24,7 +24,10 @@ fn main() {
         ml_command: "svm label=4 iterations=5".to_string(),
     };
 
-    println!("A2: k (readers per SQL worker) sweep ({} carts)\n", params.scale.carts);
+    println!(
+        "A2: k (readers per SQL worker) sweep ({} carts)\n",
+        params.scale.carts
+    );
     println!(
         "{:>4} {:>8} {:>8} {:>12} {:>10}",
         "k", "splits", "local", "time (s)", "rows"
@@ -45,15 +48,15 @@ fn main() {
             .run(&request, Strategy::InSqlStream)
             .expect("stream run");
         let pipeline_secs = report.pipeline_time().as_secs_f64();
+        let summary = report.transfer_summary();
         let stats = report.stream_stats.expect("stats");
         println!(
             "{:>4} {:>8} {:>8} {:>12.3} {:>10}",
-            k,
-            stats.num_splits,
-            stats.local_splits,
-            pipeline_secs,
-            stats.rows_ingested
+            k, stats.num_splits, stats.local_splits, pipeline_secs, stats.rows_ingested
         );
+        if let Some(summary) = summary {
+            println!("     {summary}");
+        }
         all_exact &= stats.rows_sent as usize == stats.rows_ingested;
         split_counts.push((k, stats.num_splits));
     }

@@ -79,7 +79,10 @@ fn main() {
 
     println!("one-shot delivery:");
     println!("  socket stream   {stream_once_t:8.3}s");
-    println!("  message queue   {mq_once_t:8.3}s  (publish {:.3}s)", mq_once.publish_time.as_secs_f64());
+    println!(
+        "  message queue   {mq_once_t:8.3}s  (publish {:.3}s)",
+        mq_once.publish_time.as_secs_f64()
+    );
 
     // --- four algorithms over the same data ---------------------------
     let t2 = Instant::now();

@@ -43,6 +43,9 @@ fn main() {
             report.rows_to_ml,
             report.train_time.as_secs_f64()
         );
+        if let Some(summary) = report.transfer_summary() {
+            println!("{:<13} {summary}", "");
+        }
         totals.push(report.pipeline_time());
         bars.push(FigureBar {
             label: strategy.label().to_string(),
@@ -50,23 +53,25 @@ fn main() {
         });
     }
 
-    println!("\n{}", render_figure("Figure 3: three connection approaches", &bars));
+    println!(
+        "\n{}",
+        render_figure("Figure 3: three connection approaches", &bars)
+    );
 
     let naive = totals[0].as_secs_f64();
     let insql = totals[1].as_secs_f64();
     let stream = totals[2].as_secs_f64();
-    let ok = check_shape(
-        "insql is faster than naive (paper: 1.7x)",
-        insql < naive,
-    ) & check_shape(
-        &format!(
-            "insql speedup over naive is >= 1.3x (measured {:.2}x)",
-            naive / insql
-        ),
-        naive / insql >= 1.3,
-    ) & check_shape(
-        "insql+stream is the fastest of the three",
-        stream < insql && stream < naive,
-    );
+    let ok = check_shape("insql is faster than naive (paper: 1.7x)", insql < naive)
+        & check_shape(
+            &format!(
+                "insql speedup over naive is >= 1.3x (measured {:.2}x)",
+                naive / insql
+            ),
+            naive / insql >= 1.3,
+        )
+        & check_shape(
+            "insql+stream is the fastest of the three",
+            stream < insql && stream < naive,
+        );
     std::process::exit(if ok { 0 } else { 1 });
 }

@@ -21,21 +21,29 @@ pub struct BenchParams {
     /// costs honest. `None` disables throttling.
     pub throttle_mbps: Option<u64>,
     pub seed: u64,
+    /// Rows per `RowBatch` frame on the streaming data plane.
+    pub batch_rows: usize,
+    /// Wire-byte target per frame (paper: 4 KiB).
+    pub frame_bytes: usize,
 }
 
 impl Default for BenchParams {
     fn default() -> Self {
+        let defaults = ClusterConfig::default();
         BenchParams {
             scale: WorkloadScale::SMALL,
             throttle_mbps: Some(4),
             seed: 42,
+            batch_rows: defaults.batch_rows,
+            frame_bytes: defaults.frame_bytes,
         }
     }
 }
 
 impl BenchParams {
-    /// Parse `--carts N`, `--throttle-mbps M` (0 = off) and `--seed S`
-    /// from the command line, over the defaults.
+    /// Parse `--carts N`, `--throttle-mbps M` (0 = off), `--seed S`,
+    /// `--batch-rows N` and `--frame-bytes N` from the command line, over
+    /// the defaults.
     pub fn from_args() -> BenchParams {
         let mut p = BenchParams::default();
         let args: Vec<String> = std::env::args().collect();
@@ -51,6 +59,14 @@ impl BenchParams {
                     p.throttle_mbps = if mbps == 0 { None } else { Some(mbps) };
                 }
                 "--seed" => p.seed = args[i + 1].parse().expect("--seed takes a number"),
+                "--batch-rows" => {
+                    p.batch_rows = args[i + 1].parse().expect("--batch-rows takes a number");
+                    assert!(p.batch_rows >= 1, "--batch-rows must be >= 1");
+                }
+                "--frame-bytes" => {
+                    p.frame_bytes = args[i + 1].parse().expect("--frame-bytes takes a number");
+                    assert!(p.frame_bytes >= 1, "--frame-bytes must be >= 1");
+                }
                 other => panic!("unknown argument {other:?}"),
             }
             i += 2;
@@ -68,6 +84,8 @@ impl BenchParams {
             ml_workers: 4,
             splits_per_worker: 1,
             send_buffer_bytes: 4 * 1024, // the paper's 4 KiB
+            batch_rows: self.batch_rows,
+            frame_bytes: self.frame_bytes,
             dfs: DfsConfig {
                 num_datanodes: 4,
                 block_size: 1024 * 1024,

@@ -173,16 +173,21 @@ impl QueryDescriptor {
                 };
                 match (left.as_ref(), right.as_ref()) {
                     (
-                        AstExpr::Column { qualifier: ql, name: nl },
-                        AstExpr::Column { qualifier: qr, name: nr },
+                        AstExpr::Column {
+                            qualifier: ql,
+                            name: nl,
+                        },
+                        AstExpr::Column {
+                            qualifier: qr,
+                            name: nr,
+                        },
                     ) => {
                         if *op != CmpOp::Eq {
                             return Ok(None);
                         }
-                        let (Some(a), Some(b)) = (
-                            resolve(ql.as_deref(), nl)?,
-                            resolve(qr.as_deref(), nr)?,
-                        ) else {
+                        let (Some(a), Some(b)) =
+                            (resolve(ql.as_deref(), nl)?, resolve(qr.as_deref(), nr)?)
+                        else {
                             return Ok(None);
                         };
                         let pair = if a <= b { (a, b) } else { (b, a) };
@@ -335,10 +340,8 @@ mod tests {
 
     #[test]
     fn predicate_grouping_helpers() {
-        let d = descr(
-            "SELECT age FROM users WHERE age > 10 AND age < 20 AND country = 'USA'",
-        )
-        .unwrap();
+        let d =
+            descr("SELECT age FROM users WHERE age > 10 AND age < 20 AND country = 'USA'").unwrap();
         let age = ColRef::new("users", "age");
         assert_eq!(d.predicates_on(&age).len(), 2);
         assert_eq!(d.predicate_columns().len(), 2);

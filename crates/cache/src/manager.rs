@@ -166,10 +166,7 @@ impl CacheManager {
             if recode_map_match(&entry.descriptor, query) {
                 // Condition 3: the map must cover every categorical
                 // column the new pipeline will recode.
-                let covered = spec
-                    .recode_columns
-                    .iter()
-                    .all(|c| entry.map.has_column(c));
+                let covered = spec.recode_columns.iter().all(|c| entry.map.has_column(c));
                 // (When recode_columns is defaulted-empty the pipeline
                 // derives them from the schema; the transformer re-checks
                 // coverage at apply time, so accept here.)
@@ -241,9 +238,7 @@ impl CacheManager {
                     _ => return Ok(None),
                 };
                 match entry.map.code(col, s) {
-                    Some(_) => {
-                        where_parts.push(format!("{col}_{} = {indicator}", sanitize(s)))
-                    }
+                    Some(_) => where_parts.push(format!("{col}_{} = {indicator}", sanitize(s))),
                     // Value never seen by the cached query: the predicate
                     // is unsatisfiable (Eq) or trivially true (NotEq).
                     None => {
@@ -264,9 +259,7 @@ impl CacheManager {
                     return Ok(None);
                 }
                 match entry.map.code(col, s) {
-                    Some(code) => {
-                        where_parts.push(format!("{col} {} {code}", pred.op.symbol()))
-                    }
+                    Some(code) => where_parts.push(format!("{col} {} {code}", pred.op.symbol())),
                     None => {
                         if pred.op == CmpOp::Eq {
                             where_parts.push("1 = 0".to_string());
@@ -311,11 +304,7 @@ fn render_literal(v: &Value) -> Result<String> {
         Value::Double(d) => format!("{d:?}"),
         Value::Bool(b) => b.to_string().to_uppercase(),
         Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
-        Value::Null => {
-            return Err(SqlmlError::Cache(
-                "NULL literals are not rewritable".into(),
-            ))
-        }
+        Value::Null => return Err(SqlmlError::Cache("NULL literals are not rewritable".into())),
     })
 }
 

@@ -177,17 +177,41 @@ mod tests {
     #[test]
     fn boundary_cases_of_ordering_implication() {
         // col < 10 implies col < 10 and col <= 10, not col < 9.
-        assert!(predicate_implies(&pred("a", CmpOp::Lt, 10i64), &pred("a", CmpOp::Lt, 10i64)));
-        assert!(predicate_implies(&pred("a", CmpOp::Lt, 10i64), &pred("a", CmpOp::LtEq, 10i64)));
-        assert!(!predicate_implies(&pred("a", CmpOp::Lt, 10i64), &pred("a", CmpOp::Lt, 9i64)));
+        assert!(predicate_implies(
+            &pred("a", CmpOp::Lt, 10i64),
+            &pred("a", CmpOp::Lt, 10i64)
+        ));
+        assert!(predicate_implies(
+            &pred("a", CmpOp::Lt, 10i64),
+            &pred("a", CmpOp::LtEq, 10i64)
+        ));
+        assert!(!predicate_implies(
+            &pred("a", CmpOp::Lt, 10i64),
+            &pred("a", CmpOp::Lt, 9i64)
+        ));
         // col <= 10 implies col < 11 (integers or not, 10 < 11).
-        assert!(predicate_implies(&pred("a", CmpOp::LtEq, 10i64), &pred("a", CmpOp::Lt, 11i64)));
-        assert!(!predicate_implies(&pred("a", CmpOp::LtEq, 10i64), &pred("a", CmpOp::Lt, 10i64)));
+        assert!(predicate_implies(
+            &pred("a", CmpOp::LtEq, 10i64),
+            &pred("a", CmpOp::Lt, 11i64)
+        ));
+        assert!(!predicate_implies(
+            &pred("a", CmpOp::LtEq, 10i64),
+            &pred("a", CmpOp::Lt, 10i64)
+        ));
         // Upper bounds never imply lower bounds.
-        assert!(!predicate_implies(&pred("a", CmpOp::Lt, 10i64), &pred("a", CmpOp::Gt, 0i64)));
+        assert!(!predicate_implies(
+            &pred("a", CmpOp::Lt, 10i64),
+            &pred("a", CmpOp::Gt, 0i64)
+        ));
         // Mirrors.
-        assert!(predicate_implies(&pred("a", CmpOp::Gt, 20i64), &pred("a", CmpOp::GtEq, 18i64)));
-        assert!(predicate_implies(&pred("a", CmpOp::GtEq, 21i64), &pred("a", CmpOp::Gt, 20i64)));
+        assert!(predicate_implies(
+            &pred("a", CmpOp::Gt, 20i64),
+            &pred("a", CmpOp::GtEq, 18i64)
+        ));
+        assert!(predicate_implies(
+            &pred("a", CmpOp::GtEq, 21i64),
+            &pred("a", CmpOp::Gt, 20i64)
+        ));
     }
 
     #[test]
@@ -231,10 +255,15 @@ mod tests {
 
     fn base_descriptor() -> QueryDescriptor {
         QueryDescriptor {
-            tables: ["carts".to_string(), "users".to_string()].into_iter().collect(),
-            joins: [(ColRef::new("carts", "userid"), ColRef::new("users", "userid"))]
+            tables: ["carts".to_string(), "users".to_string()]
                 .into_iter()
                 .collect(),
+            joins: [(
+                ColRef::new("carts", "userid"),
+                ColRef::new("users", "userid"),
+            )]
+            .into_iter()
+            .collect(),
             predicates: vec![SimplePredicate {
                 col: ColRef::new("users", "country"),
                 op: CmpOp::Eq,

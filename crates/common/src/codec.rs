@@ -10,6 +10,8 @@
 //!   the streaming-transfer wire, where schema is negotiated once per
 //!   connection and rows are self-delimiting.
 
+use bytes::BufMut;
+
 use crate::error::{Result, SqlmlError};
 use crate::row::Row;
 use crate::schema::{DataType, Schema};
@@ -137,32 +139,67 @@ const TAG_INT: u8 = 2;
 const TAG_DOUBLE: u8 = 3;
 const TAG_STR: u8 = 4;
 
-/// Append the binary encoding of `row` to `buf`:
+/// Append the binary encoding of `row` to any [`BufMut`] sink (a
+/// `Vec<u8>` or a reusable `BytesMut` scratch buffer):
 /// `u32 value-count`, then per value a 1-byte tag + payload.
-pub fn encode_binary_row(row: &Row, buf: &mut Vec<u8>) {
-    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+pub fn encode_binary_row<B: BufMut>(row: &Row, buf: &mut B) {
+    buf.put_u32_le(row.len() as u32);
     for v in row.values() {
         match v {
-            Value::Null => buf.push(TAG_NULL),
+            Value::Null => buf.put_u8(TAG_NULL),
             Value::Bool(b) => {
-                buf.push(TAG_BOOL);
-                buf.push(*b as u8);
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(*b as u8);
             }
             Value::Int(i) => {
-                buf.push(TAG_INT);
-                buf.extend_from_slice(&i.to_le_bytes());
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
             }
             Value::Double(d) => {
-                buf.push(TAG_DOUBLE);
-                buf.extend_from_slice(&d.to_bits().to_le_bytes());
+                buf.put_u8(TAG_DOUBLE);
+                buf.put_u64_le(d.to_bits());
             }
             Value::Str(s) => {
-                buf.push(TAG_STR);
-                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                buf.extend_from_slice(s.as_bytes());
+                buf.put_u8(TAG_STR);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
             }
         }
     }
+}
+
+/// Vectorized batch encoding: `u32 row-count`, then each row in the
+/// format of [`encode_binary_row`]. This is the payload layout of a
+/// `RowBatch` wire frame, so the data plane encodes batches in one pass
+/// with no intermediate per-row buffers.
+pub fn encode_binary_batch<B: BufMut>(rows: &[Row], buf: &mut B) {
+    buf.put_u32_le(rows.len() as u32);
+    for r in rows {
+        encode_binary_row(r, buf);
+    }
+}
+
+/// Decode a batch written by [`encode_binary_batch`], verifying that the
+/// buffer is fully consumed.
+pub fn decode_binary_batch(buf: &[u8]) -> Result<Vec<Row>> {
+    if buf.len() < 4 {
+        return Err(SqlmlError::Execution("truncated binary batch".to_string()));
+    }
+    let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let mut body = &buf[4..];
+    let mut rows = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let (row, used) = decode_binary_row(body)?;
+        rows.push(row);
+        body = &body[used..];
+    }
+    if !body.is_empty() {
+        return Err(SqlmlError::Execution(format!(
+            "binary batch has {} trailing bytes",
+            body.len()
+        )));
+    }
+    Ok(rows)
 }
 
 /// Decode one binary row from the front of `buf`; returns the row and the
@@ -171,9 +208,7 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
         if *pos + n > buf.len() {
-            return Err(SqlmlError::Execution(
-                "truncated binary row".to_string(),
-            ));
+            return Err(SqlmlError::Execution("truncated binary row".to_string()));
         }
         let s = &buf[*pos..*pos + n];
         *pos += n;
@@ -191,8 +226,7 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
                 take(&mut pos, 8)?.try_into().unwrap(),
             ))),
             TAG_STR => {
-                let len =
-                    u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
                 let bytes = take(&mut pos, len)?;
                 Value::Str(String::from_utf8(bytes.to_vec()).map_err(|e| {
                     SqlmlError::Execution(format!("invalid utf8 in binary row: {e}"))
@@ -304,6 +338,39 @@ mod tests {
             pos += used;
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn binary_batch_round_trip_and_trailing_bytes_rejected() {
+        let rows = vec![
+            row![1i64, "a", 1.5],
+            Row::new(vec![Value::Null, Value::Bool(false)]),
+            Row::new(vec![]),
+        ];
+        let mut buf = Vec::new();
+        encode_binary_batch(&rows, &mut buf);
+        assert_eq!(decode_binary_batch(&buf).unwrap(), rows);
+        // Empty batch is 4 zero bytes.
+        let mut empty = Vec::new();
+        encode_binary_batch(&[], &mut empty);
+        assert_eq!(empty, vec![0, 0, 0, 0]);
+        assert!(decode_binary_batch(&empty).unwrap().is_empty());
+        // Trailing garbage and truncation are both detected.
+        buf.push(0xFF);
+        assert!(decode_binary_batch(&buf).is_err());
+        assert!(decode_binary_batch(&[1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn binary_row_encodes_into_bytes_mut_scratch() {
+        let mut scratch = bytes::BytesMut::with_capacity(64);
+        let r = row![7i64, "x"];
+        encode_binary_row(&r, &mut scratch);
+        let (back, used) = decode_binary_row(&scratch).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, scratch.len());
+        scratch.clear();
+        assert!(scratch.capacity() >= used, "allocation is retained");
     }
 
     #[test]

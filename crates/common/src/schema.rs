@@ -218,7 +218,12 @@ mod tests {
 
     #[test]
     fn type_names_round_trip() {
-        for t in [DataType::Bool, DataType::Int, DataType::Double, DataType::Str] {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Double,
+            DataType::Str,
+        ] {
             assert_eq!(DataType::parse_sql_name(t.sql_name()).unwrap(), t);
         }
         assert!(DataType::parse_sql_name("BLOB").is_err());

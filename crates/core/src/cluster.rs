@@ -25,6 +25,11 @@ pub struct ClusterConfig {
     pub splits_per_worker: u32,
     /// Send/receive buffer size for streaming (paper: 4 KiB).
     pub send_buffer_bytes: usize,
+    /// Rows per `RowBatch` frame on the streaming data plane.
+    pub batch_rows: usize,
+    /// Wire-byte target per frame (frames close at `batch_rows` rows or
+    /// `frame_bytes` bytes, whichever comes first; paper: 4 KiB).
+    pub frame_bytes: usize,
     /// DFS parameters (block size, replication, optional throttling).
     pub dfs: DfsConfig,
     /// Split DFS text inputs at block granularity (Hadoop's behaviour)
@@ -40,6 +45,8 @@ impl Default for ClusterConfig {
             ml_workers: 4,
             splits_per_worker: 1,
             send_buffer_bytes: 4 * 1024,
+            batch_rows: sqlml_transfer::stream_udf::BATCH_ROWS,
+            frame_bytes: sqlml_transfer::stream_udf::FRAME_BYTES,
             dfs: DfsConfig {
                 num_datanodes: 4,
                 block_size: 1024 * 1024,
@@ -131,6 +138,8 @@ impl SimCluster {
         StreamSessionConfig {
             splits_per_worker: self.config.splits_per_worker,
             send_buffer_bytes: self.config.send_buffer_bytes,
+            batch_rows: self.config.batch_rows,
+            frame_bytes: self.config.frame_bytes,
             ml_job: self.ml_job_config(),
             spill_dir: std::env::temp_dir().join("sqlml-cluster-spill"),
         }
@@ -157,10 +166,18 @@ impl SimCluster {
         carts.save_text(&self.dfs, "/warehouse/carts")?;
         users.save_text(&self.dfs, "/warehouse/users")?;
         // The engine reads its tables from the warehouse.
-        self.engine
-            .load_text_table("carts", w.carts_schema.clone(), &self.dfs, "/warehouse/carts")?;
-        self.engine
-            .load_text_table("users", w.users_schema.clone(), &self.dfs, "/warehouse/users")?;
+        self.engine.load_text_table(
+            "carts",
+            w.carts_schema.clone(),
+            &self.dfs,
+            "/warehouse/carts",
+        )?;
+        self.engine.load_text_table(
+            "users",
+            w.users_schema.clone(),
+            &self.dfs,
+            "/warehouse/users",
+        )?;
         Ok(w)
     }
 }
@@ -173,14 +190,8 @@ mod tests {
     fn cluster_boots_and_loads_workload() {
         let cluster = SimCluster::start(ClusterConfig::for_tests()).unwrap();
         let w = cluster.load_workload(WorkloadScale::TINY, 7).unwrap();
-        assert_eq!(
-            cluster.engine.table_rows("carts").unwrap(),
-            w.carts.len()
-        );
-        assert_eq!(
-            cluster.engine.table_rows("users").unwrap(),
-            w.users.len()
-        );
+        assert_eq!(cluster.engine.table_rows("carts").unwrap(), w.carts.len());
+        assert_eq!(cluster.engine.table_rows("users").unwrap(), w.users.len());
         // The warehouse files exist on the DFS.
         assert!(!cluster.dfs.list("/warehouse/carts/").is_empty());
         // And the prep query runs.

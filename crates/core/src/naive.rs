@@ -66,20 +66,19 @@ pub fn run_external_transform(
 
     // ---- Job 1: distinct values per column (map side), merged at the
     // driver (reduce side).
-    let partials: Vec<BTreeSet<(String, String)>> =
-        parallel_over_files(&files, |path| {
-            let text = dfs.read_string(path)?;
-            let mut set = BTreeSet::new();
-            for line in text.lines().filter(|l| !l.is_empty()) {
-                let row = codec::decode_text_row(line, input_schema)?;
-                for (name, idx) in &col_indices {
-                    if let Value::Str(s) = row.get(*idx) {
-                        set.insert((name.clone(), s.clone()));
-                    }
+    let partials: Vec<BTreeSet<(String, String)>> = parallel_over_files(&files, |path| {
+        let text = dfs.read_string(path)?;
+        let mut set = BTreeSet::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            let row = codec::decode_text_row(line, input_schema)?;
+            for (name, idx) in &col_indices {
+                if let Value::Str(s) = row.get(*idx) {
+                    set.insert((name.clone(), s.clone()));
                 }
             }
-            Ok(set)
-        })?;
+        }
+        Ok(set)
+    })?;
     let mut all_pairs = BTreeSet::new();
     for p in partials {
         all_pairs.extend(p);
@@ -91,7 +90,9 @@ pub fn run_external_transform(
     // columns expand into K indicator columns.
     let mut fields = Vec::new();
     for f in input_schema.fields() {
-        let is_recoded = recode_columns.iter().any(|c| c.eq_ignore_ascii_case(&f.name));
+        let is_recoded = recode_columns
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(&f.name));
         let is_dummy = spec
             .dummy_code_columns
             .iter()
@@ -145,7 +146,9 @@ fn transform_row(
     let recode_columns = spec.effective_recode_columns(input_schema);
     let mut values = Vec::with_capacity(row.len());
     for (i, f) in input_schema.fields().iter().enumerate() {
-        let is_recoded = recode_columns.iter().any(|c| c.eq_ignore_ascii_case(&f.name));
+        let is_recoded = recode_columns
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(&f.name));
         let is_dummy = spec
             .dummy_code_columns
             .iter()
@@ -171,9 +174,11 @@ fn transform_row(
         } else if is_recoded {
             match v {
                 Value::Null => values.push(Value::Null),
-                Value::Str(s) => values.push(Value::Int(map.code(&f.name, s).ok_or_else(
-                    || SqlmlError::Execution(format!("unseen value {s:?} for {}", f.name)),
-                )?)),
+                Value::Str(s) => {
+                    values.push(Value::Int(map.code(&f.name, s).ok_or_else(|| {
+                        SqlmlError::Execution(format!("unseen value {s:?} for {}", f.name))
+                    })?))
+                }
                 other => {
                     return Err(SqlmlError::Type(format!(
                         "expected a categorical string in {}, found {other}",
@@ -233,7 +238,10 @@ mod tests {
 
     fn dfs_with_input() -> Dfs {
         let dfs = Dfs::new(DfsConfig::for_tests());
-        let part0 = vec![row![57i64, "F", 103.25, "Yes"], row![40i64, "M", 35.8, "Yes"]];
+        let part0 = vec![
+            row![57i64, "F", 103.25, "Yes"],
+            row![40i64, "M", 35.8, "Yes"],
+        ];
         let part1 = vec![row![35i64, "F", 48.9, "No"]];
         dfs.write_string("/in/part-00000", &codec::encode_text_batch(&part0))
             .unwrap();

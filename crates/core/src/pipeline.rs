@@ -78,6 +78,31 @@ impl PipelineReport {
     pub fn pipeline_time(&self) -> Duration {
         self.timer.total()
     }
+
+    /// One-line transfer-throughput summary for streaming runs, rendered
+    /// alongside the stage breakdown: rows/bytes/batches sent, wire
+    /// throughput, spill activity, time to first row at the ML side, and
+    /// restart attempts. `None` for strategies that never streamed.
+    pub fn transfer_summary(&self) -> Option<String> {
+        use sqlml_common::timer::{format_bytes, format_duration};
+        let s = self.stream_stats.as_ref()?;
+        let secs = self.pipeline_time().as_secs_f64().max(1e-9);
+        let throughput = format_bytes((s.bytes_sent as f64 / secs) as u64);
+        let first_row = s
+            .receive
+            .time_to_first_row
+            .map_or_else(|| "n/a".to_string(), format_duration);
+        Some(format!(
+            "transfer: {} rows, {} in {} batches ({throughput}/s wire), \
+             spilled {} ({} events), first row +{first_row}, attempts {}",
+            s.rows_sent,
+            format_bytes(s.bytes_sent),
+            s.batches_sent,
+            format_bytes(s.bytes_spilled),
+            s.spill_events,
+            s.max_attempts,
+        ))
+    }
 }
 
 static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
@@ -126,11 +151,7 @@ impl<'c> Pipeline<'c> {
 
     // -- naive ------------------------------------------------------------
 
-    fn run_naive(
-        &self,
-        req: &PipelineRequest,
-        ml_spec: &TrainingSpec,
-    ) -> Result<PipelineReport> {
+    fn run_naive(&self, req: &PipelineRequest, ml_spec: &TrainingSpec) -> Result<PipelineReport> {
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir_prep = format!("/tmp_pipeline/{seq}/prep");
         let dir_tfm = format!("/tmp_pipeline/{seq}/trsfm");
@@ -140,7 +161,9 @@ impl<'c> Pipeline<'c> {
 
         // Stage 1: run the query, materialize on the DFS.
         let prep_schema = engine.validate(&req.prep_sql)?;
-        timer.time("prep", || engine.query_to_dfs(&req.prep_sql, dfs, &dir_prep))?;
+        timer.time("prep", || {
+            engine.query_to_dfs(&req.prep_sql, dfs, &dir_prep)
+        })?;
 
         // Stage 2: the external (Jaql-substitute) transformation,
         // DFS → DFS.
@@ -175,11 +198,7 @@ impl<'c> Pipeline<'c> {
 
     // -- insql ------------------------------------------------------------
 
-    fn run_insql(
-        &self,
-        req: &PipelineRequest,
-        ml_spec: &TrainingSpec,
-    ) -> Result<PipelineReport> {
+    fn run_insql(&self, req: &PipelineRequest, ml_spec: &TrainingSpec) -> Result<PipelineReport> {
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir_tfm = format!("/tmp_pipeline/{seq}/insql");
         let dfs = &self.cluster.dfs;
@@ -232,12 +251,15 @@ impl<'c> Pipeline<'c> {
         // stream straight into the freshly launched ML job — nothing
         // touches the file system.
         let (transformed, cache_use) = self.prepare_and_transform(req)?;
-        let tmp = format!("__pipeline_stream_{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed));
+        let tmp = format!(
+            "__pipeline_stream_{}",
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
         engine.register_table(&tmp, transformed);
-        let outcome = self
-            .cluster
-            .stream
-            .run(engine, &tmp, &req.ml_command, &self.cluster.stream_config());
+        let outcome =
+            self.cluster
+                .stream
+                .run(engine, &tmp, &req.ml_command, &self.cluster.stream_config());
         let _ = engine.catalog().drop_table(&tmp);
         let outcome = outcome?;
 
@@ -284,7 +306,10 @@ impl<'c> Pipeline<'c> {
         }
 
         // Materialize the prep result, then transform it In-SQL.
-        let tmp = format!("__pipeline_prep_{}", RUN_SEQ.fetch_add(1, Ordering::Relaxed));
+        let tmp = format!(
+            "__pipeline_prep_{}",
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
         engine.execute(&format!("CREATE TABLE {tmp} AS {}", req.prep_sql))?;
         let result = match &cached_map {
             Some(map) => self.transformer.transform_with_map(&tmp, &req.spec, map),
@@ -367,15 +392,43 @@ mod tests {
         let cluster = cluster();
         let pipeline = Pipeline::new(&cluster);
         let naive = pipeline.run(&request(), Strategy::Naive).unwrap();
-        let names: Vec<&str> = naive.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = naive
+            .timer
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, vec!["prep", "trsfm", "input for ml"]);
         let insql = pipeline.run(&request(), Strategy::InSql).unwrap();
-        let names: Vec<&str> = insql.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = insql
+            .timer
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, vec!["prep+trsfm", "input for ml"]);
         let stream = pipeline.run(&request(), Strategy::InSqlStream).unwrap();
-        let names: Vec<&str> = stream.timer.stages().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = stream
+            .timer
+            .stages()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, vec!["prep+trsfm+input"]);
         assert!(stream.stream_stats.is_some());
+        // Throughput counters ride along with the stage report instead of
+        // adding stages of their own.
+        assert!(naive.transfer_summary().is_none());
+        let summary = stream.transfer_summary().unwrap();
+        assert!(
+            summary.contains("batches") && summary.contains("first row"),
+            "{summary}"
+        );
+        let stats = stream.stream_stats.as_ref().unwrap();
+        assert!(stats.batches_sent > 0);
+        assert_eq!(stats.receive.rows_received, stats.rows_sent);
+        assert_eq!(stats.receive.batches_received, stats.batches_sent);
+        assert!(stats.receive.time_to_first_row.is_some());
     }
 
     #[test]

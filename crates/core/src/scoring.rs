@@ -124,7 +124,10 @@ mod tests {
                  FROM scored_input",
             )
             .unwrap();
-        assert_eq!(scored.num_rows(), engine.table_rows("scored_input").unwrap());
+        assert_eq!(
+            scored.num_rows(),
+            engine.table_rows("scored_input").unwrap()
+        );
         let mut zeros = 0;
         let mut ones = 0;
         for r in scored.collect_rows() {

@@ -120,8 +120,7 @@ impl Workload {
             // Abandonment probability: strongly feature-dependent so the
             // downstream classifier has real signal — younger users and
             // pricier carts abandon far more often.
-            let p = (0.5 + 0.012 * (45.0 - age) + 0.005 * (amount - 90.0))
-                .clamp(0.02, 0.98);
+            let p = (0.5 + 0.012 * (45.0 - age) + 0.005 * (amount - 90.0)).clamp(0.02, 0.98);
             let abandoned = if cart_rng.chance(p) { "Yes" } else { "No" };
             let year = if cart_rng.chance(0.7) { 2014 } else { 2013 };
             let nitems = cart_rng.range_i64(1, 20);
@@ -150,9 +149,27 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 5);
-        let b = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 5);
-        let c = Workload::generate(WorkloadScale { carts: 100, users: 20 }, 6);
+        let a = Workload::generate(
+            WorkloadScale {
+                carts: 100,
+                users: 20,
+            },
+            5,
+        );
+        let b = Workload::generate(
+            WorkloadScale {
+                carts: 100,
+                users: 20,
+            },
+            5,
+        );
+        let c = Workload::generate(
+            WorkloadScale {
+                carts: 100,
+                users: 20,
+            },
+            6,
+        );
         assert_eq!(a.carts, b.carts);
         assert_eq!(a.users, b.users);
         assert_ne!(a.carts, c.carts);
@@ -199,7 +216,13 @@ mod tests {
     fn abandonment_correlates_with_age() {
         // Young users must abandon more than old ones — the learnable
         // signal the SVM needs.
-        let w = Workload::generate(WorkloadScale { carts: 20_000, users: 1_000 }, 3);
+        let w = Workload::generate(
+            WorkloadScale {
+                carts: 20_000,
+                users: 1_000,
+            },
+            3,
+        );
         let age_of: Vec<i64> = w.users.iter().map(|r| r.get(1).as_i64().unwrap()).collect();
         let (mut young_yes, mut young_all, mut old_yes, mut old_all) = (0, 0, 0, 0);
         for r in &w.carts {

@@ -115,7 +115,9 @@ impl Dfs {
         let datanodes = (0..config.num_datanodes)
             .map(|_| DataNode::new(config.bytes_per_sec.map(Throttle::new)))
             .collect();
-        let network = config.remote_bytes_per_sec.map(|b| Arc::new(Throttle::new(b)));
+        let network = config
+            .remote_bytes_per_sec
+            .map(|b| Arc::new(Throttle::new(b)));
         Dfs {
             inner: Arc::new(Inner {
                 config,
@@ -395,10 +397,7 @@ impl DfsReader {
                 .map_err(|e| io::Error::other(e.to_string()))?;
             // A reader not colocated with any replica pays the network.
             if let (Some(node), Some(net)) = (&self.reader_node, &self.dfs.inner.network) {
-                let local = loc
-                    .nodes
-                    .iter()
-                    .any(|n| crate::node_name(*n) == *node);
+                let local = loc.nodes.iter().any(|n| crate::node_name(*n) == *node);
                 if !local {
                     net.consume(data.len());
                 }
@@ -466,7 +465,8 @@ mod tests {
     #[test]
     fn overwrite_replaces_contents() {
         let dfs = Dfs::new(DfsConfig::for_tests());
-        dfs.write_string("/t/f", "old contents old contents").unwrap();
+        dfs.write_string("/t/f", "old contents old contents")
+            .unwrap();
         dfs.write_string("/t/f", "new").unwrap();
         assert_eq!(dfs.read_string("/t/f").unwrap(), "new");
     }

@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn labels_and_counts() {
         let d = Dataset::new(vec![
-            vec![LabeledPoint::new(1.0, vec![0.0]), LabeledPoint::new(0.0, vec![1.0])],
+            vec![
+                LabeledPoint::new(1.0, vec![0.0]),
+                LabeledPoint::new(0.0, vec![1.0]),
+            ],
             vec![LabeledPoint::new(1.0, vec![2.0])],
         ])
         .unwrap();
@@ -306,8 +309,9 @@ mod tests {
 
     #[test]
     fn split_every_kth_partitions_points() {
-        let points: Vec<LabeledPoint> =
-            (0..10).map(|i| LabeledPoint::new(i as f64, vec![i as f64])).collect();
+        let points: Vec<LabeledPoint> = (0..10)
+            .map(|i| LabeledPoint::new(i as f64, vec![i as f64]))
+            .collect();
         let d = Dataset::new(vec![points[..5].to_vec(), points[5..].to_vec()]).unwrap();
         let (train, test) = d.split_every_kth(5);
         assert_eq!(test.num_points(), 2);
@@ -319,7 +323,10 @@ mod tests {
     fn par_partitions_preserves_order() {
         let d = Dataset::new(vec![
             vec![LabeledPoint::new(0.0, vec![1.0])],
-            vec![LabeledPoint::new(0.0, vec![2.0]), LabeledPoint::new(0.0, vec![3.0])],
+            vec![
+                LabeledPoint::new(0.0, vec![2.0]),
+                LabeledPoint::new(0.0, vec![3.0]),
+            ],
             vec![],
         ])
         .unwrap();

@@ -31,6 +31,24 @@ pub trait InputSplit: Send + Sync {
 pub trait RecordReader: Send {
     /// Next record, or `None` at end of split.
     fn next_row(&mut self) -> Result<Option<Row>>;
+
+    /// Append up to `max_rows` records to `out`, returning how many were
+    /// added (0 only at end of split). Batched sources override this to
+    /// hand over whole decoded batches without per-row dispatch; the
+    /// default just loops [`RecordReader::next_row`].
+    fn next_batch(&mut self, out: &mut Vec<Row>, max_rows: usize) -> Result<usize> {
+        let mut n = 0;
+        while n < max_rows {
+            match self.next_row()? {
+                Some(row) => {
+                    out.push(row);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
 }
 
 /// A source of splits and readers — the contract every ML job ingests
@@ -203,9 +221,10 @@ impl TextInputFormat {
         // remote block reads against the cluster's network bandwidth, so
         // non-local assignments cost time.
         let reader = match worker_node {
-            Some(node) => self
-                .dfs
-                .open_range_from(&fs.path, fs.offset, fs.total_len - fs.offset, node)?,
+            Some(node) => {
+                self.dfs
+                    .open_range_from(&fs.path, fs.offset, fs.total_len - fs.offset, node)?
+            }
             None => self
                 .dfs
                 .open_range(&fs.path, fs.offset, fs.total_len - fs.offset)?,
@@ -370,7 +389,8 @@ mod tests {
     #[test]
     fn text_format_reads_all_part_files() {
         let dfs = Dfs::new(DfsConfig::for_tests());
-        dfs.write_string("/ml/in/part-00000", "1.5|1\n2.5|0\n").unwrap();
+        dfs.write_string("/ml/in/part-00000", "1.5|1\n2.5|0\n")
+            .unwrap();
         dfs.write_string("/ml/in/part-00001", "3.5|1\n").unwrap();
         let fmt = TextInputFormat::new(dfs, "/ml/in", schema());
         let splits = fmt.get_splits(8).unwrap();
@@ -383,7 +403,10 @@ mod tests {
             }
         }
         rows.sort();
-        assert_eq!(rows, vec![row![1.5, 1i64], row![2.5, 0i64], row![3.5, 1i64]]);
+        assert_eq!(
+            rows,
+            vec![row![1.5, 1i64], row![2.5, 0i64], row![3.5, 1i64]]
+        );
     }
 
     #[test]
@@ -449,8 +472,7 @@ mod tests {
         let blocks = dfs.block_locations("/blk2/part-00000").unwrap();
         assert_eq!(splits.len(), blocks.len());
         for (s, b) in splits.iter().zip(&blocks) {
-            let expect: Vec<String> =
-                b.nodes.iter().copied().map(sqlml_dfs::node_name).collect();
+            let expect: Vec<String> = b.nodes.iter().copied().map(sqlml_dfs::node_name).collect();
             assert_eq!(s.locations(), expect);
         }
     }
@@ -459,7 +481,10 @@ mod tests {
     fn memory_format_round_trips_partitions() {
         let fmt = MemoryInputFormat::new(
             schema(),
-            vec![vec![row![1.0, 1i64]], vec![row![2.0, 0i64], row![3.0, 1i64]]],
+            vec![
+                vec![row![1.0, 1i64]],
+                vec![row![2.0, 0i64], row![3.0, 1i64]],
+            ],
         );
         let splits = fmt.get_splits(99).unwrap();
         assert_eq!(splits.len(), 2);

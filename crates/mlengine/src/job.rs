@@ -278,8 +278,9 @@ impl JobRunner {
         let splits = format.get_splits(requested)?;
         let num_splits = splits.len();
         let (assigned, local_splits) = self.assign_splits(splits);
-        let worker_nodes: Vec<String> =
-            (0..self.config.num_workers).map(|w| self.config.worker_node(w)).collect();
+        let worker_nodes: Vec<String> = (0..self.config.num_workers)
+            .map(|w| self.config.worker_node(w))
+            .collect();
 
         // Each worker drains its splits on its own thread, and reads its
         // splits concurrently (one reader task per split, as a real
@@ -303,9 +304,10 @@ impl JobRunner {
                                             let mut rows = Vec::new();
                                             let mut reader =
                                                 format.create_reader_at(s.as_ref(), node)?;
-                                            while let Some(r) = reader.next_row()? {
-                                                rows.push(r);
-                                            }
+                                            // Batched pull: streaming
+                                            // readers hand over whole
+                                            // decoded frames per call.
+                                            while reader.next_batch(&mut rows, usize::MAX)? > 0 {}
                                             Ok(rows)
                                         })
                                     })
@@ -613,7 +615,10 @@ mod tests {
             ..Default::default()
         });
         let outcome = runner
-            .run(&fmt, &TrainingSpec::parse("kmeans k=2 iterations=30").unwrap())
+            .run(
+                &fmt,
+                &TrainingSpec::parse("kmeans k=2 iterations=30").unwrap(),
+            )
             .unwrap();
         match outcome.model {
             TrainedModel::KMeans(m) => {
@@ -645,7 +650,10 @@ mod tests {
             ..Default::default()
         });
         let outcome = runner
-            .run(&fmt, &TrainingSpec::parse("svm label=2 iterations=50").unwrap())
+            .run(
+                &fmt,
+                &TrainingSpec::parse("svm label=2 iterations=50").unwrap(),
+            )
             .unwrap();
         // Class "2" (around +2) maps to 1.
         assert_eq!(outcome.model.predict(&[2.0, 2.0]), 1.0);
@@ -654,7 +662,11 @@ mod tests {
 
     #[test]
     fn truly_bad_labels_still_rejected() {
-        let rows = vec![row![1.0, 1.0, 5i64], row![2.0, 2.0, 9i64], row![0.0, 0.0, 11i64]];
+        let rows = vec![
+            row![1.0, 1.0, 5i64],
+            row![2.0, 2.0, 9i64],
+            row![0.0, 0.0, 11i64],
+        ];
         let fmt = MemoryInputFormat::new(schema(), vec![rows]);
         let runner = JobRunner::new(JobConfig {
             num_workers: 1,

@@ -105,8 +105,7 @@ impl KMeansTrainer {
                 }
                 // Empty clusters keep their previous centroid.
             }
-            if prev_cost.is_finite() && (prev_cost - cost).abs() <= self.tolerance * prev_cost
-            {
+            if prev_cost.is_finite() && (prev_cost - cost).abs() <= self.tolerance * prev_cost {
                 prev_cost = cost;
                 break;
             }
@@ -150,7 +149,10 @@ mod tests {
             let (cx, cy) = centers[i % 3];
             out[i % parts].push(LabeledPoint::new(
                 0.0,
-                vec![cx + rng.next_gaussian() * 0.4, cy + rng.next_gaussian() * 0.4],
+                vec![
+                    cx + rng.next_gaussian() * 0.4,
+                    cy + rng.next_gaussian() * 0.4,
+                ],
             ));
         }
         Dataset::new(out).unwrap()
@@ -181,27 +183,42 @@ mod tests {
 
     #[test]
     fn partitioning_invariant() {
-        let m1 = KMeansTrainer { k: 3, ..Default::default() }
-            .train(&blob_data(1, 43))
-            .unwrap();
-        let m6 = KMeansTrainer { k: 3, ..Default::default() }
-            .train(&blob_data(6, 43))
-            .unwrap();
+        let m1 = KMeansTrainer {
+            k: 3,
+            ..Default::default()
+        }
+        .train(&blob_data(1, 43))
+        .unwrap();
+        let m6 = KMeansTrainer {
+            k: 3,
+            ..Default::default()
+        }
+        .train(&blob_data(6, 43))
+        .unwrap();
         assert!((m1.cost - m6.cost).abs() < 1e-6 * m1.cost.max(1.0));
     }
 
     #[test]
     fn k_larger_than_points_is_an_error() {
         let tiny = Dataset::from_points(vec![LabeledPoint::new(0.0, vec![1.0])]).unwrap();
-        assert!(KMeansTrainer { k: 2, ..Default::default() }.train(&tiny).is_err());
+        assert!(KMeansTrainer {
+            k: 2,
+            ..Default::default()
+        }
+        .train(&tiny)
+        .is_err());
     }
 
     #[test]
     fn converges_before_max_iterations_on_easy_data() {
         let data = blob_data(2, 47);
-        let model = KMeansTrainer { k: 3, max_iterations: 50, ..Default::default() }
-            .train(&data)
-            .unwrap();
+        let model = KMeansTrainer {
+            k: 3,
+            max_iterations: 50,
+            ..Default::default()
+        }
+        .train(&data)
+        .unwrap();
         assert!(model.iterations_run < 50, "ran {}", model.iterations_run);
     }
 }

@@ -68,7 +68,10 @@ impl LinRegTrainer {
             }
             b -= self.step_size * gb / n;
         }
-        Ok(LinRegModel { weights: w, intercept: b })
+        Ok(LinRegModel {
+            weights: w,
+            intercept: b,
+        })
     }
 }
 
@@ -90,11 +93,7 @@ mod tests {
                 LabeledPoint::new(y, vec![x1, x2])
             })
             .collect();
-        let data = Dataset::new(vec![
-            points[..250].to_vec(),
-            points[250..].to_vec(),
-        ])
-        .unwrap();
+        let data = Dataset::new(vec![points[..250].to_vec(), points[250..].to_vec()]).unwrap();
         let m = LinRegTrainer::default().train(&data).unwrap();
         assert!((m.weights[0] - 3.0).abs() < 0.05, "{:?}", m);
         assert!((m.weights[1] + 2.0).abs() < 0.05, "{:?}", m);

@@ -102,7 +102,10 @@ impl LogRegTrainer {
             }
             b -= self.step_size * gb / n;
         }
-        LogRegModel { weights: w, intercept: b }
+        LogRegModel {
+            weights: w,
+            intercept: b,
+        }
     }
 }
 
@@ -152,8 +155,12 @@ mod tests {
 
     #[test]
     fn deterministic_across_partitionings() {
-        let a = LogRegTrainer::default().train(&noisy_halfplanes(200, 5, 1)).unwrap();
-        let b = LogRegTrainer::default().train(&noisy_halfplanes(200, 5, 8)).unwrap();
+        let a = LogRegTrainer::default()
+            .train(&noisy_halfplanes(200, 5, 1))
+            .unwrap();
+        let b = LogRegTrainer::default()
+            .train(&noisy_halfplanes(200, 5, 8))
+            .unwrap();
         for (x, y) in a.weights.iter().zip(&b.weights) {
             assert!((x - y).abs() < 1e-9);
         }

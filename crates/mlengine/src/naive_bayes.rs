@@ -65,9 +65,9 @@ impl NaiveBayesTrainer {
         let partials: Vec<Partial> = par_partitions(data, |_, part| {
             let mut m: Partial = BTreeMap::new();
             for p in part {
-                let e = m.entry(p.label.to_bits()).or_insert_with(|| {
-                    (0.0, vec![0.0; dim], vec![0.0; dim])
-                });
+                let e = m
+                    .entry(p.label.to_bits())
+                    .or_insert_with(|| (0.0, vec![0.0; dim], vec![0.0; dim]));
                 e.0 += 1.0;
                 for ((s, sq), x) in e.1.iter_mut().zip(e.2.iter_mut()).zip(&p.features) {
                     *s += x;
@@ -134,7 +134,10 @@ mod tests {
             let (cx, cy) = centers[c];
             out[i % parts].push(LabeledPoint::new(
                 c as f64,
-                vec![cx + rng.next_gaussian() * 0.7, cy + rng.next_gaussian() * 0.7],
+                vec![
+                    cx + rng.next_gaussian() * 0.7,
+                    cy + rng.next_gaussian() * 0.7,
+                ],
             ));
         }
         Dataset::new(out).unwrap()

@@ -130,7 +130,11 @@ impl SvmTrainer {
             }
             // Normalize by the actual sample size (unbiased gradient
             // estimate); an empty sample contributes only regularization.
-            let denom = if fraction < 1.0 { sampled.max(1) as f64 } else { n };
+            let denom = if fraction < 1.0 {
+                sampled.max(1) as f64
+            } else {
+                n
+            };
             // L2 regularization on the weights (not the intercept).
             let step = self.step_size / (t as f64).sqrt();
             for (wi, gi) in w.iter_mut().zip(&gw) {
@@ -138,7 +142,10 @@ impl SvmTrainer {
             }
             b -= step * gb / denom;
         }
-        SvmModel { weights: w, intercept: b }
+        SvmModel {
+            weights: w,
+            intercept: b,
+        }
     }
 }
 
@@ -151,8 +158,8 @@ fn in_mini_batch(p: &crate::dataset::LabeledPoint, iteration: u64, fraction: f64
     for f in &p.features {
         f.to_bits().hash(&mut h);
     }
-    let mixed = sqlml_common::SplitMix64::new(h.finish() ^ iteration.wrapping_mul(0x9E37))
-        .next_u64();
+    let mixed =
+        sqlml_common::SplitMix64::new(h.finish() ^ iteration.wrapping_mul(0x9E37)).next_u64();
     (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < fraction
 }
 
@@ -225,14 +232,8 @@ mod tests {
         let data1 = blobs(200, 3, 1);
         let data5 = blobs(200, 3, 5);
         for t in [1u64, 7, 23] {
-            let s1: usize = data1
-                .iter()
-                .filter(|p| in_mini_batch(p, t, 0.3))
-                .count();
-            let s5: usize = data5
-                .iter()
-                .filter(|p| in_mini_batch(p, t, 0.3))
-                .count();
+            let s1: usize = data1.iter().filter(|p| in_mini_batch(p, t, 0.3)).count();
+            let s5: usize = data5.iter().filter(|p| in_mini_batch(p, t, 0.3)).count();
             assert_eq!(s1, s5, "sample sizes differ at iteration {t}");
         }
         let trainer = SvmTrainer {
@@ -244,7 +245,13 @@ mod tests {
         let b = trainer.train(&data5).unwrap();
         // Behavioural agreement on probes well away from the decision
         // boundary (x + y = 0 for these blobs).
-        for (x, y) in [(-3.0, -3.0), (-2.0, -1.0), (1.0, 2.0), (3.0, 3.0), (2.5, 0.5)] {
+        for (x, y) in [
+            (-3.0, -3.0),
+            (-2.0, -1.0),
+            (1.0, 2.0),
+            (3.0, 3.0),
+            (2.5, 0.5),
+        ] {
             assert_eq!(a.predict(&[x, y]), b.predict(&[x, y]), "at ({x},{y})");
         }
     }

@@ -91,10 +91,7 @@ impl TreeTrainer {
     fn grow(&self, points: &[&LabeledPoint], depth: usize, num_nodes: &mut usize) -> Node {
         *num_nodes += 1;
         let majority = majority_label(points);
-        if depth >= self.max_depth
-            || points.len() < 2 * self.min_leaf_size
-            || gini(points) == 0.0
-        {
+        if depth >= self.max_depth || points.len() < 2 * self.min_leaf_size || gini(points) == 0.0 {
             return Node::Leaf { label: majority };
         }
         let dim = points[0].features.len();
@@ -115,8 +112,7 @@ impl TreeTrainer {
                     continue;
                 }
                 let n = points.len() as f64;
-                let weighted =
-                    gini(&l) * l.len() as f64 / n + gini(&r) * r.len() as f64 / n;
+                let weighted = gini(&l) * l.len() as f64 / n + gini(&r) * r.len() as f64 / n;
                 if best.is_none_or(|(bi, _, _)| weighted < bi) {
                     best = Some((weighted, f, thr));
                 }
@@ -124,8 +120,9 @@ impl TreeTrainer {
         }
         match best {
             Some((imp, feature, threshold)) if imp < gini(points) => {
-                let (l, r): (Vec<&LabeledPoint>, Vec<&LabeledPoint>) =
-                    points.iter().partition(|p| p.features[feature] <= threshold);
+                let (l, r): (Vec<&LabeledPoint>, Vec<&LabeledPoint>) = points
+                    .iter()
+                    .partition(|p| p.features[feature] <= threshold);
                 Node::Split {
                     feature,
                     threshold,

@@ -106,11 +106,7 @@ impl Broker {
         Ok(self.topic(&topics, topic)?.partitions.len())
     }
 
-    fn topic<'a>(
-        &self,
-        topics: &'a HashMap<String, Topic>,
-        name: &str,
-    ) -> Result<&'a Topic> {
+    fn topic<'a>(&self, topics: &'a HashMap<String, Topic>, name: &str) -> Result<&'a Topic> {
         topics
             .get(name)
             .ok_or_else(|| SqlmlError::Transfer(format!("unknown topic {name:?}")))
@@ -258,18 +254,16 @@ mod tests {
         let b = broker();
         b.create_topic("t", 1).unwrap();
         let b2 = b.clone();
-        let reader = std::thread::spawn(move || {
-            b2.read("t", 0, 0, Duration::from_secs(2)).unwrap()
-        });
+        let reader =
+            std::thread::spawn(move || b2.read("t", 0, 0, Duration::from_secs(2)).unwrap());
         std::thread::sleep(Duration::from_millis(50));
         b.append("t", 0, vec![9]).unwrap();
         assert_eq!(*reader.join().unwrap().unwrap(), vec![9]);
 
         // EOF after seal.
         let b3 = b.clone();
-        let reader = std::thread::spawn(move || {
-            b3.read("t", 0, 1, Duration::from_secs(2)).unwrap()
-        });
+        let reader =
+            std::thread::spawn(move || b3.read("t", 0, 1, Duration::from_secs(2)).unwrap());
         std::thread::sleep(Duration::from_millis(50));
         b.seal("t", 0).unwrap();
         assert!(reader.join().unwrap().is_none());

@@ -84,8 +84,7 @@ pub fn run_mq_pipeline(
     ml_config: JobConfig,
 ) -> Result<MqPipelineOutcome> {
     let t0 = Instant::now();
-    let (rows_published, bytes_published, schema) =
-        publish_table(engine, broker, table, topic)?;
+    let (rows_published, bytes_published, schema) = publish_table(engine, broker, table, topic)?;
     let publish_time = t0.elapsed();
     let job = run_mq_job(broker, topic, schema, command, ml_config, None)?;
     if job.ingest.rows as u64 != rows_published {
@@ -165,10 +164,13 @@ mod tests {
         let engine = engine_with_points(2, 200, 103);
         let broker = Broker::new(BrokerConfig::default());
         install_udf(&engine, &broker);
-        let (rows, _, schema) =
-            publish_table(&engine, &broker, "points", "shared").unwrap();
+        let (rows, _, schema) = publish_table(&engine, &broker, "points", "shared").unwrap();
         assert_eq!(rows, 200);
-        for command in ["svm label=2 iterations=10", "nb label=2", "tree label=2 depth=3"] {
+        for command in [
+            "svm label=2 iterations=10",
+            "nb label=2",
+            "tree label=2 depth=3",
+        ] {
             let job = run_mq_job(
                 &broker,
                 "shared",
@@ -194,8 +196,7 @@ mod tests {
         let engine = engine_with_points(2, 150, 107);
         let broker = Broker::new(BrokerConfig::default());
         install_udf(&engine, &broker);
-        let (rows, _, schema) =
-            publish_table(&engine, &broker, "points", "faulty").unwrap();
+        let (rows, _, schema) = publish_table(&engine, &broker, "points", "faulty").unwrap();
         let records_before = broker.stats("faulty").unwrap().records;
 
         let faults = Arc::new(ConsumerFaults::new());

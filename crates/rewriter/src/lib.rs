@@ -74,9 +74,7 @@ impl QueryRewriter {
                             map: reuse.map,
                         })
                     }
-                    CacheDecision::RecodeMap(map) => {
-                        return Ok(RewritePlan::CachedMap { map })
-                    }
+                    CacheDecision::RecodeMap(map) => return Ok(RewritePlan::CachedMap { map }),
                     CacheDecision::Miss => {}
                 }
             }
@@ -186,14 +184,27 @@ mod tests {
             "carts",
             carts,
             (0..12)
-                .map(|i| row![(i % 4) as i64, i as f64, if i % 2 == 0 { "Yes" } else { "No" }])
+                .map(|i| {
+                    row![
+                        (i % 4) as i64,
+                        i as f64,
+                        if i % 2 == 0 { "Yes" } else { "No" }
+                    ]
+                })
                 .collect(),
         );
         e.register_rows(
             "users",
             users,
             (0..4)
-                .map(|i| row![i as i64, 20 + i as i64, if i % 2 == 0 { "F" } else { "M" }, "USA"])
+                .map(|i| {
+                    row![
+                        i as i64,
+                        20 + i as i64,
+                        if i % 2 == 0 { "F" } else { "M" },
+                        "USA"
+                    ]
+                })
                 .collect(),
         );
         e
@@ -272,7 +283,9 @@ mod tests {
         let spec = TransformSpec::default();
         let out = tr.transform("prep", &spec).unwrap();
         let stmt = parse_select(PREP).unwrap();
-        let d = QueryDescriptor::from_select(&stmt, e.catalog()).unwrap().unwrap();
+        let d = QueryDescriptor::from_select(&stmt, e.catalog())
+            .unwrap()
+            .unwrap();
         cache.store_full(d, spec.clone(), out.recode_map, out.table);
         e.execute("DROP TABLE prep").unwrap();
 
@@ -297,7 +310,9 @@ mod tests {
         let spec = TransformSpec::default();
         let out = tr.transform("prep", &spec).unwrap();
         let stmt = parse_select(PREP).unwrap();
-        let d = QueryDescriptor::from_select(&stmt, e.catalog()).unwrap().unwrap();
+        let d = QueryDescriptor::from_select(&stmt, e.catalog())
+            .unwrap()
+            .unwrap();
         cache.store_recode_map(d, out.recode_map);
         e.execute("DROP TABLE prep").unwrap();
 
@@ -323,8 +338,12 @@ mod tests {
     #[test]
     fn rejects_invalid_input_queries() {
         let rw = QueryRewriter::new(engine());
-        assert!(rw.rewrite("SELECT nope FROM users", &TransformSpec::default(), None).is_err());
-        assert!(rw.rewrite("NOT SQL AT ALL", &TransformSpec::default(), None).is_err());
+        assert!(rw
+            .rewrite("SELECT nope FROM users", &TransformSpec::default(), None)
+            .is_err());
+        assert!(rw
+            .rewrite("NOT SQL AT ALL", &TransformSpec::default(), None)
+            .is_err());
     }
 
     #[test]

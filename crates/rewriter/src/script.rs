@@ -304,7 +304,10 @@ mod tests {
                 }
             })
             .collect();
-        assert_eq!(kinds, vec!["prep", "pairs", "map", "recode", "dummy", "final"]);
+        assert_eq!(
+            kinds,
+            vec!["prep", "pairs", "map", "recode", "dummy", "final"]
+        );
         assert!(script.has_placeholders());
         assert!(script.map_table_name().is_some());
     }

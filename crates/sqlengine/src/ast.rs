@@ -55,7 +55,10 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedWildcard(String),
     /// expression with optional output alias
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 /// A relation in the FROM clause.
@@ -286,9 +289,7 @@ impl AstExpr {
             AstExpr::Between { expr, lo, hi } => {
                 expr.has_aggregate() || lo.has_aggregate() || hi.has_aggregate()
             }
-            AstExpr::Like { expr, pattern, .. } => {
-                expr.has_aggregate() || pattern.has_aggregate()
-            }
+            AstExpr::Like { expr, pattern, .. } => expr.has_aggregate() || pattern.has_aggregate(),
             AstExpr::Cast { expr, .. } => expr.has_aggregate(),
             AstExpr::FuncCall { args, .. } => args.iter().any(|e| e.has_aggregate()),
         }

@@ -96,10 +96,7 @@ mod tests {
     use sqlml_common::{Schema, Value};
 
     fn tiny_table() -> PartitionedTable {
-        PartitionedTable::single(
-            Schema::new(vec![Field::new("x", DataType::Int)]),
-            vec![],
-        )
+        PartitionedTable::single(Schema::new(vec![Field::new("x", DataType::Int)]), vec![])
     }
 
     #[test]

@@ -53,9 +53,7 @@ impl DictionaryColumn {
                         None => {
                             let c = dict.len() as u32;
                             if c == NULL_CODE {
-                                return Err(SqlmlError::Execution(
-                                    "dictionary overflow".into(),
-                                ));
+                                return Err(SqlmlError::Execution("dictionary overflow".into()));
                             }
                             index.insert(s.clone(), c);
                             dict.push(s.clone());
@@ -209,7 +207,13 @@ mod tests {
     #[test]
     fn compression_wins_on_repetitive_columns() {
         let rows: Vec<Row> = (0..1000)
-            .map(|i| row![if i % 2 == 0 { "female_customer" } else { "male_customer" }])
+            .map(|i| {
+                row![if i % 2 == 0 {
+                    "female_customer"
+                } else {
+                    "male_customer"
+                }]
+            })
             .collect();
         let d = DictionaryColumn::encode_partition(&rows, 0).unwrap();
         assert!(
@@ -251,7 +255,10 @@ mod tests {
         assert_eq!(d.code_of("zeta"), Some(0));
         assert_eq!(d.code_of("alpha"), Some(1));
         let recode = sqlml_transform_recode_reference(&["zeta", "alpha"]);
-        assert_eq!(recode, vec![("alpha".to_string(), 1), ("zeta".to_string(), 2)]);
+        assert_eq!(
+            recode,
+            vec![("alpha".to_string(), 1), ("zeta".to_string(), 2)]
+        );
     }
 
     /// Tiny local reference for what recoding produces (avoids a cyclic

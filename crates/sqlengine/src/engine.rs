@@ -103,12 +103,8 @@ impl Engine {
 
     /// Register rows as a table partitioned across the worker pool.
     pub fn register_rows(&self, name: &str, schema: Schema, rows: Vec<Row>) {
-        let t = PartitionedTable::partition_rows(
-            schema,
-            rows,
-            self.ctx.num_workers,
-            &self.ctx.nodes,
-        );
+        let t =
+            PartitionedTable::partition_rows(schema, rows, self.ctx.num_workers, &self.ctx.nodes);
         self.catalog.register_table(name, t);
     }
 
@@ -119,13 +115,7 @@ impl Engine {
 
     /// Load a text table from a DFS directory of part files, then
     /// repartition it across the worker pool.
-    pub fn load_text_table(
-        &self,
-        name: &str,
-        schema: Schema,
-        dfs: &Dfs,
-        dir: &str,
-    ) -> Result<()> {
+    pub fn load_text_table(&self, name: &str, schema: Schema, dfs: &Dfs, dir: &str) -> Result<()> {
         let raw = PartitionedTable::load_text(dfs, dir, schema)?;
         let t = raw.repartition(self.ctx.num_workers, &self.ctx.nodes);
         self.catalog.register_table(name, t);
@@ -175,7 +165,10 @@ impl Engine {
                     .map(|l| Row::new(vec![sqlml_common::Value::Str(l.to_string())]))
                     .collect();
                 Ok(Some(PartitionedTable::single(
-                    Schema::new(vec![Field::new("plan", sqlml_common::schema::DataType::Str)]),
+                    Schema::new(vec![Field::new(
+                        "plan",
+                        sqlml_common::schema::DataType::Str,
+                    )]),
                     rows,
                 )))
             }
@@ -321,7 +314,10 @@ mod tests {
             .unwrap();
         // users 0..8 are USA; carts reference userid i%10, so 24 of 30 match.
         assert_eq!(t.num_rows(), 24);
-        assert_eq!(t.schema().names(), vec!["age", "gender", "amount", "abandoned"]);
+        assert_eq!(
+            t.schema().names(),
+            vec!["age", "gender", "amount", "abandoned"]
+        );
         for r in t.collect_rows() {
             let age = r.get(0).as_i64().unwrap();
             assert!((20..28).contains(&age));
@@ -439,7 +435,9 @@ mod tests {
             vec![row![999i64]],
         );
         let rows = e2
-            .query("SELECT l.userid, c.cartid FROM lonely l LEFT JOIN carts c ON l.userid = c.userid")
+            .query(
+                "SELECT l.userid, c.cartid FROM lonely l LEFT JOIN carts c ON l.userid = c.userid",
+            )
             .unwrap()
             .collect_rows();
         assert_eq!(rows.len(), 1);
@@ -452,16 +450,27 @@ mod tests {
         e.execute("CREATE TABLE usa_users AS SELECT userid, age FROM users WHERE country = 'USA'")
             .unwrap();
         assert_eq!(e.table_rows("usa_users").unwrap(), 8);
-        let rows = e.query("SELECT COUNT(*) FROM usa_users").unwrap().collect_rows();
+        let rows = e
+            .query("SELECT COUNT(*) FROM usa_users")
+            .unwrap()
+            .collect_rows();
         assert_eq!(rows[0].get(0), &Value::Int(8));
     }
 
     #[test]
     fn create_and_drop_table() {
         let e = Engine::new(EngineConfig::default());
-        e.execute("CREATE TABLE t (a BIGINT, b VARCHAR CATEGORICAL)").unwrap();
+        e.execute("CREATE TABLE t (a BIGINT, b VARCHAR CATEGORICAL)")
+            .unwrap();
         assert_eq!(e.table_rows("t").unwrap(), 0);
-        assert!(e.catalog().table("t").unwrap().schema().field(1).categorical);
+        assert!(
+            e.catalog()
+                .table("t")
+                .unwrap()
+                .schema()
+                .field(1)
+                .categorical
+        );
         e.execute("DROP TABLE t").unwrap();
         assert!(e.catalog().table("t").is_err());
     }
@@ -495,7 +504,8 @@ mod tests {
             Field::new("age", DataType::Int),
         ]);
         let e2 = Engine::new(EngineConfig::with_workers(2));
-        e2.load_text_table("u2", schema, &dfs, "/out/users").unwrap();
+        e2.load_text_table("u2", schema, &dfs, "/out/users")
+            .unwrap();
         assert_eq!(e2.table_rows("u2").unwrap(), 10);
     }
 
@@ -520,9 +530,7 @@ mod tests {
     fn explain_statement_returns_plan_rows() {
         let e = engine_with_data();
         let plan = e
-            .execute(
-                "EXPLAIN SELECT U.age FROM carts C, users U WHERE C.userid = U.userid",
-            )
+            .execute("EXPLAIN SELECT U.age FROM carts C, users U WHERE C.userid = U.userid")
             .unwrap()
             .unwrap();
         let text: Vec<String> = plan
@@ -564,9 +572,11 @@ mod tests {
     fn cast_expressions() {
         let e = engine_with_data();
         let rows = e
-            .query("SELECT CAST(amount AS BIGINT), CAST(C.userid AS VARCHAR), \
+            .query(
+                "SELECT CAST(amount AS BIGINT), CAST(C.userid AS VARCHAR), \
                     CAST('42' AS INT), CAST(age AS DOUBLE) \
-                    FROM carts C, users U WHERE C.userid = U.userid AND C.cartid = 3")
+                    FROM carts C, users U WHERE C.userid = U.userid AND C.cartid = 3",
+            )
             .unwrap()
             .collect_rows();
         assert_eq!(rows[0].get(0), &Value::Int(13)); // 13.0 truncated
@@ -598,7 +608,9 @@ mod tests {
         assert_eq!(n, 0);
         // LEFT JOIN with an empty right side preserves every left row.
         let n = e
-            .query("SELECT n.userid, c.cartid FROM carts c LEFT JOIN nobody n ON c.userid = n.userid")
+            .query(
+                "SELECT n.userid, c.cartid FROM carts c LEFT JOIN nobody n ON c.userid = n.userid",
+            )
             .unwrap()
             .collect_rows();
         assert_eq!(n.len(), 30);
@@ -608,9 +620,16 @@ mod tests {
     #[test]
     fn limit_zero_and_oversized() {
         let e = engine_with_data();
-        assert_eq!(e.query("SELECT cartid FROM carts LIMIT 0").unwrap().num_rows(), 0);
         assert_eq!(
-            e.query("SELECT cartid FROM carts LIMIT 9999").unwrap().num_rows(),
+            e.query("SELECT cartid FROM carts LIMIT 0")
+                .unwrap()
+                .num_rows(),
+            0
+        );
+        assert_eq!(
+            e.query("SELECT cartid FROM carts LIMIT 9999")
+                .unwrap()
+                .num_rows(),
             30
         );
     }
@@ -633,18 +652,12 @@ mod tests {
         e.register_rows(
             "l",
             schema.clone(),
-            vec![
-                Row::new(vec![Value::Null]),
-                Row::new(vec![Value::Int(1)]),
-            ],
+            vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])],
         );
         e.register_rows(
             "r",
             schema,
-            vec![
-                Row::new(vec![Value::Null]),
-                Row::new(vec![Value::Int(1)]),
-            ],
+            vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])],
         );
         // SQL: NULL = NULL is unknown, so only the 1-1 pair joins.
         let n = e
@@ -711,7 +724,14 @@ mod tests {
                 "users",
                 users,
                 (0..10)
-                    .map(|i| row![i as i64, 20 + i as i64, "F", if i < 8 { "USA" } else { "CA" }])
+                    .map(|i| {
+                        row![
+                            i as i64,
+                            20 + i as i64,
+                            "F",
+                            if i < 8 { "USA" } else { "CA" }
+                        ]
+                    })
                     .collect(),
             );
             let got = e.query(sql).unwrap().collect_sorted();

@@ -122,9 +122,8 @@ pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<PartitionedTable> {
             schema,
         } => {
             let child = execute(input, ctx)?;
-            execute_aggregate(&child, group_exprs, aggs, ctx).map(|rows| {
-                PartitionedTable::single(schema.clone(), rows)
-            })
+            execute_aggregate(&child, group_exprs, aggs, ctx)
+                .map(|rows| PartitionedTable::single(schema.clone(), rows))
         }
 
         Plan::Sort { input, keys } => {

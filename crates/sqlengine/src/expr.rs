@@ -270,17 +270,14 @@ pub fn cast_value(v: Value, to: sqlml_common::schema::DataType) -> Result<Value>
         (Value::Int(i), DataType::Bool) => Value::Bool(i != 0),
         (Value::Double(d), DataType::Int) => {
             if !d.is_finite() || d < i64::MIN as f64 || d > i64::MAX as f64 {
-                return Err(SqlmlError::Execution(format!(
-                    "cannot cast {d} to BIGINT"
-                )));
+                return Err(SqlmlError::Execution(format!("cannot cast {d} to BIGINT")));
             }
             Value::Int(d.trunc() as i64)
         }
         (Value::Double(d), DataType::Bool) => Value::Bool(d != 0.0),
         (v, DataType::Str) => Value::Str(v.render()),
-        (Value::Str(s), ty) => Value::parse_typed(s.trim(), ty).map_err(|e| {
-            SqlmlError::Execution(format!("CAST failed: {e}"))
-        })?,
+        (Value::Str(s), ty) => Value::parse_typed(s.trim(), ty)
+            .map_err(|e| SqlmlError::Execution(format!("CAST failed: {e}")))?,
         (Value::Null, _) => Value::Null, // unreachable: handled above
     })
 }
@@ -306,7 +303,11 @@ impl fmt::Debug for Expr {
             Expr::Or(l, r) => write!(f, "({l:?} OR {r:?})"),
             Expr::Not(e) => write!(f, "(NOT {e:?})"),
             Expr::IsNull { expr, negated } => {
-                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({expr:?} IS {}NULL)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::InList {
                 expr,
@@ -542,10 +543,7 @@ mod tests {
             cast_value(Value::Str(" 7 ".into()), DataType::Int).unwrap(),
             Value::Int(7)
         );
-        assert_eq!(
-            cast_value(Value::Null, DataType::Int).unwrap(),
-            Value::Null
-        );
+        assert_eq!(cast_value(Value::Null, DataType::Int).unwrap(), Value::Null);
         assert!(cast_value(Value::Double(f64::NAN), DataType::Int).is_err());
         assert!(cast_value(Value::Str("abc".into()), DataType::Int).is_err());
     }

@@ -91,7 +91,11 @@ impl ScalarUdf for Round {
         }
         null_prop!(args);
         let x = args[0].as_f64()?;
-        let digits = if args.len() == 2 { args[1].as_i64()? } else { 0 };
+        let digits = if args.len() == 2 {
+            args[1].as_i64()?
+        } else {
+            0
+        };
         let scale = 10f64.powi(digits as i32);
         Ok(Value::Double((x * scale).round() / scale))
     }
@@ -357,7 +361,9 @@ mod tests {
     }
 
     fn eval1(sql: &str) -> Value {
-        engine().query(sql).unwrap().collect_rows()[0].get(0).clone()
+        engine().query(sql).unwrap().collect_rows()[0]
+            .get(0)
+            .clone()
     }
 
     #[test]
@@ -365,7 +371,10 @@ mod tests {
         assert_eq!(eval1("SELECT abs(x) FROM t"), Value::Double(2.5));
         assert_eq!(eval1("SELECT abs(n - 10) FROM t"), Value::Int(3));
         assert_eq!(eval1("SELECT round(x) FROM t"), Value::Double(-3.0));
-        assert_eq!(eval1("SELECT round(2.71828, 2) FROM t"), Value::Double(2.72));
+        assert_eq!(
+            eval1("SELECT round(2.71828, 2) FROM t"),
+            Value::Double(2.72)
+        );
         assert_eq!(eval1("SELECT floor(x) FROM t"), Value::Int(-3));
         assert_eq!(eval1("SELECT ceil(x) FROM t"), Value::Int(-2));
         assert_eq!(eval1("SELECT sqrt(n + 2) FROM t"), Value::Double(3.0));
@@ -398,9 +407,15 @@ mod tests {
 
     #[test]
     fn null_handling() {
-        assert_eq!(eval1("SELECT coalesce(NULL, NULL, n) FROM t"), Value::Int(7));
+        assert_eq!(
+            eval1("SELECT coalesce(NULL, NULL, n) FROM t"),
+            Value::Int(7)
+        );
         assert_eq!(eval1("SELECT abs(NULL + 1) FROM t"), Value::Null);
-        assert_eq!(eval1("SELECT concat('a', NULL, 'b') FROM t"), Value::Str("ab".into()));
+        assert_eq!(
+            eval1("SELECT concat('a', NULL, 'b') FROM t"),
+            Value::Str("ab".into())
+        );
     }
 
     #[test]

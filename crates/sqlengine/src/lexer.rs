@@ -39,10 +39,44 @@ pub enum TokenKind {
 
 /// Reserved words. Anything else alphanumeric is an identifier.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "DISTINCT", "GROUP", "BY", "ORDER",
-    "LIMIT", "ASC", "DESC", "JOIN", "INNER", "LEFT", "OUTER", "ON", "CREATE", "TABLE", "IS",
-    "NULL", "TRUE", "FALSE", "HAVING", "IN", "BETWEEN", "CATEGORICAL", "DROP", "COUNT", "SUM",
-    "AVG", "MIN", "MAX", "LIKE", "CAST", "EXPLAIN",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "DISTINCT",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "CREATE",
+    "TABLE",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "HAVING",
+    "IN",
+    "BETWEEN",
+    "CATEGORICAL",
+    "DROP",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "LIKE",
+    "CAST",
+    "EXPLAIN",
 ];
 
 /// Lex a SQL string into tokens (ending with [`TokenKind::Eof`]).
@@ -61,48 +95,81 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semicolon, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { kind: TokenKind::NotEq, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(err(input, i, "expected `!=`"));
@@ -110,22 +177,37 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { kind: TokenKind::LtEq, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::LtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Token { kind: TokenKind::NotEq, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { kind: TokenKind::GtEq, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::GtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }

@@ -32,8 +32,7 @@ pub fn optimize(plan: Plan) -> Plan {
             let right = Box::new(optimize(*right));
             // A left-outer probe must stream the left side so unmatched
             // left rows can be emitted; only inner joins may flip.
-            let build = if kind == JoinKind::Inner
-                && left.estimated_rows() < right.estimated_rows()
+            let build = if kind == JoinKind::Inner && left.estimated_rows() < right.estimated_rows()
             {
                 BuildSide::Left
             } else {

@@ -318,9 +318,7 @@ impl Parser {
                         TokenKind::Keyword(k) if k == "FALSE" => {
                             TableFuncArg::Literal(Value::Bool(false))
                         }
-                        TokenKind::Keyword(k) if k == "NULL" => {
-                            TableFuncArg::Literal(Value::Null)
-                        }
+                        TokenKind::Keyword(k) if k == "NULL" => TableFuncArg::Literal(Value::Null),
                         other => {
                             return Err(SqlmlError::Parse(format!(
                                 "bad table-UDF argument {other:?}"
@@ -708,7 +706,9 @@ mod tests {
             SelectItem::Expr { expr, .. } => {
                 // Top node must be the subtraction.
                 match expr {
-                    AstExpr::Arith { op: ArithOp::Sub, .. } => {}
+                    AstExpr::Arith {
+                        op: ArithOp::Sub, ..
+                    } => {}
                     other => panic!("precedence wrong: {other:?}"),
                 }
             }
@@ -779,13 +779,17 @@ mod tests {
         let q = parse_select("SELECT COUNT(*), COUNT(DISTINCT gender) FROM t").unwrap();
         match (&q.projection[0], &q.projection[1]) {
             (
-                SelectItem::Expr { expr: AstExpr::Agg { arg: None, .. }, .. },
                 SelectItem::Expr {
-                    expr: AstExpr::Agg {
-                        arg: Some(_),
-                        distinct: true,
-                        ..
-                    },
+                    expr: AstExpr::Agg { arg: None, .. },
+                    ..
+                },
+                SelectItem::Expr {
+                    expr:
+                        AstExpr::Agg {
+                            arg: Some(_),
+                            distinct: true,
+                            ..
+                        },
                     ..
                 },
             ) => {}

@@ -108,9 +108,7 @@ impl Plan {
             // Uniform selectivity guess; enough to order join sides.
             Plan::Filter { input, .. } => (input.estimated_rows() / 4).max(1),
             Plan::Project { input, .. } => input.estimated_rows(),
-            Plan::HashJoin { left, right, .. } => {
-                left.estimated_rows().max(right.estimated_rows())
-            }
+            Plan::HashJoin { left, right, .. } => left.estimated_rows().max(right.estimated_rows()),
             Plan::Distinct { input } => (input.estimated_rows() / 2).max(1),
             Plan::Aggregate { input, .. } => (input.estimated_rows() / 10).max(1),
             Plan::Sort { input, .. } => input.estimated_rows(),
@@ -135,7 +133,9 @@ impl Plan {
                     table.num_partitions()
                 ));
             }
-            Plan::TableUdfScan { udf, input, args, .. } => {
+            Plan::TableUdfScan {
+                udf, input, args, ..
+            } => {
                 out.push_str(&format!("{pad}TableUdf {}({args:?})\n", udf.name()));
                 input.fmt_tree(depth + 1, out);
             }
@@ -143,7 +143,11 @@ impl Plan {
                 out.push_str(&format!("{pad}Filter {predicate:?}\n"));
                 input.fmt_tree(depth + 1, out);
             }
-            Plan::Project { input, exprs, schema } => {
+            Plan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 out.push_str(&format!(
                     "{pad}Project {exprs:?} -> {}\n",
                     schema.names().join(", ")

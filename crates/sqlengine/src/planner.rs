@@ -116,9 +116,7 @@ impl<'a> Planner<'a> {
             let plan = self.plan_table_ref(t)?;
             let binding = t
                 .binding()
-                .ok_or_else(|| {
-                    SqlmlError::Plan("table function in FROM requires an alias".into())
-                })?
+                .ok_or_else(|| SqlmlError::Plan("table function in FROM requires an alias".into()))?
                 .to_string();
             if scope
                 .items
@@ -231,8 +229,7 @@ impl<'a> Planner<'a> {
             pending = rest;
 
             let kind = explicit.map(|j| j.kind).unwrap_or(JoinKind::Inner);
-            let (keys, residual) =
-                self.split_equi_keys(on_conjuncts, &scope, &joined, k)?;
+            let (keys, residual) = self.split_equi_keys(on_conjuncts, &scope, &joined, k)?;
             if kind == JoinKind::LeftOuter && !residual.is_empty() {
                 return Err(SqlmlError::Plan(
                     "LEFT JOIN supports only equality conditions in ON".into(),
@@ -315,7 +312,10 @@ impl<'a> Planner<'a> {
             let mut keys = Vec::with_capacity(stmt.order_by.len());
             for item in &stmt.order_by {
                 let idx = match &item.expr {
-                    AstExpr::Column { qualifier: None, name } => out_schema.index_of(name)?,
+                    AstExpr::Column {
+                        qualifier: None,
+                        name,
+                    } => out_schema.index_of(name)?,
                     other => {
                         return Err(SqlmlError::Plan(format!(
                             "ORDER BY must name an output column, got {other:?}"
@@ -416,8 +416,14 @@ impl<'a> Planner<'a> {
                     right,
                 } => match (left.as_ref(), right.as_ref()) {
                     (
-                        AstExpr::Column { qualifier: ql, name: nl },
-                        AstExpr::Column { qualifier: qr, name: nr },
+                        AstExpr::Column {
+                            qualifier: ql,
+                            name: nl,
+                        },
+                        AstExpr::Column {
+                            qualifier: qr,
+                            name: nr,
+                        },
                     ) => {
                         let (rl, _, fl) = scope.resolve(ql.as_deref(), nl)?;
                         let (rr, _, fr) = scope.resolve(qr.as_deref(), nr)?;
@@ -493,7 +499,12 @@ impl<'a> Planner<'a> {
         let mut aggs = Vec::new();
         let mut agg_fields = Vec::new();
         for (i, call) in agg_calls.iter().enumerate() {
-            let AstExpr::Agg { func, arg, distinct } = call else {
+            let AstExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } = call
+            else {
                 unreachable!("collect_aggs only returns Agg nodes")
             };
             let resolved_arg = match arg {
@@ -557,20 +568,14 @@ impl<'a> Planner<'a> {
 }
 
 /// Expand wildcards into (expression, output name) pairs.
-fn expand_projection(
-    items: &[SelectItem],
-    scope: &Scope,
-) -> Result<Vec<(AstExpr, String)>> {
+fn expand_projection(items: &[SelectItem], scope: &Scope) -> Result<Vec<(AstExpr, String)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
             SelectItem::Wildcard => {
                 for it in &scope.items {
                     for f in it.schema.fields() {
-                        out.push((
-                            AstExpr::qcol(&it.binding, &f.name),
-                            f.name.clone(),
-                        ));
+                        out.push((AstExpr::qcol(&it.binding, &f.name), f.name.clone()));
                     }
                 }
             }
@@ -585,7 +590,9 @@ fn expand_projection(
                 }
             }
             SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| default_name(expr, out.len()));
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| default_name(expr, out.len()));
                 out.push((expr.clone(), name));
             }
         }
@@ -807,10 +814,7 @@ fn infer_field(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Field> {
             let (_, _, field) = scope.resolve(qualifier.as_deref(), name)?;
             Ok(field)
         }
-        AstExpr::Literal(v) => Ok(Field::new(
-            "lit",
-            v.data_type().unwrap_or(DataType::Str),
-        )),
+        AstExpr::Literal(v) => Ok(Field::new("lit", v.data_type().unwrap_or(DataType::Str))),
         AstExpr::Cmp { .. }
         | AstExpr::And(..)
         | AstExpr::Or(..)
@@ -831,12 +835,10 @@ fn infer_field(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Field> {
             Ok(Field::new("expr", ty))
         }
         AstExpr::Neg(x) => infer_field(x, scope, catalog),
-        AstExpr::Agg { func, arg, .. } => {
-            Ok(Field::new(
-                "agg",
-                agg_output_type(*func, arg.as_deref(), scope, catalog)?,
-            ))
-        }
+        AstExpr::Agg { func, arg, .. } => Ok(Field::new(
+            "agg",
+            agg_output_type(*func, arg.as_deref(), scope, catalog)?,
+        )),
         AstExpr::FuncCall { name, args } => {
             let udf = catalog.scalar_udf(name)?;
             let mut tys = Vec::with_capacity(args.len());
@@ -891,7 +893,14 @@ mod tests {
             PartitionedTable::partition_rows(
                 carts,
                 (0..40)
-                    .map(|i| row![i as i64 % 10, i as f64, if i % 2 == 0 { "Yes" } else { "No" }, 2014i64])
+                    .map(|i| {
+                        row![
+                            i as i64 % 10,
+                            i as f64,
+                            if i % 2 == 0 { "Yes" } else { "No" },
+                            2014i64
+                        ]
+                    })
                     .collect(),
                 4,
                 &[],
@@ -902,7 +911,14 @@ mod tests {
             PartitionedTable::single(
                 users,
                 (0..10)
-                    .map(|i| row![i as i64, 20i64 + i as i64, if i % 2 == 0 { "F" } else { "M" }, "USA"])
+                    .map(|i| {
+                        row![
+                            i as i64,
+                            20i64 + i as i64,
+                            if i % 2 == 0 { "F" } else { "M" },
+                            "USA"
+                        ]
+                    })
                     .collect(),
             ),
         );
@@ -927,7 +943,10 @@ mod tests {
         // country filter must sit below the join (pushed to users scan).
         let join_line = text.lines().position(|l| l.contains("HashJoin")).unwrap();
         let filter_line = text.lines().position(|l| l.contains("Filter")).unwrap();
-        assert!(filter_line > join_line, "filter should be under join: {text}");
+        assert!(
+            filter_line > join_line,
+            "filter should be under join: {text}"
+        );
         assert_eq!(
             p.schema().names(),
             vec!["age", "gender", "amount", "abandoned"]
@@ -939,8 +958,8 @@ mod tests {
 
     #[test]
     fn ambiguous_column_is_rejected() {
-        let err = plan("SELECT userid FROM carts, users WHERE carts.userid = users.userid")
-            .unwrap_err();
+        let err =
+            plan("SELECT userid FROM carts, users WHERE carts.userid = users.userid").unwrap_err();
         assert!(err.to_string().contains("ambiguous"), "{err}");
     }
 
@@ -1009,10 +1028,7 @@ mod tests {
 
     #[test]
     fn explicit_left_join_plans() {
-        let p = plan(
-            "SELECT u.age FROM users u LEFT JOIN carts c ON u.userid = c.userid",
-        )
-        .unwrap();
+        let p = plan("SELECT u.age FROM users u LEFT JOIN carts c ON u.userid = c.userid").unwrap();
         assert!(p.explain().contains("LeftOuter"));
     }
 
@@ -1027,7 +1043,10 @@ mod tests {
         let p = plan("SELECT * FROM carts c, users u WHERE c.userid = u.userid").unwrap();
         assert_eq!(p.schema().len(), 8);
         let p = plan("SELECT u.* FROM carts c, users u WHERE c.userid = u.userid").unwrap();
-        assert_eq!(p.schema().names(), vec!["userid", "age", "gender", "country"]);
+        assert_eq!(
+            p.schema().names(),
+            vec!["userid", "age", "gender", "country"]
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ impl PartitionedTable {
     /// Build from pre-formed partitions. `homes` defaults to
     /// `node-{i mod n}` when not supplied via [`Self::with_homes`].
     pub fn new(schema: Schema, partitions: Vec<Vec<Row>>) -> Self {
-        let homes = (0..partitions.len())
-            .map(sqlml_dfs::node_name)
-            .collect();
+        let homes = (0..partitions.len()).map(sqlml_dfs::node_name).collect();
         PartitionedTable {
             schema,
             partitions: partitions.into_iter().map(Arc::new).collect(),

@@ -36,7 +36,10 @@ pub trait ScalarUdf: Send + Sync {
     /// Static return type given argument types, used for output-schema
     /// inference. Defaults to DOUBLE (the common case for ML feature
     /// functions); override for string- or integer-valued UDFs.
-    fn return_type(&self, _arg_types: &[sqlml_common::schema::DataType]) -> sqlml_common::schema::DataType {
+    fn return_type(
+        &self,
+        _arg_types: &[sqlml_common::schema::DataType],
+    ) -> sqlml_common::schema::DataType {
         sqlml_common::schema::DataType::Double
     }
 }
@@ -108,10 +111,7 @@ mod tests {
             Ok(Value::Double(args[0].as_f64()? * 2.0))
         });
         assert_eq!(double.name(), "double_it");
-        assert_eq!(
-            double.eval(&[Value::Int(21)]).unwrap(),
-            Value::Double(42.0)
-        );
+        assert_eq!(double.eval(&[Value::Int(21)]).unwrap(), Value::Double(42.0));
     }
 
     #[test]

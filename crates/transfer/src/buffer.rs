@@ -33,12 +33,15 @@ struct State {
     spill: SpillFile,
     closed: bool,
     bytes_spilled: u64,
+    spill_events: u64,
 }
 
 /// Statistics observed by tests and the benchmark harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BufferStats {
     pub bytes_spilled: u64,
+    /// Number of chunks diverted through the spill file.
+    pub spill_events: u64,
 }
 
 /// Bounded producer/consumer chunk queue with disk overflow.
@@ -55,7 +58,11 @@ impl SpillableBuffer {
     /// `capacity_bytes` is the in-memory bound (the paper's send-buffer
     /// size, 4 KiB in its experiments). Spill files are created lazily in
     /// `spill_dir`.
-    pub fn new(capacity_bytes: usize, spill_dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
+    pub fn new(
+        capacity_bytes: usize,
+        spill_dir: impl Into<PathBuf>,
+        tag: impl Into<String>,
+    ) -> Self {
         SpillableBuffer {
             capacity_bytes: capacity_bytes.max(1),
             spill_dir: spill_dir.into(),
@@ -66,6 +73,7 @@ impl SpillableBuffer {
                 spill: SpillFile::default(),
                 closed: false,
                 bytes_spilled: 0,
+                spill_events: 0,
             }),
             available: Condvar::new(),
         }
@@ -117,10 +125,15 @@ impl SpillableBuffer {
         }
         let file = st.spill.file.as_mut().expect("created above");
         file.seek(SeekFrom::Start(st.spill.write_pos))?;
-        file.write_all(&(chunk.len() as u32).to_le_bytes())?;
-        file.write_all(chunk)?;
-        st.spill.write_pos += 4 + chunk.len() as u64;
+        // Pre-size a single record (length prefix + body) so each spilled
+        // chunk costs one write syscall instead of two.
+        let mut record = Vec::with_capacity(4 + chunk.len());
+        record.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        record.extend_from_slice(chunk);
+        file.write_all(&record)?;
+        st.spill.write_pos += record.len() as u64;
         st.bytes_spilled += chunk.len() as u64;
+        st.spill_events += 1;
         Ok(())
     }
 
@@ -159,6 +172,22 @@ impl SpillableBuffer {
         }
     }
 
+    /// Dequeue the next chunk if one is ready, never blocking. Returns
+    /// `None` both when the queue is momentarily empty and when it is
+    /// closed and drained — callers that need to distinguish use [`pop`]
+    /// for the blocking path. Writer threads use this to coalesce all
+    /// currently queued chunks into one socket write.
+    ///
+    /// [`pop`]: SpillableBuffer::pop
+    pub fn try_pop(&self) -> Result<Option<Vec<u8>>> {
+        let mut st = self.state.lock();
+        if let Some(chunk) = st.memory.pop_front() {
+            st.memory_bytes -= chunk.len();
+            return Ok(Some(chunk));
+        }
+        Self::unspill_chunk(&mut st)
+    }
+
     /// Signal end of stream; blocked consumers drain and then see `None`.
     pub fn close(&self) {
         self.state.lock().closed = true;
@@ -166,8 +195,10 @@ impl SpillableBuffer {
     }
 
     pub fn stats(&self) -> BufferStats {
+        let st = self.state.lock();
         BufferStats {
-            bytes_spilled: self.state.lock().bytes_spilled,
+            bytes_spilled: st.bytes_spilled,
+            spill_events: st.spill_events,
         }
     }
 }
@@ -255,6 +286,40 @@ mod tests {
         producer.join().unwrap();
         let got = consumer.join().unwrap();
         assert_eq!(got, (0..1000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn oversized_chunk_round_trips_through_spill_byte_exactly() {
+        // Capacity far below the chunk size, with the memory queue
+        // occupied, forces the oversized chunk through the spill file.
+        let b = SpillableBuffer::new(8, tmp_dir(), "oversized");
+        let small = vec![0xAB; 6];
+        let big: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        b.push(small.clone()).unwrap();
+        b.push(big.clone()).unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.bytes_spilled, big.len() as u64);
+        assert_eq!(stats.spill_events, 1);
+        b.close();
+        assert_eq!(b.pop().unwrap(), Some(small));
+        assert_eq!(
+            b.pop().unwrap(),
+            Some(big),
+            "spilled chunk must round-trip byte-exactly"
+        );
+        assert_eq!(b.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn try_pop_never_blocks_and_drains_spill() {
+        let b = SpillableBuffer::new(4, tmp_dir(), "trypop");
+        assert_eq!(b.try_pop().unwrap(), None, "empty queue returns None");
+        b.push(vec![1; 4]).unwrap();
+        b.push(vec![2; 4]).unwrap(); // spilled: memory is at capacity
+        assert!(b.stats().spill_events > 0);
+        assert_eq!(b.try_pop().unwrap(), Some(vec![1; 4]));
+        assert_eq!(b.try_pop().unwrap(), Some(vec![2; 4]));
+        assert_eq!(b.try_pop().unwrap(), None);
     }
 
     #[test]

@@ -397,7 +397,12 @@ mod tests {
             }));
         }
         let ack = register(coord.addr(), 7, 0, 3);
-        assert_eq!(ack, Message::SqlAck { splits_per_worker: 2 });
+        assert_eq!(
+            ack,
+            Message::SqlAck {
+                splits_per_worker: 2
+            }
+        );
         register(coord.addr(), 7, 1, 3);
         assert_eq!(launches.load(Ordering::SeqCst), 0, "not all registered yet");
         register(coord.addr(), 7, 2, 3);
@@ -541,6 +546,9 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(read_message(&mut s).unwrap(), Message::Abort { .. }));
+        assert!(matches!(
+            read_message(&mut s).unwrap(),
+            Message::Abort { .. }
+        ));
     }
 }

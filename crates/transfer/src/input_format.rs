@@ -4,6 +4,7 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
@@ -11,11 +12,16 @@ use std::time::Duration;
 use sqlml_common::{Result, Row, Schema, SqlmlError};
 use sqlml_mlengine::input::{InputFormat, InputSplit, RecordReader};
 
-use crate::protocol::{read_message, write_message, Message};
+use crate::metrics::TransferMetrics;
+use crate::protocol::{read_message_with, write_message, Message};
 
 /// How many times a reader re-attempts its stream after a connection
 /// failure (matching the sender's restart protocol).
 pub const MAX_READ_ATTEMPTS: u32 = 8;
+
+/// Socket read buffer on the data plane (the consumer half of the
+/// paper's buffered transfer path).
+const READ_BUFFER_BYTES: usize = 64 * 1024;
 
 /// One streaming split: "read group-index `index_in_group` from SQL
 /// worker `sql_worker` at `data_addr`", preferably on node `location`.
@@ -53,6 +59,7 @@ pub struct SqlStreamInputFormat {
     coordinator_addr: String,
     transfer_id: u64,
     schema: Schema,
+    metrics: Option<Arc<TransferMetrics>>,
 }
 
 impl SqlStreamInputFormat {
@@ -61,7 +68,15 @@ impl SqlStreamInputFormat {
             coordinator_addr: coordinator_addr.into(),
             transfer_id,
             schema,
+            metrics: None,
         }
+    }
+
+    /// Share receive-side throughput counters with every reader this
+    /// format creates (used by `StreamSession` for stage reporting).
+    pub fn with_metrics(mut self, metrics: Arc<TransferMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }
 
@@ -75,7 +90,8 @@ impl InputFormat for SqlStreamInputFormat {
                 transfer_id: self.transfer_id,
             },
         )?;
-        match read_message(&mut coord)? {
+        let mut scratch = Vec::new();
+        match read_message_with(&mut coord, &mut scratch)? {
             Message::Splits { entries } => Ok(entries
                 .into_iter()
                 .map(|e| {
@@ -101,11 +117,13 @@ impl InputFormat for SqlStreamInputFormat {
         let s = split
             .as_any()
             .downcast_ref::<StreamSplit>()
-            .ok_or_else(|| SqlmlError::Transfer("SqlStreamInputFormat got a foreign split".into()))?;
-        Ok(Box::new(StreamRecordReader {
-            split: s.clone(),
-            rows: None,
-        }))
+            .ok_or_else(|| {
+                SqlmlError::Transfer("SqlStreamInputFormat got a foreign split".into())
+            })?;
+        Ok(Box::new(StreamRecordReader::new(
+            s.clone(),
+            self.metrics.clone(),
+        )))
     }
 
     fn schema(&self) -> Schema {
@@ -113,35 +131,68 @@ impl InputFormat for SqlStreamInputFormat {
     }
 }
 
-/// Reader over one streaming split.
+/// Pipelined reader over one streaming split.
 ///
-/// The stream is drained fully (and the sender's `DataEnd` row count
-/// verified) before the first row is yielded; combined with the sender's
-/// whole-group restart, this gives exactly-once semantics per split — a
-/// reader that observed a broken attempt discards everything it received
-/// and re-reads.
-struct StreamRecordReader {
+/// The reader holds the live socket and decodes one `RowBatch` frame at a
+/// time on demand: peak memory is O(batch), and ML ingestion overlaps SQL
+/// production instead of waiting for the stream to drain. A running row
+/// count is validated against the sender's `DataEnd` total.
+///
+/// Exactly-once across the §6 whole-group restart protocol: rows decoded
+/// but not yet handed to the ML engine are discarded when an attempt
+/// breaks, and on reconnect the reader skips the `delivered` watermark of
+/// rows from the sender's deterministic re-stream before yielding more.
+pub struct StreamRecordReader {
     split: StreamSplit,
-    rows: Option<VecDeque<Row>>,
+    metrics: Option<Arc<TransferMetrics>>,
+    conn: Option<BufReader<TcpStream>>,
+    /// Reusable frame-payload buffer (no per-frame allocation).
+    scratch: Vec<u8>,
+    /// Rows of the current decoded batch only.
+    pending: VecDeque<Row>,
+    /// Rows handed to the ML engine — the exactly-once watermark.
+    delivered: u64,
+    /// Rows received in the current attempt, checked at `DataEnd`.
+    received_this_attempt: u64,
+    /// Rows to skip after a reconnect (re-streamed, already delivered).
+    skip_remaining: u64,
+    next_attempt: u32,
+    finished: bool,
+    /// High-water mark of `pending` (observability for the O(batch)
+    /// memory guarantee).
+    max_pending: usize,
 }
 
 impl StreamRecordReader {
-    fn drain_stream(&self) -> Result<VecDeque<Row>> {
-        let mut last_err: Option<SqlmlError> = None;
-        for attempt in 1..=MAX_READ_ATTEMPTS {
-            match self.read_attempt(attempt) {
-                Ok(rows) => return Ok(rows),
-                Err(e) => {
-                    last_err = Some(e);
-                    // Sender may be mid-restart; give it a moment.
-                    std::thread::sleep(Duration::from_millis(25 * attempt as u64));
-                }
-            }
+    pub fn new(split: StreamSplit, metrics: Option<Arc<TransferMetrics>>) -> Self {
+        StreamRecordReader {
+            split,
+            metrics,
+            conn: None,
+            scratch: Vec::new(),
+            pending: VecDeque::new(),
+            delivered: 0,
+            received_this_attempt: 0,
+            skip_remaining: 0,
+            next_attempt: 1,
+            finished: false,
+            max_pending: 0,
         }
-        Err(last_err.unwrap_or_else(|| SqlmlError::Transfer("stream read failed".into())))
     }
 
-    fn read_attempt(&self, attempt: u32) -> Result<VecDeque<Row>> {
+    /// Largest number of rows ever buffered at once — stays O(batch) no
+    /// matter how long the stream is.
+    pub fn max_pending_rows(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Rows handed to the ML engine so far.
+    pub fn rows_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// One connection + handshake attempt.
+    fn connect(&mut self) -> Result<()> {
         let mut stream = TcpStream::connect(&self.split.data_addr)
             .map_err(|e| SqlmlError::Transfer(format!("sender unreachable: {e}")))?;
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
@@ -151,58 +202,176 @@ impl StreamRecordReader {
             &Message::DataHello {
                 transfer_id: self.split.transfer_id,
                 split_index: self.split.index_in_group,
-                attempt,
+                attempt: self.next_attempt,
             },
         )?;
-        match read_message(&mut stream)? {
-            Message::DataStart { .. } => {}
-            Message::Abort { reason } => {
-                return Err(SqlmlError::Transfer(format!("sender aborted: {reason}")))
+        let mut conn = BufReader::with_capacity(READ_BUFFER_BYTES, stream);
+        match read_message_with(&mut conn, &mut self.scratch)? {
+            Message::DataStart { .. } => {
+                self.conn = Some(conn);
+                self.received_this_attempt = 0;
+                Ok(())
             }
-            other => {
-                return Err(SqlmlError::Transfer(format!(
-                    "expected DataStart, got {other:?}"
-                )))
+            Message::Abort { reason } => {
+                Err(SqlmlError::Transfer(format!("sender aborted: {reason}")))
+            }
+            other => Err(SqlmlError::Transfer(format!(
+                "expected DataStart, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Connect with retries until the attempt budget is exhausted.
+    fn begin_attempt(&mut self) -> Result<()> {
+        let mut last_err: Option<SqlmlError> = None;
+        while self.next_attempt <= MAX_READ_ATTEMPTS {
+            let attempt = self.next_attempt;
+            match self.connect() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last_err = Some(e);
+                    self.next_attempt += 1;
+                    // Sender may be mid-restart; give it a moment.
+                    std::thread::sleep(Duration::from_millis(25 * attempt as u64));
+                }
             }
         }
-        let mut rows = VecDeque::new();
+        Err(SqlmlError::Transfer(format!(
+            "stream read failed after {MAX_READ_ATTEMPTS} attempts: {}",
+            last_err.map_or_else(|| "no attempt budget left".into(), |e| e.to_string())
+        )))
+    }
+
+    /// The current attempt broke: discard undelivered rows and arrange to
+    /// skip the already-delivered prefix of the sender's re-stream.
+    fn on_broken_attempt(&mut self) {
+        self.conn = None;
+        self.pending.clear();
+        self.skip_remaining = self.delivered;
+        self.next_attempt += 1;
+    }
+
+    /// Read frames until rows are pending (`Ok(true)`) or the stream ends
+    /// cleanly (`Ok(false)`). Decodes at most one `RowBatch` beyond the
+    /// skip watermark, so memory stays bounded by the sender's batch size.
+    fn fill_pending(&mut self) -> Result<bool> {
         loop {
-            match read_message(&mut stream)? {
-                Message::RowBatch { rows: batch } => rows.extend(batch),
-                Message::DataEnd { total_rows } => {
-                    if rows.len() as u64 != total_rows {
-                        return Err(SqlmlError::Transfer(format!(
-                            "row count mismatch: got {}, sender said {total_rows}",
-                            rows.len()
-                        )));
+            if self.conn.is_none() {
+                self.begin_attempt()?;
+            }
+            let conn = self.conn.as_mut().expect("connected above");
+            let broken_reason = match read_message_with(conn, &mut self.scratch) {
+                Ok(Message::RowBatch { rows }) => {
+                    // 4-byte length prefix + payload.
+                    let frame_bytes = self.scratch.len() as u64 + 4;
+                    self.received_this_attempt += rows.len() as u64;
+                    if let Some(m) = &self.metrics {
+                        m.on_batch(rows.len() as u64, frame_bytes);
                     }
-                    return Ok(rows);
+                    let skip = self.skip_remaining.min(rows.len() as u64) as usize;
+                    self.skip_remaining -= skip as u64;
+                    if skip < rows.len() {
+                        self.pending.extend(rows.into_iter().skip(skip));
+                        self.max_pending = self.max_pending.max(self.pending.len());
+                        return Ok(true);
+                    }
+                    continue;
                 }
-                Message::Abort { reason } => {
-                    return Err(SqlmlError::Transfer(format!("sender aborted: {reason}")))
+                Ok(Message::DataEnd { total_rows }) => {
+                    if self.received_this_attempt != total_rows {
+                        format!(
+                            "row count mismatch: got {}, sender said {total_rows}",
+                            self.received_this_attempt
+                        )
+                    } else if self.skip_remaining > 0 {
+                        format!(
+                            "re-stream ended {} rows short of the delivered watermark",
+                            self.skip_remaining
+                        )
+                    } else {
+                        self.finished = true;
+                        self.conn = None;
+                        if let Some(m) = &self.metrics {
+                            m.on_data_end();
+                        }
+                        return Ok(false);
+                    }
                 }
-                other => {
+                Ok(Message::Abort { reason }) => format!("sender aborted: {reason}"),
+                Ok(other) => {
                     return Err(SqlmlError::Transfer(format!(
                         "unexpected data frame {other:?}"
                     )))
                 }
+                Err(e) => e.to_string(),
+            };
+            // Broken attempt (connection failure, abort, or count
+            // mismatch): restart against the sender's next attempt.
+            let _ = broken_reason;
+            self.on_broken_attempt();
+            if self.next_attempt > MAX_READ_ATTEMPTS {
+                return Err(SqlmlError::Transfer(format!(
+                    "stream read failed after {MAX_READ_ATTEMPTS} attempts: {broken_reason}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25 * self.next_attempt as u64));
+        }
+    }
+
+    fn deliver(&mut self, row: Row) -> Row {
+        self.delivered += 1;
+        if self.delivered == 1 {
+            if let Some(m) = &self.metrics {
+                m.on_first_row();
             }
         }
+        row
     }
 }
 
 impl RecordReader for StreamRecordReader {
     fn next_row(&mut self) -> Result<Option<Row>> {
-        if self.rows.is_none() {
-            self.rows = Some(self.drain_stream()?);
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(self.deliver(row)));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            if !self.fill_pending()? {
+                return Ok(None);
+            }
         }
-        Ok(self.rows.as_mut().expect("filled above").pop_front())
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row>, max_rows: usize) -> Result<usize> {
+        let mut n = 0;
+        while n < max_rows {
+            if self.pending.is_empty() && (self.finished || !self.fill_pending()?) {
+                break;
+            }
+            while n < max_rows {
+                match self.pending.pop_front() {
+                    Some(row) => {
+                        let row = self.deliver(row);
+                        out.push(row);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(n)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::encode_row_batch_frame;
+    use sqlml_common::Value;
+    use std::io::Write;
+    use std::net::TcpListener;
 
     #[test]
     fn split_metadata() {
@@ -231,5 +400,171 @@ mod tests {
         // Port 1 is essentially never listening.
         let fmt = SqlStreamInputFormat::new("127.0.0.1:1", 1, Schema::empty());
         assert!(fmt.get_splits(4).is_err());
+    }
+
+    fn local_split(addr: String) -> StreamSplit {
+        StreamSplit {
+            transfer_id: 7,
+            sql_worker: 0,
+            index_in_group: 0,
+            data_addr: addr,
+            location: "node-0".into(),
+        }
+    }
+
+    /// Accept one reader, answer its hello, then hand the socket to `f`.
+    fn fake_sender(
+        f: impl FnOnce(TcpStream) + Send + 'static,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut scratch = Vec::new();
+            match read_message_with(&mut stream, &mut scratch).unwrap() {
+                Message::DataHello { .. } => {}
+                other => panic!("expected hello, got {other:?}"),
+            }
+            write_message(&mut stream, &Message::DataStart { attempt: 1 }).unwrap();
+            f(stream);
+        });
+        (addr, handle)
+    }
+
+    /// The acceptance-criteria memory bound: ≥100k rows through a small
+    /// batch size must never buffer more than a few batches in the reader.
+    #[test]
+    fn reader_memory_is_bounded_by_batch_size_over_100k_rows() {
+        const TOTAL_ROWS: usize = 120_000;
+        const BATCH: usize = 32;
+        let (addr, sender) = fake_sender(|mut stream| {
+            let rows: Vec<Row> = (0..BATCH as i64)
+                .map(|i| Row::new(vec![Value::Int(i), Value::Str("pad-pad-pad".into())]))
+                .collect();
+            let mut frame = Vec::new();
+            encode_row_batch_frame(&rows, &mut frame);
+            for _ in 0..TOTAL_ROWS / BATCH {
+                stream.write_all(&frame).unwrap();
+            }
+            write_message(
+                &mut stream,
+                &Message::DataEnd {
+                    total_rows: TOTAL_ROWS as u64,
+                },
+            )
+            .unwrap();
+        });
+
+        let mut reader = StreamRecordReader::new(local_split(addr), None);
+        let mut count = 0u64;
+        while let Some(_row) = reader.next_row().unwrap() {
+            count += 1;
+        }
+        sender.join().unwrap();
+        assert_eq!(count, TOTAL_ROWS as u64);
+        assert!(
+            reader.max_pending_rows() <= 4 * BATCH,
+            "reader buffered {} rows — memory is not O(batch)",
+            reader.max_pending_rows()
+        );
+    }
+
+    /// Pipelining: the reader yields rows while the sender is still
+    /// producing, i.e. before `DataEnd` exists anywhere. The sender
+    /// blocks on a channel until the test has consumed mid-stream rows.
+    #[test]
+    fn reader_yields_rows_before_data_end() {
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (addr, sender) = fake_sender(move |mut stream| {
+            let rows = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])];
+            let mut frame = Vec::new();
+            encode_row_batch_frame(&rows, &mut frame);
+            stream.write_all(&frame).unwrap();
+            stream.flush().unwrap();
+            // Do not send DataEnd until the reader has yielded rows.
+            release_rx.recv().unwrap();
+            write_message(&mut stream, &Message::DataEnd { total_rows: 2 }).unwrap();
+        });
+
+        let metrics = Arc::new(TransferMetrics::new());
+        let mut reader = StreamRecordReader::new(local_split(addr), Some(Arc::clone(&metrics)));
+        let first = reader.next_row().unwrap().unwrap();
+        assert_eq!(first.get(0), &Value::Int(1));
+        // A row came out while DataEnd had not been sent: pipelining.
+        release_tx.send(()).unwrap();
+        assert!(reader.next_row().unwrap().is_some());
+        assert!(reader.next_row().unwrap().is_none());
+        sender.join().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.rows_received, 2);
+        assert_eq!(snap.batches_received, 1);
+        assert!(snap.time_to_first_row.unwrap() <= snap.time_to_first_data_end.unwrap());
+    }
+
+    /// Running count vs `DataEnd` (satellite 1): a sender that lies about
+    /// the total is detected even though rows were consumed on the fly.
+    #[test]
+    fn row_count_mismatch_is_detected_incrementally() {
+        let (addr, sender) = fake_sender(|mut stream| {
+            let rows = vec![Row::new(vec![Value::Int(1)])];
+            let mut frame = Vec::new();
+            encode_row_batch_frame(&rows, &mut frame);
+            stream.write_all(&frame).unwrap();
+            // Lie: claim 5 rows were sent. The reader treats this as a
+            // broken attempt and retries; with the sender gone, every
+            // retry fails and the final error surfaces the mismatch.
+            let _ = write_message(&mut stream, &Message::DataEnd { total_rows: 5 });
+        });
+        let mut reader = StreamRecordReader::new(local_split(addr), None);
+        assert!(reader.next_row().unwrap().is_some(), "first row streams");
+        let err = loop {
+            match reader.next_row() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("mismatch must not end cleanly"),
+                Err(e) => break e,
+            }
+        };
+        sender.join().unwrap();
+        assert!(err.to_string().contains("attempts"), "{err}");
+    }
+
+    /// `next_batch` drains whole decoded batches without re-buffering.
+    #[test]
+    fn next_batch_returns_rows_in_order() {
+        const TOTAL: usize = 1000;
+        let (addr, sender) = fake_sender(|mut stream| {
+            let mut frame = Vec::new();
+            for chunk in (0..TOTAL as i64).collect::<Vec<_>>().chunks(64) {
+                let rows: Vec<Row> = chunk
+                    .iter()
+                    .map(|i| Row::new(vec![Value::Int(*i)]))
+                    .collect();
+                frame.clear();
+                encode_row_batch_frame(&rows, &mut frame);
+                stream.write_all(&frame).unwrap();
+            }
+            write_message(
+                &mut stream,
+                &Message::DataEnd {
+                    total_rows: TOTAL as u64,
+                },
+            )
+            .unwrap();
+        });
+        let mut reader = StreamRecordReader::new(local_split(addr), None);
+        let mut got = Vec::new();
+        loop {
+            let n = reader.next_batch(&mut got, 256).unwrap();
+            if n == 0 {
+                break;
+            }
+        }
+        sender.join().unwrap();
+        assert_eq!(got.len(), TOTAL);
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+        assert_eq!(reader.rows_delivered(), TOTAL as u64);
     }
 }

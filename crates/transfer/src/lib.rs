@@ -27,12 +27,14 @@
 pub mod buffer;
 pub mod coordinator;
 pub mod input_format;
+pub mod metrics;
 pub mod protocol;
 pub mod session;
 pub mod stream_udf;
 
 pub use buffer::SpillableBuffer;
 pub use coordinator::{Coordinator, CoordinatorHandle};
-pub use input_format::SqlStreamInputFormat;
+pub use input_format::{SqlStreamInputFormat, StreamRecordReader};
+pub use metrics::{MetricsSnapshot, TransferMetrics};
 pub use session::{FaultInjector, StreamSession, StreamSessionConfig, StreamStats};
 pub use stream_udf::StreamTransferUdf;

@@ -6,7 +6,7 @@
 //! length + UTF-8. Rows use the workspace binary row codec.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::ops::DerefMut;
 
 use bytes::{Buf, BufMut, BytesMut};
 use sqlml_common::{codec, Result, Row, SqlmlError};
@@ -83,7 +83,13 @@ const T_ROW_BATCH: u8 = 0x12;
 const T_DATA_END: u8 = 0x13;
 const T_ABORT: u8 = 0x1F;
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+/// Byte sinks a frame can be encoded into: append via [`BufMut`], then
+/// patch the length prefix in place via `DerefMut<[u8]>`. Covers both
+/// `Vec<u8>` and a reusable [`BytesMut`] scratch buffer.
+pub trait FrameSink: BufMut + DerefMut<Target = [u8]> {}
+impl<B: BufMut + DerefMut<Target = [u8]>> FrameSink for B {}
+
+fn put_string<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -109,7 +115,16 @@ fn corrupt(what: &str) -> SqlmlError {
 impl Message {
     /// Serialize into a frame (length prefix included).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(64);
+        let mut buf = Vec::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the frame encoding of `self` to a reusable sink without
+    /// allocating: the hot path clears and reuses one scratch buffer per
+    /// connection.
+    pub fn encode_into<B: FrameSink>(&self, buf: &mut B) {
+        let frame_start = buf.len();
         buf.put_u32_le(0); // length placeholder
         match self {
             Message::RegisterSql {
@@ -125,9 +140,9 @@ impl Message {
                 buf.put_u64_le(*transfer_id);
                 buf.put_u32_le(*worker);
                 buf.put_u32_le(*total_workers);
-                put_string(&mut buf, data_addr);
-                put_string(&mut buf, node);
-                put_string(&mut buf, command);
+                put_string(buf, data_addr);
+                put_string(buf, node);
+                put_string(buf, command);
                 buf.put_u32_le(*splits_per_worker);
             }
             Message::SqlAck { splits_per_worker } => {
@@ -144,8 +159,8 @@ impl Message {
                 for e in entries {
                     buf.put_u32_le(e.sql_worker);
                     buf.put_u32_le(e.index_in_group);
-                    put_string(&mut buf, &e.data_addr);
-                    put_string(&mut buf, &e.location);
+                    put_string(buf, &e.data_addr);
+                    put_string(buf, &e.location);
                 }
             }
             Message::RegisterMl {
@@ -156,7 +171,7 @@ impl Message {
                 buf.put_u8(T_REGISTER_ML);
                 buf.put_u64_le(*transfer_id);
                 buf.put_u32_le(*ml_worker);
-                put_string(&mut buf, node);
+                put_string(buf, node);
             }
             Message::MlAck => {
                 buf.put_u8(T_ML_ACK);
@@ -177,12 +192,7 @@ impl Message {
             }
             Message::RowBatch { rows } => {
                 buf.put_u8(T_ROW_BATCH);
-                buf.put_u32_le(rows.len() as u32);
-                let mut body = Vec::new();
-                for r in rows {
-                    codec::encode_binary_row(r, &mut body);
-                }
-                buf.put_slice(&body);
+                codec::encode_binary_batch(rows, buf);
             }
             Message::DataEnd { total_rows } => {
                 buf.put_u8(T_DATA_END);
@@ -190,12 +200,18 @@ impl Message {
             }
             Message::Abort { reason } => {
                 buf.put_u8(T_ABORT);
-                put_string(&mut buf, reason);
+                put_string(buf, reason);
             }
         }
-        let len = (buf.len() - 4) as u32;
-        buf[..4].copy_from_slice(&len.to_le_bytes());
-        buf.to_vec()
+        patch_frame_len(buf, frame_start);
+    }
+
+    /// Total rows carried if this is a `RowBatch`, else 0.
+    pub fn batch_len(&self) -> usize {
+        match self {
+            Message::RowBatch { rows } => rows.len(),
+            _ => 0,
+        }
     }
 
     /// Decode a frame payload (without the length prefix).
@@ -289,18 +305,9 @@ impl Message {
                     attempt: payload.get_u32_le(),
                 })
             }
-            T_ROW_BATCH => {
-                need(payload, 4, "batch count")?;
-                let n = payload.get_u32_le() as usize;
-                let mut rows = Vec::with_capacity(n);
-                let mut body = payload;
-                for _ in 0..n {
-                    let (row, used) = codec::decode_binary_row(body)?;
-                    rows.push(row);
-                    body = &body[used..];
-                }
-                Ok(Message::RowBatch { rows })
-            }
+            T_ROW_BATCH => Ok(Message::RowBatch {
+                rows: codec::decode_binary_batch(payload)?,
+            }),
             T_DATA_END => {
                 need(payload, 8, "end")?;
                 Ok(Message::DataEnd {
@@ -310,20 +317,110 @@ impl Message {
             T_ABORT => Ok(Message::Abort {
                 reason: get_string(&mut payload)?,
             }),
-            other => Err(SqlmlError::Transfer(format!("unknown frame tag {other:#x}"))),
+            other => Err(SqlmlError::Transfer(format!(
+                "unknown frame tag {other:#x}"
+            ))),
         }
     }
 }
 
-/// Write one message as a frame to a stream.
-pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<()> {
+/// Patch the `u32` length prefix of the frame starting at `frame_start`.
+fn patch_frame_len<B: FrameSink>(buf: &mut B, frame_start: usize) {
+    let len = (buf.len() - frame_start - 4) as u32;
+    buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Append a complete `RowBatch` frame for a borrowed slice of rows —
+/// the sender hot path. Equivalent to
+/// `Message::RowBatch { rows: rows.to_vec() }.encode()` without cloning
+/// any row and without intermediate buffers.
+pub fn encode_row_batch_frame<B: FrameSink>(rows: &[Row], buf: &mut B) {
+    let frame_start = buf.len();
+    buf.put_u32_le(0); // length placeholder
+    buf.put_u8(T_ROW_BATCH);
+    codec::encode_binary_batch(rows, buf);
+    patch_frame_len(buf, frame_start);
+}
+
+/// Incrementally builds `RowBatch` frames row by row into a reusable
+/// scratch buffer, so the sender can cut frames on *either* a row-count
+/// or a byte-size target without ever cloning rows or re-encoding.
+///
+/// The produced bytes are identical to [`encode_row_batch_frame`] over
+/// the same rows.
+#[derive(Debug)]
+pub struct RowBatchFrameBuilder {
+    scratch: BytesMut,
+    rows_in_frame: u32,
+}
+
+impl RowBatchFrameBuilder {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut b = RowBatchFrameBuilder {
+            scratch: BytesMut::with_capacity(capacity),
+            rows_in_frame: 0,
+        };
+        b.start_frame();
+        b
+    }
+
+    fn start_frame(&mut self) {
+        self.scratch.clear();
+        self.scratch.put_u32_le(0); // length placeholder
+        self.scratch.put_u8(T_ROW_BATCH);
+        self.scratch.put_u32_le(0); // row-count placeholder
+        self.rows_in_frame = 0;
+    }
+
+    /// Append one row to the frame under construction.
+    pub fn push_row(&mut self, row: &Row) {
+        codec::encode_binary_row(row, &mut self.scratch);
+        self.rows_in_frame += 1;
+    }
+
+    /// Rows in the frame under construction.
+    pub fn rows(&self) -> u32 {
+        self.rows_in_frame
+    }
+
+    /// Wire size (including the length prefix) of the frame so far.
+    pub fn frame_len(&self) -> usize {
+        self.scratch.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows_in_frame == 0
+    }
+
+    /// Patch the length/count headers, return the finished frame as an
+    /// owned chunk, and reset for the next frame. The scratch allocation
+    /// is retained.
+    pub fn take_frame(&mut self) -> Vec<u8> {
+        patch_frame_len(&mut self.scratch, 0);
+        self.scratch[5..9].copy_from_slice(&self.rows_in_frame.to_le_bytes());
+        let frame = self.scratch.to_vec();
+        self.start_frame();
+        frame
+    }
+}
+
+/// Write one message as a frame to any byte sink (a raw `TcpStream` or a
+/// `BufWriter` around one).
+pub fn write_message<W: Write>(stream: &mut W, msg: &Message) -> Result<()> {
     stream
         .write_all(&msg.encode())
         .map_err(|e| SqlmlError::Transfer(format!("write failed: {e}")))
 }
 
-/// Read one message frame from a stream.
-pub fn read_message(stream: &mut TcpStream) -> Result<Message> {
+/// Read one message frame from any byte source.
+pub fn read_message<R: Read>(stream: &mut R) -> Result<Message> {
+    let mut scratch = Vec::new();
+    read_message_with(stream, &mut scratch)
+}
+
+/// Read one message frame, reusing `scratch` for the payload so a long
+/// stream of frames performs no per-frame buffer allocation.
+pub fn read_message_with<R: Read>(stream: &mut R, scratch: &mut Vec<u8>) -> Result<Message> {
     let mut len_buf = [0u8; 4];
     stream
         .read_exact(&mut len_buf)
@@ -332,11 +429,12 @@ pub fn read_message(stream: &mut TcpStream) -> Result<Message> {
     if len == 0 || len > MAX_FRAME {
         return Err(SqlmlError::Transfer(format!("bad frame length {len}")));
     }
-    let mut payload = vec![0u8; len];
+    scratch.clear();
+    scratch.resize(len, 0);
     stream
-        .read_exact(&mut payload)
+        .read_exact(scratch)
         .map_err(|e| SqlmlError::Transfer(format!("read failed: {e}")))?;
-    Message::decode(&payload)
+    Message::decode(scratch)
 }
 
 #[cfg(test)]
@@ -364,7 +462,9 @@ mod tests {
             command: "svm label=3 iterations=10".into(),
             splits_per_worker: 2,
         });
-        round_trip(Message::SqlAck { splits_per_worker: 2 });
+        round_trip(Message::SqlAck {
+            splits_per_worker: 2,
+        });
         round_trip(Message::GetSplits { transfer_id: 42 });
         round_trip(Message::Splits {
             entries: vec![
@@ -400,10 +500,81 @@ mod tests {
                 sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
             ],
         });
-        round_trip(Message::DataEnd { total_rows: 1_000_000 });
+        round_trip(Message::DataEnd {
+            total_rows: 1_000_000,
+        });
         round_trip(Message::Abort {
             reason: "injected".into(),
         });
+    }
+
+    #[test]
+    fn row_batch_frame_helper_matches_message_encoding() {
+        let rows = vec![
+            row![1i64, "hello", 2.5],
+            sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
+        ];
+        let via_message = Message::RowBatch { rows: rows.clone() }.encode();
+        let mut scratch = BytesMut::with_capacity(256);
+        encode_row_batch_frame(&rows, &mut scratch);
+        assert_eq!(&scratch[..], &via_message[..]);
+        // The scratch buffer is reusable: clear keeps the allocation and a
+        // second encode produces an identical frame.
+        let cap = scratch.capacity();
+        scratch.clear();
+        encode_row_batch_frame(&rows, &mut scratch);
+        assert_eq!(&scratch[..], &via_message[..]);
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn frame_builder_matches_bulk_encoding_and_reuses_scratch() {
+        let rows = vec![
+            row![1i64, "hello", 2.5],
+            sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
+            row![7i64, "world", -0.5],
+        ];
+        let mut expect = Vec::new();
+        encode_row_batch_frame(&rows, &mut expect);
+
+        let mut builder = RowBatchFrameBuilder::with_capacity(64);
+        assert!(builder.is_empty());
+        for r in &rows {
+            builder.push_row(r);
+        }
+        assert_eq!(builder.rows(), 3);
+        assert!(builder.frame_len() > 9);
+        let frame = builder.take_frame();
+        assert_eq!(frame, expect);
+        // Builder resets after take_frame and produces a fresh frame.
+        assert!(builder.is_empty());
+        builder.push_row(&rows[0]);
+        let single = builder.take_frame();
+        match Message::decode(&single[4..]).unwrap() {
+            Message::RowBatch { rows: got } => assert_eq!(got, vec![rows[0].clone()]),
+            other => panic!("expected RowBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_message_with_reuses_scratch_across_frames() {
+        let mut wire = Vec::new();
+        let msgs = [
+            Message::DataStart { attempt: 1 },
+            Message::RowBatch {
+                rows: vec![row![9i64, "z"]],
+            },
+            Message::DataEnd { total_rows: 1 },
+        ];
+        for m in &msgs {
+            m.encode_into(&mut wire);
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut scratch = Vec::new();
+        for m in &msgs {
+            let got = read_message_with(&mut cursor, &mut scratch).unwrap();
+            assert_eq!(&got, m);
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@ use sqlml_sqlengine::Engine;
 
 use crate::coordinator::Coordinator;
 use crate::input_format::SqlStreamInputFormat;
-use crate::stream_udf::StreamTransferUdf;
+use crate::metrics::{MetricsSnapshot, TransferMetrics};
+use crate::stream_udf::{StreamTransferUdf, BATCH_ROWS, FRAME_BYTES};
 
 pub use crate::stream_udf::FaultInjector;
 
@@ -25,6 +26,11 @@ pub struct StreamSessionConfig {
     pub splits_per_worker: u32,
     /// In-memory send-buffer bytes per peer (the paper used 4 KiB).
     pub send_buffer_bytes: usize,
+    /// Rows per `RowBatch` frame on the data plane.
+    pub batch_rows: usize,
+    /// Wire-byte target per frame (a frame closes at `batch_rows` rows or
+    /// `frame_bytes` bytes, whichever comes first).
+    pub frame_bytes: usize,
     /// ML cluster layout for the launched job.
     pub ml_job: JobConfig,
     /// Directory for send-buffer spill files.
@@ -36,6 +42,8 @@ impl Default for StreamSessionConfig {
         StreamSessionConfig {
             splits_per_worker: 1,
             send_buffer_bytes: 4 * 1024,
+            batch_rows: BATCH_ROWS,
+            frame_bytes: FRAME_BYTES,
             ml_job: JobConfig::default(),
             spill_dir: std::env::temp_dir().join("sqlml-spill"),
         }
@@ -47,7 +55,11 @@ impl Default for StreamSessionConfig {
 pub struct StreamStats {
     pub rows_sent: u64,
     pub bytes_sent: u64,
+    /// `RowBatch` frames pushed by all SQL workers.
+    pub batches_sent: u64,
     pub bytes_spilled: u64,
+    /// Times any send buffer spilled a chunk to disk.
+    pub spill_events: u64,
     /// Max attempts over all SQL workers (>1 means the restart protocol
     /// fired).
     pub max_attempts: u32,
@@ -56,6 +68,8 @@ pub struct StreamStats {
     /// Data-local splits on the ML side.
     pub local_splits: usize,
     pub num_splits: usize,
+    /// Receive-side counters observed by the ML readers.
+    pub receive: MetricsSnapshot,
 }
 
 /// What a completed streaming run returns.
@@ -68,11 +82,12 @@ pub struct StreamRunOutcome {
 type JobResultSender = mpsc::Sender<Result<JobOutcome>>;
 
 /// ML job config plus the row schema the stream carries (known to the
-/// SQL side, needed by the reader).
+/// SQL side, needed by the reader) and the shared receive-side counters.
 #[derive(Debug, Clone)]
 struct PendingJob {
     job: JobConfig,
     schema: sqlml_common::Schema,
+    metrics: Arc<TransferMetrics>,
 }
 
 /// A long-standing streaming-transfer service wrapping one coordinator.
@@ -97,8 +112,7 @@ impl StreamSession {
             // completes, the coordinator launches the ML job with the
             // command the SQL workers passed along.
             coordinator.set_job_launcher(Arc::new(move |info| {
-                let Some((pending_job, sender)) = pending.lock().remove(&info.transfer_id)
-                else {
+                let Some((pending_job, sender)) = pending.lock().remove(&info.transfer_id) else {
                     return; // unknown session (e.g. external test traffic)
                 };
                 let result = (|| -> Result<JobOutcome> {
@@ -109,7 +123,8 @@ impl StreamSession {
                         coord_addr.clone(),
                         info.transfer_id,
                         pending_job.schema.clone(),
-                    );
+                    )
+                    .with_metrics(Arc::clone(&pending_job.metrics));
                     JobRunner::new(pending_job.job).run(&format, &spec)
                 })();
                 let _ = sender.send(result);
@@ -155,6 +170,7 @@ impl StreamSession {
         TrainingSpec::parse(command)?;
         let schema = engine.catalog().table(table)?.schema().clone();
         let transfer_id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let metrics = Arc::new(TransferMetrics::new());
         let (tx, rx) = mpsc::channel();
         self.pending.lock().insert(
             transfer_id,
@@ -162,6 +178,7 @@ impl StreamSession {
                 PendingJob {
                     job: config.ml_job.clone(),
                     schema,
+                    metrics: Arc::clone(&metrics),
                 },
                 tx,
             ),
@@ -169,10 +186,12 @@ impl StreamSession {
 
         // Kick off the SQL side; this blocks until all rows are streamed.
         let sql = format!(
-            "SELECT * FROM TABLE(stream_transfer({table}, '{}', {transfer_id}, '{command}', {}, {})) AS s",
+            "SELECT * FROM TABLE(stream_transfer({table}, '{}', {transfer_id}, '{command}', {}, {}, {}, {})) AS s",
             self.coordinator_addr(),
             config.splits_per_worker,
             config.send_buffer_bytes,
+            config.batch_rows,
+            config.frame_bytes,
         );
         let stats_result = engine.query(&sql);
 
@@ -189,15 +208,17 @@ impl StreamSession {
             rows_ingested: job.ingest.rows,
             local_splits: job.ingest.local_splits,
             num_splits: job.ingest.num_splits,
+            receive: metrics.snapshot(),
             ..Default::default()
         };
         for r in stats_table.collect_rows() {
             stats.rows_sent += r.get(1).as_i64()? as u64;
             stats.bytes_sent += r.get(2).as_i64()? as u64;
-            stats.bytes_spilled += r.get(3).as_i64()? as u64;
-            stats.max_attempts = stats.max_attempts.max(r.get(4).as_i64()? as u32);
+            stats.batches_sent += r.get(3).as_i64()? as u64;
+            stats.bytes_spilled += r.get(4).as_i64()? as u64;
+            stats.spill_events += r.get(5).as_i64()? as u64;
+            stats.max_attempts = stats.max_attempts.max(r.get(6).as_i64()? as u32);
         }
         Ok(StreamRunOutcome { job, stats })
     }
 }
-

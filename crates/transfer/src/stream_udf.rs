@@ -3,12 +3,20 @@
 //!
 //! Invoked as
 //! `TABLE(stream_transfer(result, '<coordinator-addr>', <transfer-id>,
-//! '<ml command>', <k>, <send-buffer-bytes>))`, it runs once per
-//! partition (= per SQL worker): registers with the coordinator, accepts
-//! `k` reader connections, and streams the partition's rows round-robin
-//! over them through spillable send buffers. Its SQL-visible output is
-//! one statistics row per worker.
+//! '<ml command>', <k>, <send-buffer-bytes>[, <batch-rows>[,
+//! <frame-bytes>]]))`, it runs once per partition (= per SQL worker):
+//! registers with the coordinator, accepts `k` reader connections, and
+//! streams the partition's rows round-robin over them through spillable
+//! send buffers. Its SQL-visible output is one statistics row per worker.
+//!
+//! The data plane is batched and allocation-free on the hot path: rows
+//! are encoded straight from the partition slice into a reusable frame
+//! scratch (no intermediate `Vec<Row>` clones), frames are cut when they
+//! reach `batch_rows` rows *or* `frame_bytes` wire bytes (whichever comes
+//! first), and each peer's writer thread coalesces queued frames through
+//! a `BufWriter`, flushing only when its queue goes momentarily empty.
 
+use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,10 +29,16 @@ use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
 use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
 
 use crate::buffer::SpillableBuffer;
-use crate::protocol::{read_message, write_message, Message};
+use crate::protocol::{read_message, write_message, Message, RowBatchFrameBuilder};
 
-/// Rows per `RowBatch` frame.
+/// Default rows per `RowBatch` frame.
 pub const BATCH_ROWS: usize = 64;
+
+/// Default wire-byte target per frame — the paper's 4 KiB send buffer.
+pub const FRAME_BYTES: usize = 4096;
+
+/// Socket write buffer used by each peer's writer thread.
+const WRITE_BUFFER_BYTES: usize = 64 * 1024;
 
 /// How many times a SQL worker retries its whole group after a transfer
 /// failure (§6's restart protocol) before giving up.
@@ -76,7 +90,9 @@ pub struct WorkerTransferStats {
     pub worker: usize,
     pub rows_sent: u64,
     pub bytes_sent: u64,
+    pub batches_sent: u64,
     pub bytes_spilled: u64,
+    pub spill_events: u64,
     pub attempts: u32,
 }
 
@@ -86,7 +102,9 @@ impl WorkerTransferStats {
             Value::Int(self.worker as i64),
             Value::Int(self.rows_sent as i64),
             Value::Int(self.bytes_sent as i64),
+            Value::Int(self.batches_sent as i64),
             Value::Int(self.bytes_spilled as i64),
+            Value::Int(self.spill_events as i64),
             Value::Int(self.attempts as i64),
         ])
     }
@@ -98,9 +116,23 @@ pub fn stats_schema() -> Schema {
         Field::new("worker", DataType::Int),
         Field::new("rows_sent", DataType::Int),
         Field::new("bytes_sent", DataType::Int),
+        Field::new("batches_sent", DataType::Int),
         Field::new("bytes_spilled", DataType::Int),
+        Field::new("spill_events", DataType::Int),
         Field::new("attempts", DataType::Int),
     ])
+}
+
+/// Parsed `stream_transfer(...)` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TransferArgs {
+    coord_addr: String,
+    transfer_id: u64,
+    command: String,
+    k: u32,
+    buffer_bytes: usize,
+    batch_rows: usize,
+    frame_bytes: usize,
 }
 
 /// The streaming-transfer table UDF.
@@ -122,25 +154,42 @@ impl StreamTransferUdf {
         self
     }
 
-    fn parse_args(args: &[Value]) -> Result<(String, u64, String, u32, usize)> {
-        if args.len() != 5 {
+    fn parse_args(args: &[Value]) -> Result<TransferArgs> {
+        if !(5..=7).contains(&args.len()) {
             return Err(SqlmlError::Plan(
-                "stream_transfer takes (coordinator_addr, transfer_id, command, k, buffer_bytes)"
+                "stream_transfer takes (coordinator_addr, transfer_id, command, k, \
+                 buffer_bytes[, batch_rows[, frame_bytes]])"
                     .into(),
             ));
         }
-        let addr = args[0].as_str()?.to_string();
+        let coord_addr = args[0].as_str()?.to_string();
         let transfer_id = args[1].as_i64()? as u64;
         let command = args[2].as_str()?.to_string();
         let k = args[3].as_i64()?;
         let buffer = args[4].as_i64()?;
+        let batch_rows = args.get(5).map(|v| v.as_i64()).transpose()?;
+        let frame_bytes = args.get(6).map(|v| v.as_i64()).transpose()?;
         if k < 1 {
             return Err(SqlmlError::Plan("k must be >= 1".into()));
         }
         if buffer < 1 {
             return Err(SqlmlError::Plan("buffer_bytes must be >= 1".into()));
         }
-        Ok((addr, transfer_id, command, k as u32, buffer as usize))
+        if batch_rows.is_some_and(|b| b < 1) {
+            return Err(SqlmlError::Plan("batch_rows must be >= 1".into()));
+        }
+        if frame_bytes.is_some_and(|b| b < 1) {
+            return Err(SqlmlError::Plan("frame_bytes must be >= 1".into()));
+        }
+        Ok(TransferArgs {
+            coord_addr,
+            transfer_id,
+            command,
+            k: k as u32,
+            buffer_bytes: buffer as usize,
+            batch_rows: batch_rows.map_or(BATCH_ROWS, |b| b as usize),
+            frame_bytes: frame_bytes.map_or(FRAME_BYTES, |b| b as usize),
+        })
     }
 }
 
@@ -161,7 +210,7 @@ impl TableUdf for StreamTransferUdf {
         args: &[Value],
         ctx: &PartitionCtx,
     ) -> Result<Vec<Row>> {
-        let (coord_addr, transfer_id, command, k, buffer_bytes) = Self::parse_args(args)?;
+        let args = Self::parse_args(args)?;
         if ctx.num_partitions > ctx.num_workers {
             return Err(SqlmlError::Transfer(format!(
                 "stream_transfer needs one partition per SQL worker \
@@ -176,18 +225,18 @@ impl TableUdf for StreamTransferUdf {
         let data_addr = listener.local_addr()?.to_string();
 
         // Step 1: register with the coordinator.
-        let mut coord = TcpStream::connect(&coord_addr)
+        let mut coord = TcpStream::connect(&args.coord_addr)
             .map_err(|e| SqlmlError::Transfer(format!("coordinator unreachable: {e}")))?;
         write_message(
             &mut coord,
             &Message::RegisterSql {
-                transfer_id,
+                transfer_id: args.transfer_id,
                 worker: ctx.partition as u32,
                 total_workers: ctx.num_partitions as u32,
                 data_addr,
                 node: ctx.node.clone(),
-                command,
-                splits_per_worker: k,
+                command: args.command.clone(),
+                splits_per_worker: args.k,
             },
         )?;
         match read_message(&mut coord)? {
@@ -213,12 +262,13 @@ impl TableUdf for StreamTransferUdf {
         let mut last_err: Option<SqlmlError> = None;
         for attempt in 1..=MAX_ATTEMPTS {
             stats.attempts = attempt;
-            match self.stream_group(rows, &listener, transfer_id, k, buffer_bytes, ctx, attempt)
-            {
-                Ok((bytes_sent, bytes_spilled)) => {
+            match self.stream_group(rows, &listener, &args, ctx, attempt) {
+                Ok(sent) => {
                     stats.rows_sent = rows.len() as u64;
-                    stats.bytes_sent = bytes_sent;
-                    stats.bytes_spilled = bytes_spilled;
+                    stats.bytes_sent = sent.bytes_sent;
+                    stats.batches_sent = sent.batches_sent;
+                    stats.bytes_spilled = sent.bytes_spilled;
+                    stats.spill_events = sent.spill_events;
                     return Ok(vec![stats.to_row()]);
                 }
                 Err(e) => {
@@ -232,28 +282,35 @@ impl TableUdf for StreamTransferUdf {
     }
 }
 
+/// Counters from one successful group attempt.
+#[derive(Debug, Default, Clone, Copy)]
+struct AttemptCounters {
+    bytes_sent: u64,
+    batches_sent: u64,
+    bytes_spilled: u64,
+    spill_events: u64,
+}
+
 impl StreamTransferUdf {
     /// One attempt: accept `k` readers, stream all rows round-robin, end
     /// each stream. Any failure tears the whole group down (the restart
     /// granularity §6 prescribes).
-    #[allow(clippy::too_many_arguments)]
     fn stream_group(
         &self,
         rows: &[Row],
         listener: &TcpListener,
-        transfer_id: u64,
-        k: u32,
-        buffer_bytes: usize,
+        args: &TransferArgs,
         ctx: &PartitionCtx,
         attempt: u32,
-    ) -> Result<(u64, u64)> {
+    ) -> Result<AttemptCounters> {
+        let k = args.k as usize;
         // Accept k hellos (any split order), with a deadline so a dead ML
         // job cannot hang the SQL worker forever.
         listener.set_nonblocking(true)?;
         let deadline = std::time::Instant::now() + Duration::from_secs(60);
-        let mut conns: Vec<TcpStream> = Vec::with_capacity(k as usize);
-        let mut seen = vec![false; k as usize];
-        while conns.len() < k as usize {
+        let mut conns: Vec<TcpStream> = Vec::with_capacity(k);
+        let mut seen = vec![false; k];
+        while conns.len() < k {
             let (mut stream, _) = match listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -275,7 +332,7 @@ impl StreamTransferUdf {
                     transfer_id: tid,
                     split_index,
                     ..
-                } if tid == transfer_id && (split_index as usize) < seen.len() => {
+                } if tid == args.transfer_id && (split_index as usize) < seen.len() => {
                     if seen[split_index as usize] {
                         // Stale reader from a previous attempt: refuse it;
                         // it will reconnect.
@@ -306,7 +363,7 @@ impl StreamTransferUdf {
         let buffers: Vec<Arc<SpillableBuffer>> = (0..k)
             .map(|i| {
                 Arc::new(SpillableBuffer::new(
-                    buffer_bytes,
+                    args.buffer_bytes,
                     &self.spill_dir,
                     format!("w{}p{}a{attempt}s{i}", ctx.worker, ctx.partition),
                 ))
@@ -314,66 +371,96 @@ impl StreamTransferUdf {
             .collect();
         let failed = Arc::new(AtomicBool::new(false));
 
-        let result = std::thread::scope(|scope| -> Result<u64> {
+        let result = std::thread::scope(|scope| -> Result<AttemptCounters> {
             let writers: Vec<_> = conns
                 .into_iter()
                 .zip(buffers.iter())
-                .map(|(mut stream, buffer)| {
+                .map(|(stream, buffer)| {
                     let buffer = Arc::clone(buffer);
                     let failed = Arc::clone(&failed);
                     scope.spawn(move || -> Result<()> {
-                        while let Some(chunk) = buffer.pop()? {
-                            if let Err(e) = std::io::Write::write_all(&mut stream, &chunk) {
-                                failed.store(true, Ordering::SeqCst);
-                                return Err(SqlmlError::Transfer(format!(
-                                    "peer write failed: {e}"
-                                )));
+                        // Coalesce: after a blocking pop, drain whatever
+                        // else is already queued through the BufWriter and
+                        // flush only when the queue goes momentarily
+                        // empty — small frames share one syscall.
+                        let mut writer = BufWriter::with_capacity(WRITE_BUFFER_BYTES, stream);
+                        let mut run = || -> Result<()> {
+                            while let Some(chunk) = buffer.pop()? {
+                                writer.write_all(&chunk)?;
+                                while let Some(chunk) = buffer.try_pop()? {
+                                    writer.write_all(&chunk)?;
+                                }
+                                writer.flush()?;
                             }
-                        }
-                        Ok(())
+                            writer.flush()?;
+                            Ok(())
+                        };
+                        run().map_err(|e| {
+                            failed.store(true, Ordering::SeqCst);
+                            SqlmlError::Transfer(format!("peer write failed: {e}"))
+                        })
                     })
                 })
                 .collect();
 
-            // Producer: batch rows, round-robin over peers (step 8).
-            let mut bytes_sent = 0u64;
-            let mut per_peer_rows = vec![0u64; k as usize];
+            // Producer: encode rows straight from the partition slice into
+            // per-peer frames, round-robin (step 8). Frames are cut at
+            // `batch_rows` rows or `frame_bytes` wire bytes.
+            let mut counters = AttemptCounters::default();
+            let mut per_peer_rows = vec![0u64; k];
             let mut peer = 0usize;
             let mut sent_rows = 0usize;
-            let mut produce = || -> Result<u64> {
-                for batch in rows.chunks(BATCH_ROWS) {
-                    if failed.load(Ordering::SeqCst) {
-                        return Err(SqlmlError::Transfer("a peer connection failed".into()));
-                    }
-                    if let Some(injector) = &self.fault {
-                        if injector.should_fail(ctx.partition, sent_rows) {
-                            return Err(SqlmlError::InjectedFault(format!(
-                                "worker {} killed after {sent_rows} rows",
-                                ctx.partition
-                            )));
+            let mut builder = RowBatchFrameBuilder::with_capacity(args.frame_bytes + 1024);
+            let mut produce = |counters: &mut AttemptCounters| -> Result<()> {
+                let mut flush_frame = |builder: &mut RowBatchFrameBuilder,
+                                       peer: &mut usize,
+                                       counters: &mut AttemptCounters|
+                 -> Result<()> {
+                    let frame_rows = builder.rows() as u64;
+                    let frame = builder.take_frame();
+                    counters.bytes_sent += frame.len() as u64;
+                    counters.batches_sent += 1;
+                    buffers[*peer].push(frame)?;
+                    per_peer_rows[*peer] += frame_rows;
+                    *peer = (*peer + 1) % k;
+                    Ok(())
+                };
+                for row in rows {
+                    if builder.is_empty() {
+                        if failed.load(Ordering::SeqCst) {
+                            return Err(SqlmlError::Transfer("a peer connection failed".into()));
+                        }
+                        if let Some(injector) = &self.fault {
+                            if injector.should_fail(ctx.partition, sent_rows) {
+                                return Err(SqlmlError::InjectedFault(format!(
+                                    "worker {} killed after {sent_rows} rows",
+                                    ctx.partition
+                                )));
+                            }
                         }
                     }
-                    let frame = Message::RowBatch {
-                        rows: batch.to_vec(),
+                    builder.push_row(row);
+                    sent_rows += 1;
+                    if builder.rows() as usize >= args.batch_rows
+                        || builder.frame_len() >= args.frame_bytes
+                    {
+                        flush_frame(&mut builder, &mut peer, counters)?;
                     }
-                    .encode();
-                    bytes_sent += frame.len() as u64;
-                    buffers[peer].push(frame)?;
-                    per_peer_rows[peer] += batch.len() as u64;
-                    sent_rows += batch.len();
-                    peer = (peer + 1) % k as usize;
+                }
+                if !builder.is_empty() {
+                    flush_frame(&mut builder, &mut peer, counters)?;
                 }
                 for (i, b) in buffers.iter().enumerate() {
                     let end = Message::DataEnd {
                         total_rows: per_peer_rows[i],
                     }
                     .encode();
-                    bytes_sent += end.len() as u64;
+                    counters.bytes_sent += end.len() as u64;
                     b.push(end)?;
                 }
-                Ok(bytes_sent)
+                Ok(())
             };
-            let produced = produce();
+            let produced = produce(&mut counters);
 
             // Close buffers so writers drain and exit (even on failure,
             // where sockets drop and readers see the break).
@@ -389,15 +476,21 @@ impl StreamTransferUdf {
                     writer_err = Some(e);
                 }
             }
-            let bytes = produced?;
+            produced?;
             if let Some(e) = writer_err {
                 return Err(e);
             }
-            Ok(bytes)
+            Ok(counters)
         });
 
-        let bytes_spilled: u64 = buffers.iter().map(|b| b.stats().bytes_spilled).sum();
-        result.map(|bytes| (bytes, bytes_spilled))
+        result.map(|mut counters| {
+            for b in &buffers {
+                let s = b.stats();
+                counters.bytes_spilled += s.bytes_spilled;
+                counters.spill_events += s.spill_events;
+            }
+            counters
+        })
     }
 }
 
@@ -405,21 +498,49 @@ impl StreamTransferUdf {
 mod tests {
     use super::*;
 
-    #[test]
-    fn arg_validation() {
-        let udf = StreamTransferUdf::new(std::env::temp_dir());
-        let good = vec![
+    fn good_args() -> Vec<Value> {
+        vec![
             Value::Str("127.0.0.1:1".into()),
             Value::Int(1),
             Value::Str("svm label=0".into()),
             Value::Int(2),
             Value::Int(4096),
-        ];
+        ]
+    }
+
+    #[test]
+    fn arg_validation() {
+        let udf = StreamTransferUdf::new(std::env::temp_dir());
+        let good = good_args();
         assert!(udf.output_schema(&Schema::empty(), &good).is_ok());
         let mut bad_k = good.clone();
         bad_k[3] = Value::Int(0);
         assert!(udf.output_schema(&Schema::empty(), &bad_k).is_err());
         assert!(udf.output_schema(&Schema::empty(), &good[..3]).is_err());
+    }
+
+    #[test]
+    fn batching_knobs_default_and_parse() {
+        let five = StreamTransferUdf::parse_args(&good_args()).unwrap();
+        assert_eq!(five.batch_rows, BATCH_ROWS);
+        assert_eq!(five.frame_bytes, FRAME_BYTES);
+
+        let mut seven = good_args();
+        seven.push(Value::Int(8));
+        seven.push(Value::Int(512));
+        let parsed = StreamTransferUdf::parse_args(&seven).unwrap();
+        assert_eq!(parsed.batch_rows, 8);
+        assert_eq!(parsed.frame_bytes, 512);
+
+        let mut bad_batch = good_args();
+        bad_batch.push(Value::Int(0));
+        assert!(StreamTransferUdf::parse_args(&bad_batch).is_err());
+        let mut bad_frame = seven.clone();
+        bad_frame[6] = Value::Int(-1);
+        assert!(StreamTransferUdf::parse_args(&bad_frame).is_err());
+        let mut too_many = seven;
+        too_many.push(Value::Int(1));
+        assert!(StreamTransferUdf::parse_args(&too_many).is_err());
     }
 
     #[test]
@@ -439,12 +560,16 @@ mod tests {
             worker: 2,
             rows_sent: 100,
             bytes_sent: 5000,
+            batches_sent: 3,
             bytes_spilled: 128,
+            spill_events: 1,
             attempts: 1,
         };
         let row = s.to_row();
         assert_eq!(row.len(), stats_schema().len());
         assert_eq!(row.get(0), &Value::Int(2));
-        assert_eq!(row.get(4), &Value::Int(1));
+        assert_eq!(row.get(3), &Value::Int(3));
+        assert_eq!(row.get(5), &Value::Int(1));
+        assert_eq!(row.get(6), &Value::Int(1));
     }
 }

@@ -49,6 +49,7 @@ fn config(workers: usize, k: u32, buffer: usize) -> StreamSessionConfig {
             splits_per_worker: k as usize,
         },
         spill_dir: std::env::temp_dir().join("sqlml-transfer-tests"),
+        ..Default::default()
     }
 }
 
@@ -103,9 +104,7 @@ fn tiny_send_buffer_spills_to_disk() {
     let cfg = config(2, 1, 1);
     session.install_udf(&engine, &cfg, None);
 
-    let outcome = session
-        .run(&engine, "points", "nb label=2", &cfg)
-        .unwrap();
+    let outcome = session.run(&engine, "points", "nb label=2", &cfg).unwrap();
     assert_eq!(outcome.stats.rows_ingested, 4000);
     assert!(
         outcome.stats.bytes_spilled > 0,
@@ -156,7 +155,9 @@ fn rejects_unknown_commands_before_transfer() {
     let session = StreamSession::start().unwrap();
     let cfg = config(2, 1, 4096);
     session.install_udf(&engine, &cfg, None);
-    assert!(session.run(&engine, "points", "bogus algo=1", &cfg).is_err());
+    assert!(session
+        .run(&engine, "points", "bogus algo=1", &cfg)
+        .is_err());
 }
 
 #[test]
@@ -169,9 +170,7 @@ fn misaligned_nodes_mean_remote_reads() {
     let mut cfg = config(2, 1, 4096);
     cfg.ml_job.worker_nodes = vec![sqlml_dfs::node_name(8), sqlml_dfs::node_name(9)];
     session.install_udf(&engine, &cfg, None);
-    let outcome = session
-        .run(&engine, "points", "nb label=2", &cfg)
-        .unwrap();
+    let outcome = session.run(&engine, "points", "nb label=2", &cfg).unwrap();
     assert_eq!(outcome.stats.local_splits, 0);
     assert_eq!(outcome.stats.rows_ingested, 100);
 }

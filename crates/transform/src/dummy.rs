@@ -42,8 +42,7 @@ fn sanitize(v: &str) -> String {
 fn parse_args(args: &[Value]) -> Result<(String, Vec<String>)> {
     if args.len() < 2 {
         return Err(SqlmlError::Plan(
-            "dummy_code needs a column name plus its K value names (or the cardinality K)"
-                .into(),
+            "dummy_code needs a column name plus its K value names (or the cardinality K)".into(),
         ));
     }
     let col = args[0].as_str()?.to_string();
@@ -227,7 +226,9 @@ mod tests {
     #[test]
     fn cardinality_form_uses_generic_names() {
         let args = vec![Value::Str("gender".into()), Value::Int(2)];
-        let s = DummyCodeUdf.output_schema(&recoded_schema(), &args).unwrap();
+        let s = DummyCodeUdf
+            .output_schema(&recoded_schema(), &args)
+            .unwrap();
         assert_eq!(
             s.names(),
             vec!["age", "gender_1", "gender_2", "amount", "abandoned"]
@@ -238,7 +239,10 @@ mod tests {
             .unwrap();
         assert_eq!(out[0], row![1i64, 0i64, 1i64, 0.0, 1i64]);
         assert!(DummyCodeUdf
-            .output_schema(&recoded_schema(), &[Value::Str("gender".into()), Value::Int(0)])
+            .output_schema(
+                &recoded_schema(),
+                &[Value::Str("gender".into()), Value::Int(0)]
+            )
             .is_err());
     }
 

@@ -217,7 +217,9 @@ mod tests {
         ]);
         let rows = vec![row![10i64, 1i64], row![20i64, 3i64]];
         let args = vec![Value::Str("cat".into()), Value::Int(3)];
-        let out = EffectCodeUdf.execute(&rows, &schema, &args, &ctx()).unwrap();
+        let out = EffectCodeUdf
+            .execute(&rows, &schema, &args, &ctx())
+            .unwrap();
         assert_eq!(out[0], row![10i64, 1.0, 0.0]);
         assert_eq!(out[1], row![20i64, -1.0, -1.0]);
         let s = EffectCodeUdf.output_schema(&schema, &args).unwrap();
@@ -245,7 +247,12 @@ mod tests {
         assert!(EffectCodeUdf.output_schema(&schema, &[]).is_err());
         let rows = vec![row![9i64]];
         assert!(EffectCodeUdf
-            .execute(&rows, &schema, &[Value::Str("cat".into()), Value::Int(3)], &ctx())
+            .execute(
+                &rows,
+                &schema,
+                &[Value::Str("cat".into()), Value::Int(3)],
+                &ctx()
+            )
             .is_err());
     }
 }

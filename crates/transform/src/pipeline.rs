@@ -70,7 +70,10 @@ pub struct TransformOutput {
 static TEMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 fn temp_name(tag: &str) -> String {
-    format!("__sqlml_{tag}_{}", TEMP_COUNTER.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "__sqlml_{tag}_{}",
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// Runs In-SQL transformations against one engine.
@@ -129,9 +132,9 @@ impl InSqlTransformer {
              FROM TABLE(distinct_values({table}, {col_args})) AS d \
              ORDER BY colname, colval"
         ))?;
-        let result = self
-            .engine
-            .query(&format!("SELECT * FROM TABLE(assign_recode_ids({pairs})) AS m"));
+        let result = self.engine.query(&format!(
+            "SELECT * FROM TABLE(assign_recode_ids({pairs})) AS m"
+        ));
         self.engine.execute(&format!("DROP TABLE {pairs}"))?;
         let map = RecodeMap::from_rows(&result?.collect_rows())?;
         map.validate()?;
@@ -243,8 +246,7 @@ impl InSqlTransformer {
         let t0 = Instant::now();
         // Phase 2: recode via join (or pass-through when nothing to do).
         let mut current: PartitionedTable = if columns.is_empty() {
-            self.engine
-                .query(&format!("SELECT * FROM {table}"))?
+            self.engine.query(&format!("SELECT * FROM {table}"))?
         } else {
             let map_table = self.register_recode_map(&map);
             let sql = self.recode_join_sql(table, schema, &columns, &map_table)?;
@@ -316,9 +318,7 @@ mod tests {
     #[test]
     fn two_phase_recode_reproduces_figure_1b() {
         let tr = InSqlTransformer::new(engine_with_figure1());
-        let out = tr
-            .transform("t", &TransformSpec::default())
-            .unwrap();
+        let out = tr.transform("t", &TransformSpec::default()).unwrap();
         // Figure 1(b): F=1, M=2; No=1, Yes=2 (sorted order).
         let rows = out.table.collect_sorted();
         assert_eq!(
@@ -367,13 +367,10 @@ mod tests {
         let rows: Vec<_> = (0..200).map(|i| row![values[i * i % 5]]).collect();
         e.register_rows("data", schema.clone(), rows);
         let tr = InSqlTransformer::new(e.clone());
-        let distributed = tr
-            .build_recode_map("data", &["c".to_string()])
-            .unwrap();
+        let distributed = tr.build_recode_map("data", &["c".to_string()]).unwrap();
         let table = e.catalog().table("data").unwrap();
         let reference =
-            RecodeMap::from_table_scan(table.partitions(), &schema, &["c".to_string()])
-                .unwrap();
+            RecodeMap::from_table_scan(table.partitions(), &schema, &["c".to_string()]).unwrap();
         assert_eq!(distributed, reference);
     }
 
@@ -386,10 +383,7 @@ mod tests {
             .transform_with_map("t", &TransformSpec::default(), &first.recode_map)
             .unwrap();
         assert_eq!(second.map_build, Duration::ZERO);
-        assert_eq!(
-            second.table.collect_sorted(),
-            first.table.collect_sorted()
-        );
+        assert_eq!(second.table.collect_sorted(), first.table.collect_sorted());
     }
 
     #[test]
@@ -447,9 +441,7 @@ mod tests {
     #[test]
     fn transformed_output_is_fully_numeric() {
         let tr = InSqlTransformer::new(engine_with_figure1());
-        let out = tr
-            .transform("t", &TransformSpec::new(&["gender"]))
-            .unwrap();
+        let out = tr.transform("t", &TransformSpec::new(&["gender"])).unwrap();
         for r in out.table.collect_rows() {
             assert!(r.to_f64_vec().is_ok(), "row {r} still has strings");
         }

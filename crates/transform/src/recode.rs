@@ -375,7 +375,10 @@ mod tests {
 
     #[test]
     fn distinct_values_udf_skips_nulls_rejects_numbers() {
-        let schema = Schema::new(vec![Field::categorical("g"), Field::new("n", DataType::Int)]);
+        let schema = Schema::new(vec![
+            Field::categorical("g"),
+            Field::new("n", DataType::Int),
+        ]);
         let ctx = PartitionCtx {
             partition: 0,
             num_partitions: 1,

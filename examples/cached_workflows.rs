@@ -22,7 +22,13 @@ use sqlml_transform::TransformSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = SimCluster::start(ClusterConfig::default())?;
-    cluster.load_workload(WorkloadScale { carts: 30_000, users: 1_000 }, 13)?;
+    cluster.load_workload(
+        WorkloadScale {
+            carts: 30_000,
+            users: 1_000,
+        },
+        13,
+    )?;
     let pipeline = Pipeline::with_cache(&cluster);
 
     let base = |ml: &str| PipelineRequest {

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example cart_abandonment [num_carts]`
 
 use sqlml_core::workload::PREP_QUERY;
-use sqlml_core::{
-    ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy, WorkloadScale,
-};
+use sqlml_core::{ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy, WorkloadScale};
 use sqlml_mlengine::dataset::{Dataset, LabeledPoint};
 use sqlml_mlengine::job::TrainedModel;
 use sqlml_mlengine::metrics;

@@ -74,16 +74,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .engine
         .execute(&format!("CREATE TABLE churn_prep AS {prep}"))?;
     let recoded = transformer.transform("churn_prep", &TransformSpec::default())?;
-    cluster.engine.register_table("churn_recoded", recoded.table);
-    let effect = cluster.engine.query(
-        "SELECT * FROM TABLE(effect_code(churn_recoded, 'plan', 3)) AS e",
-    )?;
+    cluster
+        .engine
+        .register_table("churn_recoded", recoded.table);
+    let effect = cluster
+        .engine
+        .query("SELECT * FROM TABLE(effect_code(churn_recoded, 'plan', 3)) AS e")?;
     println!(
         "\neffect-coded schema: {}",
-        effect
-            .schema()
-            .names()
-            .join(", ")
+        effect.schema().names().join(", ")
     );
     assert!(effect.schema().names().contains(&"plan_eff1".to_string()));
 

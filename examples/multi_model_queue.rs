@@ -14,7 +14,13 @@ use sqlml_transform::{InSqlTransformer, TransformSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = SimCluster::start(ClusterConfig::default())?;
-    cluster.load_workload(WorkloadScale { carts: 40_000, users: 800 }, 77)?;
+    cluster.load_workload(
+        WorkloadScale {
+            carts: 40_000,
+            users: 800,
+        },
+        77,
+    )?;
     let engine = &cluster.engine;
 
     // Prepare + transform In-SQL, as usual.

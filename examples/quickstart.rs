@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let debt = rng.next_f64() * 50.0;
             let employment = *rng.choose(&["salaried", "self_employed", "student"]);
             // Approval depends on income vs debt: a learnable rule.
-            let approved = if income - 1.5 * debt > 40.0 { "Yes" } else { "No" };
+            let approved = if income - 1.5 * debt > 40.0 {
+                "Yes"
+            } else {
+                "No"
+            };
             Row::new(vec![
                 Value::Double(income),
                 Value::Double(debt),

@@ -1,0 +1,301 @@
+//! Offline shim for the `bytes` API surface this workspace uses.
+//!
+//! Provides [`Buf`] for `&[u8]`, [`BufMut`] for `Vec<u8>` and
+//! [`BytesMut`], and a growable [`BytesMut`] scratch buffer. Semantics
+//! follow the real crate where the workspace relies on them: `get_*` /
+//! `put_*` are little-endian-suffixed, and reading past the end panics
+//! (callers bounds-check first, exactly as with the real crate).
+//!
+//! Every method is `#[inline]`: the hot codec loops in `sqlml-common`
+//! are monomorphized in *their* crate, so the concrete impls here must
+//! be inlinable across the crate boundary or each one-byte `put_u8`
+//! becomes a real function call.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read side of a byte cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    #[inline]
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write side of a growable byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+}
+
+/// A growable, reusable byte buffer (the workspace's encode scratch).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    #[inline]
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    #[inline]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Clear contents, keeping the allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    #[inline]
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    #[inline]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.inner.split_off(at);
+        BytesMut {
+            inner: std::mem::replace(&mut self.inner, rest),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    #[inline]
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_reads_little_endian_and_advances() {
+        let data = [7u8, 0x2A, 0, 0, 0, 1, 2, 3];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32_le(), 0x2A);
+        assert_eq!(cur.remaining(), 3);
+        cur.advance(1);
+        assert_eq!(cur.chunk(), &[2, 3]);
+    }
+
+    #[test]
+    fn bytes_mut_round_trips_through_put_and_get() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u32_le(123_456);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_f64_le(2.5);
+        buf.put_slice(b"xy");
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u32_le(), 123_456);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 1);
+        assert_eq!(cur.get_f64_le(), 2.5);
+        assert_eq!(cur, b"xy");
+        buf.clear();
+        assert!(buf.is_empty() && buf.capacity() > 0);
+    }
+
+    #[test]
+    fn split_to_keeps_both_halves() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"headtail");
+        let head = buf.split_to(4);
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&buf[..], b"tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32_le();
+    }
+}

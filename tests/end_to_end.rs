@@ -28,7 +28,11 @@ fn the_three_strategies_agree_on_rows_and_labels() {
     let pipeline = Pipeline::new(&cluster);
     let mut reports = Vec::new();
     for strategy in [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream] {
-        reports.push(pipeline.run(&request("svm label=4 iterations=20"), strategy).unwrap());
+        reports.push(
+            pipeline
+                .run(&request("svm label=4 iterations=20"), strategy)
+                .unwrap(),
+        );
     }
     let rows: Vec<usize> = reports.iter().map(|r| r.rows_to_ml).collect();
     assert_eq!(rows[0], rows[1]);
@@ -115,6 +119,69 @@ fn transformed_bytes_on_dfs_equal_streamed_bytes_semantically() {
 }
 
 #[test]
+fn tiny_batches_with_midstream_fault_stay_exactly_once_and_pipelined() {
+    // Satellite regression for the pipelined reader: a 3-row batch size
+    // makes the stream many small frames, a fault injected mid-stream
+    // forces the §6 whole-group restart while the reader has already
+    // consumed rows, and delivery must still be exactly-once. The
+    // receive-side counters also prove pipelining: the first row reached
+    // the ML engine before any DataEnd was observed.
+    let cluster = cluster();
+    let engine = &cluster.engine;
+    engine
+        .execute(&format!("CREATE TABLE prep_tiny AS {PREP_QUERY}"))
+        .unwrap();
+    let transformer = sqlml_transform::InSqlTransformer::new(engine.clone());
+    let out = transformer
+        .transform("prep_tiny", &TransformSpec::new(&["gender"]))
+        .unwrap();
+    let total_rows = out.table.num_rows();
+    assert!(total_rows > 20, "need a stream long enough to fault into");
+    engine.register_table("tiny_batch_stream", out.table.clone());
+
+    let mut cfg = cluster.stream_config();
+    cfg.batch_rows = 3;
+    let injector = std::sync::Arc::new(sqlml_transfer::FaultInjector::new());
+    // Kill SQL worker 0 after it has sent a handful of rows — mid-stream,
+    // after the reader has certainly consumed some of them.
+    injector.fail_worker_after(0, 9);
+    cluster
+        .stream
+        .install_udf(engine, &cfg, Some(std::sync::Arc::clone(&injector)));
+    let outcome = cluster
+        .stream
+        .run(engine, "tiny_batch_stream", "nb label=4", &cfg)
+        .unwrap();
+
+    assert_eq!(
+        injector.fired(),
+        vec![(0, 9)],
+        "the fault must actually fire"
+    );
+    assert_eq!(outcome.stats.max_attempts, 2, "restart protocol ran once");
+    // Exactly-once despite rows consumed before the fault.
+    assert_eq!(outcome.stats.rows_ingested, total_rows);
+    assert_eq!(outcome.stats.rows_sent as usize, total_rows);
+    // The 3-row batch size really was honoured on the wire.
+    assert!(
+        outcome.stats.batches_sent >= outcome.stats.rows_sent / 3,
+        "expected many small frames, got {} for {} rows",
+        outcome.stats.batches_sent,
+        outcome.stats.rows_sent
+    );
+    // Pipelining: a row was handed to the ML engine before any stream
+    // finished.
+    let recv = &outcome.stats.receive;
+    assert!(recv.rows_received as usize >= total_rows);
+    let first_row = recv.time_to_first_row.expect("first row stamped");
+    let first_end = recv.time_to_first_data_end.expect("DataEnd stamped");
+    assert!(
+        first_row <= first_end,
+        "reader only yielded after DataEnd: {first_row:?} vs {first_end:?}"
+    );
+}
+
+#[test]
 fn figure_shapes_hold_even_at_test_scale_with_throttle() {
     // A miniature of the figure3/figure4 logic so regressions in the
     // relative ordering fail CI, not just the bench binaries.
@@ -133,7 +200,13 @@ fn figure_shapes_hold_even_at_test_scale_with_throttle() {
     };
     let cluster = SimCluster::start(config).unwrap();
     cluster
-        .load_workload(WorkloadScale { carts: 20_000, users: 400 }, 5)
+        .load_workload(
+            WorkloadScale {
+                carts: 20_000,
+                users: 400,
+            },
+            5,
+        )
         .unwrap();
     let pipeline = Pipeline::with_cache(&cluster);
     let req = request("svm label=4 iterations=5");

@@ -1,10 +1,13 @@
-//! Property-based tests of the invariants DESIGN.md calls out.
-
-use proptest::prelude::*;
+//! Randomized tests of the invariants DESIGN.md calls out.
+//!
+//! These were property-based (proptest) in the seed; the offline build
+//! environment has no crate registry, so they now drive the same
+//! invariants from the workspace's own deterministic [`SplitMix64`]
+//! generator. Every case is seeded, so failures reproduce exactly.
 
 use sqlml_common::codec;
 use sqlml_common::schema::{DataType, Field, Schema};
-use sqlml_common::{Row, Value};
+use sqlml_common::{Row, SplitMix64, Value};
 use sqlml_sqlengine::ast::CmpOp;
 use sqlml_sqlengine::{Engine, EngineConfig};
 use sqlml_transform::{InSqlTransformer, RecodeMap, TransformSpec};
@@ -13,58 +16,97 @@ use sqlml_transform::{InSqlTransformer, RecodeMap, TransformSpec};
 // Generators
 // ---------------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        // Finite doubles only: NaN equality is bit-exact by design but a
-        // NaN literal can't round-trip through the text grammar.
-        (-1e12f64..1e12).prop_map(Value::Double),
-        ".*".prop_map(Value::Str),
-    ]
+fn random_string(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| {
+            // Bias toward the codec's troublemakers: delimiter, escapes,
+            // newlines, NUL, and some non-ASCII.
+            match rng.next_below(8) {
+                0 => '|',
+                1 => '\\',
+                2 => '\n',
+                3 => 'ü',
+                4 => '\0',
+                _ => (b'a' + rng.next_below(26) as u8) as char,
+            }
+        })
+        .collect()
 }
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    prop::collection::vec(arb_value(), 0..6).prop_map(Row::new)
+fn random_value(rng: &mut SplitMix64) -> Value {
+    match rng.next_below(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Int(rng.next_u64() as i64),
+        // Finite doubles only: NaN equality is bit-exact by design but a
+        // NaN literal can't round-trip through the text grammar.
+        3 => Value::Double((rng.next_f64() - 0.5) * 2e12),
+        _ => Value::Str(random_string(rng, 12)),
+    }
+}
+
+fn random_row(rng: &mut SplitMix64) -> Row {
+    let n = rng.next_below(6) as usize;
+    Row::new((0..n).map(|_| random_value(rng)).collect())
 }
 
 /// Categorical-only rows drawn from a bounded vocabulary.
-fn arb_categorical_rows() -> impl Strategy<Value = Vec<Vec<String>>> {
-    let vocab = prop::sample::select(vec![
-        "a", "b", "c", "delta", "Echo", "f-f", "", "ünïcode",
-    ])
-    .prop_map(str::to_string);
-    prop::collection::vec(prop::collection::vec(vocab, 2), 1..120)
+fn random_categorical_rows(rng: &mut SplitMix64) -> Vec<Vec<String>> {
+    const VOCAB: [&str; 8] = ["a", "b", "c", "delta", "Echo", "f-f", "", "ünïcode"];
+    let n = 1 + rng.next_below(119) as usize;
+    (0..n)
+        .map(|_| (0..2).map(|_| rng.choose(&VOCAB).to_string()).collect())
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
 // Codec invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn binary_codec_round_trips_any_row(row in arb_row()) {
+#[test]
+fn binary_codec_round_trips_any_row() {
+    let mut rng = SplitMix64::new(0xC0DEC);
+    for _ in 0..256 {
+        let row = random_row(&mut rng);
         let mut buf = Vec::new();
         codec::encode_binary_row(&row, &mut buf);
         let (back, used) = codec::decode_binary_row(&buf).unwrap();
-        prop_assert_eq!(back, row);
-        prop_assert_eq!(used, buf.len());
+        assert_eq!(back, row);
+        assert_eq!(used, buf.len());
     }
+}
 
-    #[test]
-    fn text_codec_round_trips_arbitrary_strings(values in prop::collection::vec(".*", 1..5)) {
+#[test]
+fn binary_batch_codec_round_trips_any_rows() {
+    let mut rng = SplitMix64::new(0xBA7C4);
+    for _ in 0..64 {
+        let n = rng.next_below(40) as usize;
+        let rows: Vec<Row> = (0..n).map(|_| random_row(&mut rng)).collect();
+        let mut buf = Vec::new();
+        codec::encode_binary_batch(&rows, &mut buf);
+        let back = codec::decode_binary_batch(&buf).unwrap();
+        assert_eq!(back, rows);
+    }
+}
+
+#[test]
+fn text_codec_round_trips_arbitrary_strings() {
+    let mut rng = SplitMix64::new(0x7E47);
+    for _ in 0..256 {
+        let n = 1 + rng.next_below(4) as usize;
+        let values: Vec<String> = (0..n).map(|_| random_string(&mut rng, 10)).collect();
         let schema = Schema::new(
-            (0..values.len()).map(|i| Field::categorical(format!("c{i}"))).collect(),
+            (0..values.len())
+                .map(|i| Field::categorical(format!("c{i}")))
+                .collect(),
         );
         let row = Row::new(values.into_iter().map(Value::Str).collect());
         let mut line = String::new();
         codec::encode_text_row(&row, &mut line);
-        prop_assert!(!line.contains('\n'), "encoded line must be single-line");
+        assert!(!line.contains('\n'), "encoded line must be single-line");
         let back = codec::decode_text_row(&line, &schema).unwrap();
-        prop_assert_eq!(back, row);
+        assert_eq!(back, row);
     }
 }
 
@@ -72,26 +114,26 @@ proptest! {
 // Recoding invariants (§2.1)
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Distributed two-phase recoding equals the centralized scan, and
-    /// is invariant under the number of SQL workers.
-    #[test]
-    fn recode_map_is_partitioning_invariant(
-        rows in arb_categorical_rows(),
-        workers in 1usize..7,
-    ) {
+/// Distributed two-phase recoding equals the centralized scan, and is
+/// invariant under the number of SQL workers.
+#[test]
+fn recode_map_is_partitioning_invariant() {
+    let mut rng = SplitMix64::new(0x2ECD);
+    for case in 0..24 {
+        let rows = random_categorical_rows(&mut rng);
+        let workers = 1 + (case % 6);
         let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
         let data: Vec<Row> = rows
             .iter()
             .map(|r| Row::new(r.iter().map(|s| Value::Str(s.clone())).collect()))
             .collect();
 
-        let reference = RecodeMap::from_pairs(
-            rows.iter()
-                .flat_map(|r| [("u".to_string(), r[0].clone()), ("v".to_string(), r[1].clone())]),
-        );
+        let reference = RecodeMap::from_pairs(rows.iter().flat_map(|r| {
+            [
+                ("u".to_string(), r[0].clone()),
+                ("v".to_string(), r[1].clone()),
+            ]
+        }));
 
         let engine = Engine::new(EngineConfig::with_workers(workers));
         engine.register_rows("t", schema, data);
@@ -99,31 +141,38 @@ proptest! {
         let distributed = transformer
             .build_recode_map("t", &["u".to_string(), "v".to_string()])
             .unwrap();
-        prop_assert_eq!(&distributed, &reference);
+        assert_eq!(distributed, reference);
         distributed.validate().unwrap();
     }
+}
 
-    /// Recoding is a bijection onto 1..=K per column.
-    #[test]
-    fn recode_codes_are_consecutive_from_one(rows in arb_categorical_rows()) {
-        let map = RecodeMap::from_pairs(
-            rows.iter().map(|r| ("c".to_string(), r[0].clone())),
-        );
+/// Recoding is a bijection onto 1..=K per column.
+#[test]
+fn recode_codes_are_consecutive_from_one() {
+    let mut rng = SplitMix64::new(0x813);
+    for _ in 0..24 {
+        let rows = random_categorical_rows(&mut rng);
+        let map = RecodeMap::from_pairs(rows.iter().map(|r| ("c".to_string(), r[0].clone())));
         map.validate().unwrap();
         let k = map.cardinality("c");
         let mut seen = std::collections::BTreeSet::new();
         for r in &rows {
             let code = map.code("c", &r[0]).unwrap();
-            prop_assert!((1..=k as i64).contains(&code));
+            assert!((1..=k as i64).contains(&code));
             seen.insert(code);
         }
-        prop_assert_eq!(seen.len(), k);
+        assert_eq!(seen.len(), k);
     }
+}
 
-    /// Recode → dummy-code yields exactly one hot indicator per row, and
-    /// the hot position identifies the original value.
-    #[test]
-    fn dummy_coding_is_invertible(rows in arb_categorical_rows(), workers in 1usize..5) {
+/// Recode → dummy-code yields exactly one hot indicator per row, and the
+/// hot position identifies the original value.
+#[test]
+fn dummy_coding_is_invertible() {
+    let mut rng = SplitMix64::new(0xD00D);
+    for case in 0..16 {
+        let rows = random_categorical_rows(&mut rng);
+        let workers = 1 + (case % 4);
         let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
         let data: Vec<Row> = rows
             .iter()
@@ -132,17 +181,17 @@ proptest! {
         let engine = Engine::new(EngineConfig::with_workers(workers));
         engine.register_rows("t", schema, data);
         let transformer = InSqlTransformer::new(engine);
-        let out = transformer.transform("t", &TransformSpec::new(&["u"])).unwrap();
+        let out = transformer
+            .transform("t", &TransformSpec::new(&["u"]))
+            .unwrap();
         let k = out.recode_map.cardinality("u");
         let values = out.recode_map.values_in_code_order("u");
 
         // Output layout: u_<v1>..u_<vK>, v.
         let mut decoded: Vec<(String, i64)> = Vec::new();
         for row in out.table.collect_rows() {
-            let hot: Vec<usize> = (0..k)
-                .filter(|i| row.get(*i) == &Value::Int(1))
-                .collect();
-            prop_assert_eq!(hot.len(), 1, "exactly one hot indicator");
+            let hot: Vec<usize> = (0..k).filter(|i| row.get(*i) == &Value::Int(1)).collect();
+            assert_eq!(hot.len(), 1, "exactly one hot indicator");
             decoded.push((values[hot[0]].clone(), row.get(k).as_i64().unwrap()));
         }
         // Multiset of decoded (u, recoded v) equals the input multiset.
@@ -152,7 +201,7 @@ proptest! {
             .collect();
         decoded.sort();
         expect.sort();
-        prop_assert_eq!(decoded, expect);
+        assert_eq!(decoded, expect);
     }
 }
 
@@ -160,16 +209,14 @@ proptest! {
 // Predicate-implication soundness (§5.2)
 // ---------------------------------------------------------------------------
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::NotEq),
-        Just(CmpOp::Lt),
-        Just(CmpOp::LtEq),
-        Just(CmpOp::Gt),
-        Just(CmpOp::GtEq),
-    ]
-}
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::NotEq,
+    CmpOp::Lt,
+    CmpOp::LtEq,
+    CmpOp::Gt,
+    CmpOp::GtEq,
+];
 
 fn satisfies(op: CmpOp, v: i64, bound: i64) -> bool {
     match op {
@@ -182,36 +229,40 @@ fn satisfies(op: CmpOp, v: i64, bound: i64) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Soundness: whenever the checker says "q implies c", every value
-    /// satisfying q must satisfy c. (Completeness is not required — a
-    /// false negative only costs a cache miss.)
-    #[test]
-    fn predicate_implication_is_sound(
-        q_op in arb_cmp(),
-        q_bound in -50i64..50,
-        c_op in arb_cmp(),
-        c_bound in -50i64..50,
-        probe in -60i64..60,
-    ) {
-        use sqlml_cache::{predicate_implies, ColRef, SimplePredicate};
-        let q = SimplePredicate {
-            col: ColRef::new("t", "x"),
-            op: q_op,
-            value: Value::Int(q_bound),
-        };
-        let c = SimplePredicate {
-            col: ColRef::new("t", "x"),
-            op: c_op,
-            value: Value::Int(c_bound),
-        };
-        if predicate_implies(&q, &c) && satisfies(q_op, probe, q_bound) {
-            prop_assert!(
-                satisfies(c_op, probe, c_bound),
-                "{probe} satisfies q ({q_op:?} {q_bound}) but not c ({c_op:?} {c_bound})"
-            );
+/// Soundness: whenever the checker says "q implies c", every value
+/// satisfying q must satisfy c. (Completeness is not required — a false
+/// negative only costs a cache miss.) Exhaustive over both operator
+/// grids and a bounded value cube.
+#[test]
+fn predicate_implication_is_sound() {
+    use sqlml_cache::{predicate_implies, ColRef, SimplePredicate};
+    for q_op in CMP_OPS {
+        for c_op in CMP_OPS {
+            for q_bound in -6i64..=6 {
+                for c_bound in -6i64..=6 {
+                    let q = SimplePredicate {
+                        col: ColRef::new("t", "x"),
+                        op: q_op,
+                        value: Value::Int(q_bound),
+                    };
+                    let c = SimplePredicate {
+                        col: ColRef::new("t", "x"),
+                        op: c_op,
+                        value: Value::Int(c_bound),
+                    };
+                    if !predicate_implies(&q, &c) {
+                        continue;
+                    }
+                    for probe in -8i64..=8 {
+                        if satisfies(q_op, probe, q_bound) {
+                            assert!(
+                                satisfies(c_op, probe, c_bound),
+                                "{probe} satisfies q ({q_op:?} {q_bound}) but not c ({c_op:?} {c_bound})"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -220,19 +271,17 @@ proptest! {
 // Hadoop block-split line protocol
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Splitting a text file at block boundaries and reading every split
-    /// yields every line exactly once, for any block size and any line
-    /// lengths (the classic discard-first / read-past-end protocol).
-    #[test]
-    fn block_splits_partition_lines_exactly(
-        widths in prop::collection::vec(1usize..40, 1..80),
-        block_size in 8usize..128,
-    ) {
-        use sqlml_dfs::{Dfs, DfsConfig};
-        use sqlml_mlengine::input::{InputFormat, TextInputFormat};
+/// Splitting a text file at block boundaries and reading every split
+/// yields every line exactly once, for any block size and any line
+/// lengths (the classic discard-first / read-past-end protocol).
+#[test]
+fn block_splits_partition_lines_exactly() {
+    use sqlml_dfs::{Dfs, DfsConfig};
+    use sqlml_mlengine::input::{InputFormat, TextInputFormat};
+    let mut rng = SplitMix64::new(0xB10C);
+    for _ in 0..24 {
+        let block_size = 8 + rng.next_below(120) as usize;
+        let n_lines = 1 + rng.next_below(79) as usize;
         let dfs = Dfs::new(DfsConfig {
             num_datanodes: 3,
             block_size,
@@ -242,8 +291,9 @@ proptest! {
         });
         let mut text = String::new();
         let mut expect = Vec::new();
-        for (i, w) in widths.iter().enumerate() {
-            let line = format!("{:0w$}", i, w = *w.max(&digits(i)));
+        for i in 0..n_lines {
+            let w = 1 + rng.next_below(39) as usize;
+            let line = format!("{:0w$}", i, w = w.max(digits(i)));
             expect.push(line.clone());
             text.push_str(&line);
             text.push('\n');
@@ -260,7 +310,7 @@ proptest! {
         }
         got.sort();
         expect.sort();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }
 
@@ -272,18 +322,22 @@ fn digits(i: usize) -> usize {
 // Message-queue log invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever is appended to a topic partition is read back in order,
-    /// exactly once per pass, for any record sizes — and replaying from
-    /// offset 0 reproduces it bit-for-bit.
-    #[test]
-    fn broker_log_round_trips_and_replays(
-        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..40),
-    ) {
-        use sqlml_mq::{broker::BrokerConfig, Broker};
-        use std::time::Duration;
+/// Whatever is appended to a topic partition is read back in order,
+/// exactly once per pass, for any record sizes — and replaying from
+/// offset 0 reproduces it bit-for-bit.
+#[test]
+fn broker_log_round_trips_and_replays() {
+    use sqlml_mq::{broker::BrokerConfig, Broker};
+    use std::time::Duration;
+    let mut rng = SplitMix64::new(0xB20CE2);
+    for _ in 0..16 {
+        let n = 1 + rng.next_below(39) as usize;
+        let records: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = rng.next_below(64) as usize;
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect();
         let broker = Broker::new(BrokerConfig::default());
         broker.create_topic("t", 1).unwrap();
         for r in &records {
@@ -300,19 +354,27 @@ proptest! {
                 got.push((*rec).clone());
                 offset += 1;
             }
-            prop_assert_eq!(&got, &records);
+            assert_eq!(got, records);
         }
     }
+}
 
-    /// The spillable send buffer is an exact FIFO under any chunk-size
-    /// pattern and any capacity (including capacities that force every
-    /// chunk through the spill file).
-    #[test]
-    fn spillable_buffer_is_exact_fifo(
-        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..50), 1..60),
-        capacity in 1usize..256,
-    ) {
-        use sqlml_transfer::SpillableBuffer;
+/// The spillable send buffer is an exact FIFO under any chunk-size
+/// pattern and any capacity (including capacities that force every chunk
+/// through the spill file).
+#[test]
+fn spillable_buffer_is_exact_fifo() {
+    use sqlml_transfer::SpillableBuffer;
+    let mut rng = SplitMix64::new(0xF1F0);
+    for _ in 0..24 {
+        let capacity = 1 + rng.next_below(255) as usize;
+        let n = 1 + rng.next_below(59) as usize;
+        let chunks: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = 1 + rng.next_below(49) as usize;
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect();
         let buf = SpillableBuffer::new(
             capacity,
             std::env::temp_dir().join("sqlml-prop-buffer"),
@@ -326,7 +388,7 @@ proptest! {
         while let Some(c) = buf.pop().unwrap() {
             got.push(c);
         }
-        prop_assert_eq!(got, chunks);
+        assert_eq!(got, chunks);
     }
 }
 
@@ -334,29 +396,31 @@ proptest! {
 // Parser robustness
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The parser returns a clean error (never panics) on arbitrary
-    /// input.
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
+/// The parser returns a clean error (never panics) on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::new(0xAA51);
+    for _ in 0..512 {
+        let input = random_string(&mut rng, 200);
         let _ = sqlml_sqlengine::parser::parse_statement(&input);
     }
+}
 
-    /// SQL-ish token soup is also panic-free.
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "AND", "OR", "(", ")", ",", "*",
-                "=", "<", ">=", "t", "x", "'s'", "1", "2.5", "JOIN", "ON",
-                "GROUP", "BY", "LIKE", "CAST", "AS", "NULL", "NOT", "IN",
-            ]),
-            0..25,
-        )
-    ) {
-        let sql = tokens.join(" ");
+/// SQL-ish token soup is also panic-free.
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const TOKENS: [&str; 28] = [
+        "SELECT", "FROM", "WHERE", "AND", "OR", "(", ")", ",", "*", "=", "<", ">=", "t", "x",
+        "'s'", "1", "2.5", "JOIN", "ON", "GROUP", "BY", "LIKE", "CAST", "AS", "NULL", "NOT", "IN",
+        ";",
+    ];
+    let mut rng = SplitMix64::new(0x50FA);
+    for _ in 0..512 {
+        let n = rng.next_below(25) as usize;
+        let sql = (0..n)
+            .map(|_| *rng.choose(&TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = sqlml_sqlengine::parser::parse_statement(&sql);
     }
 }
@@ -365,24 +429,35 @@ proptest! {
 // LIKE laws
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Literal-prefix/suffix/containment laws of SQL LIKE over
-    /// wildcard-free fragments.
-    #[test]
-    fn like_agrees_with_string_predicates(
-        text in "[a-z]{0,12}",
-        frag in "[a-z]{0,4}",
-    ) {
-        use sqlml_sqlengine::expr::like_match;
-        prop_assert_eq!(like_match(&text, &format!("{frag}%")), text.starts_with(&frag));
-        prop_assert_eq!(like_match(&text, &format!("%{frag}")), text.ends_with(&frag));
-        prop_assert_eq!(like_match(&text, &format!("%{frag}%")), text.contains(&frag));
-        prop_assert_eq!(like_match(&text, &frag), text == frag);
+/// Literal-prefix/suffix/containment laws of SQL LIKE over wildcard-free
+/// fragments.
+#[test]
+fn like_agrees_with_string_predicates() {
+    use sqlml_sqlengine::expr::like_match;
+    let mut rng = SplitMix64::new(0x11CE);
+    for _ in 0..256 {
+        let text: String = (0..rng.next_below(13))
+            .map(|_| (b'a' + rng.next_below(4) as u8) as char)
+            .collect();
+        let frag: String = (0..rng.next_below(5))
+            .map(|_| (b'a' + rng.next_below(4) as u8) as char)
+            .collect();
+        assert_eq!(
+            like_match(&text, &format!("{frag}%")),
+            text.starts_with(&frag)
+        );
+        assert_eq!(
+            like_match(&text, &format!("%{frag}")),
+            text.ends_with(&frag)
+        );
+        assert_eq!(
+            like_match(&text, &format!("%{frag}%")),
+            text.contains(&frag)
+        );
+        assert_eq!(like_match(&text, &frag), text == frag);
         // `_` consumes exactly one character.
         let underscores: String = "_".repeat(text.chars().count());
-        prop_assert!(like_match(&text, &underscores));
+        assert!(like_match(&text, &underscores));
     }
 }
 
@@ -390,23 +465,26 @@ proptest! {
 // SQL engine vs reference evaluation
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Filter + projection results match a direct Rust evaluation over
-    /// the same rows, for any partitioning.
-    #[test]
-    fn filters_match_reference_semantics(
-        xs in prop::collection::vec(-100i64..100, 1..200),
-        bound in -100i64..100,
-        workers in 1usize..6,
-    ) {
+/// Filter + projection results match a direct Rust evaluation over the
+/// same rows, for any partitioning.
+#[test]
+fn filters_match_reference_semantics() {
+    let mut rng = SplitMix64::new(0xF117E2);
+    for case in 0..16 {
+        let xs: Vec<i64> = (0..1 + rng.next_below(199))
+            .map(|_| rng.range_i64(-100, 100))
+            .collect();
+        let bound = rng.range_i64(-100, 100);
+        let workers = 1 + (case % 5);
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
         let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
         let engine = Engine::new(EngineConfig::with_workers(workers));
         engine.register_rows("t", schema, rows);
         let got: Vec<i64> = engine
-            .query(&format!("SELECT x FROM t WHERE x > {bound} AND x <= {} ", bound.saturating_add(40)))
+            .query(&format!(
+                "SELECT x FROM t WHERE x > {bound} AND x <= {} ",
+                bound.saturating_add(40)
+            ))
             .unwrap()
             .collect_sorted()
             .iter()
@@ -418,15 +496,19 @@ proptest! {
             .filter(|x| *x > bound && *x <= bound.saturating_add(40))
             .collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Aggregates match reference computation.
-    #[test]
-    fn aggregates_match_reference(
-        xs in prop::collection::vec(-1000i64..1000, 1..150),
-        workers in 1usize..6,
-    ) {
+/// Aggregates match reference computation.
+#[test]
+fn aggregates_match_reference() {
+    let mut rng = SplitMix64::new(0xA99);
+    for case in 0..16 {
+        let xs: Vec<i64> = (0..1 + rng.next_below(149))
+            .map(|_| rng.range_i64(-1000, 1000))
+            .collect();
+        let workers = 1 + (case % 5);
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
         let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
         let engine = Engine::new(EngineConfig::with_workers(workers));
@@ -435,22 +517,28 @@ proptest! {
             .query("SELECT COUNT(*), SUM(x), MIN(x), MAX(x) FROM t")
             .unwrap()
             .collect_rows();
-        prop_assert_eq!(out[0].get(0), &Value::Int(xs.len() as i64));
+        assert_eq!(out[0].get(0), &Value::Int(xs.len() as i64));
         let sum: i64 = xs.iter().sum();
-        prop_assert!((out[0].get(1).as_f64().unwrap() - sum as f64).abs() < 1e-6);
-        prop_assert_eq!(out[0].get(2), &Value::Int(*xs.iter().min().unwrap()));
-        prop_assert_eq!(out[0].get(3), &Value::Int(*xs.iter().max().unwrap()));
+        assert!((out[0].get(1).as_f64().unwrap() - sum as f64).abs() < 1e-6);
+        assert_eq!(out[0].get(2), &Value::Int(*xs.iter().min().unwrap()));
+        assert_eq!(out[0].get(3), &Value::Int(*xs.iter().max().unwrap()));
     }
+}
 
-    /// Hash joins match a reference nested-loop join, including the
-    /// LEFT OUTER null-extension, for any partitioning and build side.
-    #[test]
-    fn joins_match_nested_loop_reference(
-        left_keys in prop::collection::vec(0i64..8, 1..40),
-        right_keys in prop::collection::vec(0i64..8, 0..40),
-        workers in 1usize..5,
-        outer in any::<bool>(),
-    ) {
+/// Hash joins match a reference nested-loop join, including the LEFT
+/// OUTER null-extension, for any partitioning and build side.
+#[test]
+fn joins_match_nested_loop_reference() {
+    let mut rng = SplitMix64::new(0x10113);
+    for case in 0..16 {
+        let left_keys: Vec<i64> = (0..1 + rng.next_below(39))
+            .map(|_| rng.range_i64(0, 8))
+            .collect();
+        let right_keys: Vec<i64> = (0..rng.next_below(40))
+            .map(|_| rng.range_i64(0, 8))
+            .collect();
+        let workers = 1 + (case % 4);
+        let outer = rng.chance(0.5);
         let schema_l = Schema::new(vec![
             Field::new("lid", DataType::Int),
             Field::new("k", DataType::Int),
@@ -510,15 +598,19 @@ proptest! {
         }
         got.sort();
         expect.sort();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// DISTINCT matches reference dedup for any partitioning.
-    #[test]
-    fn distinct_matches_reference(
-        xs in prop::collection::vec(0i64..20, 1..300),
-        workers in 1usize..6,
-    ) {
+/// DISTINCT matches reference dedup for any partitioning.
+#[test]
+fn distinct_matches_reference() {
+    let mut rng = SplitMix64::new(0xD157);
+    for case in 0..16 {
+        let xs: Vec<i64> = (0..1 + rng.next_below(299))
+            .map(|_| rng.range_i64(0, 20))
+            .collect();
+        let workers = 1 + (case % 5);
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
         let rows: Vec<Row> = xs.iter().map(|x| Row::new(vec![Value::Int(*x)])).collect();
         let engine = Engine::new(EngineConfig::with_workers(workers));
@@ -533,6 +625,6 @@ proptest! {
         let mut expect: Vec<i64> = xs.clone();
         expect.sort_unstable();
         expect.dedup();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }
