@@ -19,9 +19,9 @@ fn sample_rows(n: usize) -> (Schema, Vec<Row>) {
         .map(|_| {
             Row::new(vec![
                 Value::Int(rng.range_i64(18, 80)),
-                Value::Str(if rng.chance(0.5) { "F" } else { "M" }.to_string()),
+                Value::str(if rng.chance(0.5) { "F" } else { "M" }),
                 Value::Double(rng.next_f64() * 200.0),
-                Value::Str(if rng.chance(0.3) { "Yes" } else { "No" }.to_string()),
+                Value::str(if rng.chance(0.3) { "Yes" } else { "No" }),
             ])
         })
         .collect();

@@ -25,7 +25,7 @@ fn engine(carts: usize, users: usize) -> Engine {
             Row::new(vec![
                 Value::Int(rng.next_below(users as u64) as i64),
                 Value::Double(rng.next_f64() * 200.0),
-                Value::Str(if rng.chance(0.3) { "Yes" } else { "No" }.to_string()),
+                Value::str(if rng.chance(0.3) { "Yes" } else { "No" }),
             ])
         })
         .collect();
@@ -34,7 +34,7 @@ fn engine(carts: usize, users: usize) -> Engine {
             Row::new(vec![
                 Value::Int(uid as i64),
                 Value::Int(rng.range_i64(18, 80)),
-                Value::Str(if rng.chance(0.55) { "USA" } else { "CA" }.to_string()),
+                Value::str(if rng.chance(0.55) { "USA" } else { "CA" }),
             ])
         })
         .collect();

@@ -32,12 +32,15 @@ fn wide_table(cols: usize, seed: u64) -> (Schema, Vec<Row>) {
             .collect(),
     );
     let mut rng = SplitMix64::new(seed);
-    let values = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let values: Vec<std::sync::Arc<str>> = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        .iter()
+        .map(|&v| v.into())
+        .collect();
     let rows = (0..ROWS)
         .map(|_| {
             Row::new(
                 (0..cols)
-                    .map(|_| Value::Str(rng.choose(&values).to_string()))
+                    .map(|_| Value::Str(rng.choose(&values).clone()))
                     .collect(),
             )
         })

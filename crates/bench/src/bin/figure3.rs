@@ -46,6 +46,14 @@ fn main() {
         if let Some(summary) = report.transfer_summary() {
             println!("{:<13} {summary}", "");
         }
+        if params.verbose {
+            // Per-stage breakdown; with the `alloc-counters` feature
+            // built in, each timed stage also shows bytes allocated.
+            if !sqlml_common::alloc::enabled() {
+                println!("  (build with --features alloc-counters for per-stage alloc bytes)");
+            }
+            print!("{}", report.timer.breakdown());
+        }
         totals.push(report.pipeline_time());
         bars.push(FigureBar {
             label: strategy.label().to_string(),

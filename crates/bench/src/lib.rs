@@ -25,6 +25,9 @@ pub struct BenchParams {
     pub batch_rows: usize,
     /// Wire-byte target per frame (paper: 4 KiB).
     pub frame_bytes: usize,
+    /// Print per-stage breakdowns (and, when built with the
+    /// `alloc-counters` feature, bytes allocated per stage).
+    pub verbose: bool,
 }
 
 impl Default for BenchParams {
@@ -36,35 +39,45 @@ impl Default for BenchParams {
             seed: 42,
             batch_rows: defaults.batch_rows,
             frame_bytes: defaults.frame_bytes,
+            verbose: false,
         }
     }
 }
 
 impl BenchParams {
     /// Parse `--carts N`, `--throttle-mbps M` (0 = off), `--seed S`,
-    /// `--batch-rows N` and `--frame-bytes N` from the command line, over
-    /// the defaults.
+    /// `--batch-rows N`, `--frame-bytes N` and `--verbose` from the
+    /// command line, over the defaults.
     pub fn from_args() -> BenchParams {
         let mut p = BenchParams::default();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
-        while i + 1 < args.len() {
+        while i < args.len() {
+            // `--verbose` is the one flag without a value argument.
+            if args[i] == "--verbose" {
+                p.verbose = true;
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{} takes a value", args[i]));
             match args[i].as_str() {
                 "--carts" => {
-                    let carts: usize = args[i + 1].parse().expect("--carts takes a number");
+                    let carts: usize = value.parse().expect("--carts takes a number");
                     p.scale = WorkloadScale::with_carts(carts);
                 }
                 "--throttle-mbps" => {
-                    let mbps: u64 = args[i + 1].parse().expect("--throttle-mbps takes a number");
+                    let mbps: u64 = value.parse().expect("--throttle-mbps takes a number");
                     p.throttle_mbps = if mbps == 0 { None } else { Some(mbps) };
                 }
-                "--seed" => p.seed = args[i + 1].parse().expect("--seed takes a number"),
+                "--seed" => p.seed = value.parse().expect("--seed takes a number"),
                 "--batch-rows" => {
-                    p.batch_rows = args[i + 1].parse().expect("--batch-rows takes a number");
+                    p.batch_rows = value.parse().expect("--batch-rows takes a number");
                     assert!(p.batch_rows >= 1, "--batch-rows must be >= 1");
                 }
                 "--frame-bytes" => {
-                    p.frame_bytes = args[i + 1].parse().expect("--frame-bytes takes a number");
+                    p.frame_bytes = value.parse().expect("--frame-bytes takes a number");
                     assert!(p.frame_bytes >= 1, "--frame-bytes must be >= 1");
                 }
                 other => panic!("unknown argument {other:?}"),

@@ -13,6 +13,7 @@
 use bytes::BufMut;
 
 use crate::error::{Result, SqlmlError};
+use crate::intern::Interner;
 use crate::row::Row;
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
@@ -71,6 +72,24 @@ pub fn encode_text_row(row: &Row, out: &mut String) {
 
 /// Decode one text line into a row under `schema`.
 pub fn decode_text_row(line: &str, schema: &Schema) -> Result<Row> {
+    decode_text_row_with(line, schema, None)
+}
+
+/// Decode one text line, pooling string values through `interner` so
+/// repeated categorical values share one `Arc<str>` allocation.
+pub fn decode_text_row_interned(
+    line: &str,
+    schema: &Schema,
+    interner: &mut Interner,
+) -> Result<Row> {
+    decode_text_row_with(line, schema, Some(interner))
+}
+
+fn decode_text_row_with(
+    line: &str,
+    schema: &Schema,
+    mut interner: Option<&mut Interner>,
+) -> Result<Row> {
     let mut values = Vec::with_capacity(schema.len());
     let mut fields = split_escaped(line);
     for field in schema.fields() {
@@ -90,7 +109,10 @@ pub fn decode_text_row(line: &str, schema: &Schema) -> Result<Row> {
         let v = match field.data_type {
             // Strings bypass `parse_typed` so that the empty string stays
             // an empty string rather than being read back as NULL.
-            DataType::Str => Value::Str(text),
+            DataType::Str => match interner.as_deref_mut() {
+                Some(pool) => Value::Str(pool.intern(&text)),
+                None => Value::Str(text.into()),
+            },
             ty => Value::parse_typed(&text, ty)?,
         };
         values.push(v);
@@ -121,11 +143,14 @@ pub fn encode_text_batch(rows: &[Row]) -> String {
     out
 }
 
-/// Parse a text blob (as stored on the DFS) into rows.
+/// Parse a text blob (as stored on the DFS) into rows. String cells are
+/// interned per batch: all rows carrying the same categorical value
+/// share one `Arc<str>` allocation.
 pub fn decode_text_batch(text: &str, schema: &Schema) -> Result<Vec<Row>> {
+    let mut interner = Interner::new();
     text.lines()
         .filter(|l| !l.is_empty())
-        .map(|l| decode_text_row(l, schema))
+        .map(|l| decode_text_row_interned(l, schema, &mut interner))
         .collect()
 }
 
@@ -228,9 +253,13 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
             TAG_STR => {
                 let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
                 let bytes = take(&mut pos, len)?;
-                Value::Str(String::from_utf8(bytes.to_vec()).map_err(|e| {
-                    SqlmlError::Execution(format!("invalid utf8 in binary row: {e}"))
-                })?)
+                Value::Str(
+                    std::str::from_utf8(bytes)
+                        .map_err(|e| {
+                            SqlmlError::Execution(format!("invalid utf8 in binary row: {e}"))
+                        })?
+                        .into(),
+                )
             }
             other => {
                 return Err(SqlmlError::Execution(format!(

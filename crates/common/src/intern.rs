@@ -1,0 +1,80 @@
+//! Decode-side string interner.
+//!
+//! The text codec materialises every categorical cell as a fresh
+//! `String`; with `Value::Str(Arc<str>)` that would still mean one heap
+//! allocation per cell. Categorical columns have tiny domains (the
+//! paper's examples: gender, product category, abandonment flag), so an
+//! [`Interner`] threaded through batch decoding collapses the per-cell
+//! allocations to one `Arc<str>` per *distinct* value — every row holding
+//! `"Female"` shares the same allocation, and row clones downstream are
+//! reference-count bumps.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A deduplicating pool of `Arc<str>` values.
+///
+/// Not thread-safe by design: each decode worker owns its own interner,
+/// which still bounds allocations at (workers × distinct values) instead
+/// of (rows × columns).
+#[derive(Debug, Default)]
+pub struct Interner {
+    pool: HashSet<Arc<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Return the pooled `Arc<str>` for `s`, allocating only on first
+    /// sight of a value.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(existing) = self.pool.get(s) {
+            return existing.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.pool.insert(arc.clone());
+        arc
+    }
+
+    /// Number of distinct strings pooled so far.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interned_values_share_one_allocation() {
+        let mut i = Interner::new();
+        let a = i.intern("female");
+        let b = i.intern("female");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_values_stay_distinct() {
+        let mut i = Interner::new();
+        let a = i.intern("yes");
+        let b = i.intern("no");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.as_ref(), "yes");
+        assert_eq!(b.as_ref(), "no");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+    }
+}

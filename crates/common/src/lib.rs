@@ -6,8 +6,10 @@
 //! error type, deterministic RNG, text/binary codecs, and stage timers
 //! defined here.
 
+pub mod alloc;
 pub mod codec;
 pub mod error;
+pub mod intern;
 pub mod rng;
 pub mod row;
 pub mod schema;
@@ -15,6 +17,7 @@ pub mod timer;
 pub mod value;
 
 pub use error::{Result, SqlmlError};
+pub use intern::Interner;
 pub use rng::SplitMix64;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};

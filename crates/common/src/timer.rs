@@ -8,11 +8,17 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use crate::alloc;
+
 /// One completed stage.
 #[derive(Debug, Clone)]
 pub struct Stage {
     pub name: String,
     pub duration: Duration,
+    /// Bytes allocated while the stage ran, when the `alloc-counters`
+    /// feature is enabled and the stage was measured via
+    /// [`StageTimer::time`]. `None` otherwise.
+    pub alloc_bytes: Option<u64>,
 }
 
 /// Collects a sequence of named stage timings.
@@ -26,11 +32,21 @@ impl StageTimer {
         StageTimer { stages: Vec::new() }
     }
 
-    /// Time a closure as one named stage and return its output.
+    /// Time a closure as one named stage and return its output. With the
+    /// `alloc-counters` feature enabled, also records bytes allocated
+    /// during the stage.
     pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let alloc_before = alloc::bytes_allocated();
         let start = Instant::now();
         let out = f();
-        self.record(name, start.elapsed());
+        let duration = start.elapsed();
+        let alloc_bytes =
+            alloc::enabled().then(|| alloc::bytes_allocated().saturating_sub(alloc_before));
+        self.stages.push(Stage {
+            name: name.to_string(),
+            duration,
+            alloc_bytes,
+        });
         out
     }
 
@@ -39,6 +55,7 @@ impl StageTimer {
         self.stages.push(Stage {
             name: name.to_string(),
             duration,
+            alloc_bytes: None,
         });
     }
 
@@ -68,16 +85,31 @@ impl StageTimer {
             .chain(std::iter::once("TOTAL".len()))
             .max()
             .unwrap_or(5);
+        let show_alloc = self.stages.iter().any(|s| s.alloc_bytes.is_some());
         let mut out = String::new();
         for s in &self.stages {
             let secs = s.duration.as_secs_f64();
             let bar_len = ((secs / total) * 40.0).round() as usize;
-            out.push_str(&format!(
-                "  {:<width$}  {:>9}  {}\n",
-                s.name,
-                format_duration(s.duration),
-                "#".repeat(bar_len),
-            ));
+            if show_alloc {
+                let alloc = s
+                    .alloc_bytes
+                    .map(format_bytes)
+                    .unwrap_or_else(|| "-".to_string());
+                out.push_str(&format!(
+                    "  {:<width$}  {:>9}  {:>9} alloc  {}\n",
+                    s.name,
+                    format_duration(s.duration),
+                    alloc,
+                    "#".repeat(bar_len),
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  {:<width$}  {:>9}  {}\n",
+                    s.name,
+                    format_duration(s.duration),
+                    "#".repeat(bar_len),
+                ));
+            }
         }
         out.push_str(&format!(
             "  {:<width$}  {:>9}\n",

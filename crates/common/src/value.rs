@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::{Result, SqlmlError};
 use crate::schema::DataType;
@@ -19,16 +20,28 @@ use crate::schema::DataType;
 /// `total_cmp`. NULL sorts before every non-NULL value and equals only
 /// itself for grouping purposes (SQL three-valued logic is handled by the
 /// expression evaluator, not here).
+///
+/// Strings are interned as `Arc<str>`: cloning a `Value::Str` — which the
+/// executor does for every row that survives a filter, join, or
+/// projection — is a reference-count bump, not a heap copy. Combined with
+/// the decode-side [`Interner`], all rows carrying the same categorical
+/// value share one allocation.
 #[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Double(f64),
-    Str(String),
+    Str(Arc<str>),
 }
 
 impl Value {
+    /// Construct a string value from anything that converts to an
+    /// `Arc<str>` (`&str`, `String`, or an already-interned `Arc<str>`).
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
     /// The dynamic type of this value, or `None` for NULL (which is typed
     /// by context).
     pub fn data_type(&self) -> Option<DataType> {
@@ -108,7 +121,7 @@ impl Value {
                 .parse::<f64>()
                 .map(Value::Double)
                 .map_err(|e| SqlmlError::Type(format!("bad double literal {text:?}: {e}"))),
-            DataType::Str => Ok(Value::Str(text.to_string())),
+            DataType::Str => Ok(Value::Str(Arc::from(text))),
         }
     }
 
@@ -120,7 +133,7 @@ impl Value {
             Value::Int(i) => i.to_string(),
             // `{:?}`-style float formatting keeps round-trip fidelity.
             Value::Double(d) => format!("{d:?}"),
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string(),
         }
     }
 
@@ -238,11 +251,16 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -269,7 +287,7 @@ mod tests {
     fn null_equals_only_null() {
         assert_eq!(Value::Null, Value::Null);
         assert_ne!(Value::Null, Value::Int(0));
-        assert_ne!(Value::Null, Value::Str(String::new()));
+        assert_ne!(Value::Null, Value::Str("".into()));
     }
 
     #[test]

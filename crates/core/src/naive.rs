@@ -19,9 +19,9 @@
 use std::collections::BTreeSet;
 
 use sqlml_common::schema::{DataType, Field, Schema};
-use sqlml_common::{codec, Result, Row, SqlmlError, Value};
+use sqlml_common::{codec, Result, SqlmlError, Value};
 use sqlml_dfs::Dfs;
-use sqlml_transform::{RecodeMap, TransformSpec};
+use sqlml_transform::{FlatRecodeApplier, RecodeMap, TransformSpec};
 
 /// Output of the external transform job.
 #[derive(Debug)]
@@ -73,7 +73,7 @@ pub fn run_external_transform(
             let row = codec::decode_text_row(line, input_schema)?;
             for (name, idx) in &col_indices {
                 if let Value::Str(s) = row.get(*idx) {
-                    set.insert((name.clone(), s.clone()));
+                    set.insert((name.clone(), s.to_string()));
                 }
             }
         }
@@ -112,13 +112,18 @@ pub fn run_external_transform(
     }
     let out_schema = Schema::new(fields);
 
-    // ---- Job 2: transform each part-file and write the output.
+    // ---- Job 2: transform each part-file and write the output. All
+    // per-column resolution (which action, value→code table, block
+    // width) happens once here; the per-row work is a flat O(1) probe
+    // per categorical cell.
+    let applier = FlatRecodeApplier::new(&recode_map, input_schema, spec)?;
     let row_counts: Vec<usize> = parallel_over_files(&files, |path| {
         let text = dfs.read_string(path)?;
+        let mut interner = sqlml_common::Interner::new();
         let mut out_rows = Vec::new();
         for line in text.lines().filter(|l| !l.is_empty()) {
-            let row = codec::decode_text_row(line, input_schema)?;
-            out_rows.push(transform_row(&row, input_schema, spec, &recode_map)?);
+            let row = codec::decode_text_row_interned(line, input_schema, &mut interner)?;
+            out_rows.push(applier.apply(&row)?);
         }
         let part_name = path.rsplit('/').next().unwrap_or("part-00000");
         dfs.write_string(
@@ -134,63 +139,6 @@ pub fn run_external_transform(
         recode_map,
         rows: row_counts.iter().sum(),
     })
-}
-
-/// Transform one row: recode categorical values, expand dummy blocks.
-fn transform_row(
-    row: &Row,
-    input_schema: &Schema,
-    spec: &TransformSpec,
-    map: &RecodeMap,
-) -> Result<Row> {
-    let recode_columns = spec.effective_recode_columns(input_schema);
-    let mut values = Vec::with_capacity(row.len());
-    for (i, f) in input_schema.fields().iter().enumerate() {
-        let is_recoded = recode_columns
-            .iter()
-            .any(|c| c.eq_ignore_ascii_case(&f.name));
-        let is_dummy = spec
-            .dummy_code_columns
-            .iter()
-            .any(|c| c.eq_ignore_ascii_case(&f.name));
-        let v = row.get(i);
-        if is_dummy {
-            let k = map.cardinality(&f.name);
-            let code = match v {
-                Value::Null => 0,
-                Value::Str(s) => map.code(&f.name, s).ok_or_else(|| {
-                    SqlmlError::Execution(format!("unseen value {s:?} for {}", f.name))
-                })?,
-                other => {
-                    return Err(SqlmlError::Type(format!(
-                        "expected a categorical string in {}, found {other}",
-                        f.name
-                    )))
-                }
-            };
-            for j in 1..=k as i64 {
-                values.push(Value::Int((j == code) as i64));
-            }
-        } else if is_recoded {
-            match v {
-                Value::Null => values.push(Value::Null),
-                Value::Str(s) => {
-                    values.push(Value::Int(map.code(&f.name, s).ok_or_else(|| {
-                        SqlmlError::Execution(format!("unseen value {s:?} for {}", f.name))
-                    })?))
-                }
-                other => {
-                    return Err(SqlmlError::Type(format!(
-                        "expected a categorical string in {}, found {other}",
-                        f.name
-                    )))
-                }
-            }
-        } else {
-            values.push(v.clone());
-        }
-    }
-    Ok(Row::new(values))
 }
 
 /// Run `f` over the part-files in parallel (one map task per file).

@@ -97,21 +97,29 @@ impl Workload {
         let mut user_rng = rng.fork(1);
         let mut cart_rng = rng.fork(2);
 
+        // Pre-interned categorical values: every generated row shares one
+        // allocation per distinct value (Value::Str is an Arc<str>).
+        let female: std::sync::Arc<str> = "F".into();
+        let male: std::sync::Arc<str> = "M".into();
+        let countries: Vec<std::sync::Arc<str>> = COUNTRIES.iter().map(|&c| c.into()).collect();
+
         let mut users = Vec::with_capacity(scale.users);
         let mut ages = Vec::with_capacity(scale.users);
         for uid in 0..scale.users {
             let age = user_rng.range_i64(18, 80);
             ages.push(age);
-            let gender = if user_rng.chance(0.5) { "F" } else { "M" };
-            let country = COUNTRIES[user_rng.choose_weighted(&COUNTRY_WEIGHTS)];
+            let gender = if user_rng.chance(0.5) { &female } else { &male };
+            let country = &countries[user_rng.choose_weighted(&COUNTRY_WEIGHTS)];
             users.push(Row::new(vec![
                 Value::Int(uid as i64),
                 Value::Int(age),
-                Value::Str(gender.to_string()),
-                Value::Str(country.to_string()),
+                Value::Str(gender.clone()),
+                Value::Str(country.clone()),
             ]));
         }
 
+        let yes: std::sync::Arc<str> = "Yes".into();
+        let no: std::sync::Arc<str> = "No".into();
         let mut carts = Vec::with_capacity(scale.carts);
         for cid in 0..scale.carts {
             let uid = cart_rng.next_below(scale.users as u64) as usize;
@@ -121,14 +129,14 @@ impl Workload {
             // downstream classifier has real signal — younger users and
             // pricier carts abandon far more often.
             let p = (0.5 + 0.012 * (45.0 - age) + 0.005 * (amount - 90.0)).clamp(0.02, 0.98);
-            let abandoned = if cart_rng.chance(p) { "Yes" } else { "No" };
+            let abandoned = if cart_rng.chance(p) { &yes } else { &no };
             let year = if cart_rng.chance(0.7) { 2014 } else { 2013 };
             let nitems = cart_rng.range_i64(1, 20);
             carts.push(Row::new(vec![
                 Value::Int(cid as i64),
                 Value::Int(uid as i64),
                 Value::Double((amount * 100.0).round() / 100.0),
-                Value::Str(abandoned.to_string()),
+                Value::Str(abandoned.clone()),
                 Value::Int(year),
                 Value::Int(nitems),
             ]));

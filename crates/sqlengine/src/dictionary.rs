@@ -22,6 +22,7 @@
 //! with exact size accounting.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sqlml_common::{Result, Row, SqlmlError, Value};
 
@@ -42,13 +43,13 @@ impl DictionaryColumn {
     /// Encode the string column at `col` of one partition.
     pub fn encode_partition(rows: &[Row], col: usize) -> Result<DictionaryColumn> {
         let mut dict: Vec<String> = Vec::new();
-        let mut index: HashMap<String, u32> = HashMap::new();
+        let mut index: HashMap<Arc<str>, u32> = HashMap::new();
         let mut codes = Vec::with_capacity(rows.len());
         for r in rows {
             match r.get(col) {
                 Value::Null => codes.push(NULL_CODE),
                 Value::Str(s) => {
-                    let code = match index.get(s.as_str()) {
+                    let code = match index.get(&**s) {
                         Some(c) => *c,
                         None => {
                             let c = dict.len() as u32;
@@ -56,7 +57,7 @@ impl DictionaryColumn {
                                 return Err(SqlmlError::Execution("dictionary overflow".into()));
                             }
                             index.insert(s.clone(), c);
-                            dict.push(s.clone());
+                            dict.push(s.to_string());
                             c
                         }
                     };

@@ -162,7 +162,7 @@ impl Engine {
                 let text = self.plan(&stmt)?.explain();
                 let rows = text
                     .lines()
-                    .map(|l| Row::new(vec![sqlml_common::Value::Str(l.to_string())]))
+                    .map(|l| Row::new(vec![sqlml_common::Value::Str(l.into())]))
                     .collect();
                 Ok(Some(PartitionedTable::single(
                     Schema::new(vec![Field::new(
@@ -196,6 +196,24 @@ impl Engine {
     /// Plan (and optimize) a SELECT without executing it.
     pub fn plan(&self, stmt: &SelectStmt) -> Result<Plan> {
         Ok(optimize(plan_select(stmt, &self.catalog)?))
+    }
+
+    /// Plan a SELECT without the operator-fusion pass — the
+    /// row-at-a-time reference path used by differential tests.
+    pub fn plan_unfused(&self, stmt: &SelectStmt) -> Result<Plan> {
+        Ok(crate::optimizer::optimize_unfused(plan_select(
+            stmt,
+            &self.catalog,
+        )?))
+    }
+
+    /// Execute a SELECT through the unfused reference plan. Produces the
+    /// same rows as [`Engine::query`]; exists so tests can compare the
+    /// fused executor against the one-operator-at-a-time path.
+    pub fn query_unfused(&self, sql: &str) -> Result<PartitionedTable> {
+        let stmt = parse_select(sql)?;
+        let plan = self.plan_unfused(&stmt)?;
+        crate::executor::execute(&plan, &self.ctx)
     }
 
     /// EXPLAIN: the optimized plan as text.

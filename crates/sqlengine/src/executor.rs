@@ -7,14 +7,14 @@
 //! model the paper's In-SQL transformations and streaming-transfer UDF
 //! rely on.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use sqlml_common::{Result, Row, SqlmlError, Value};
 
 use crate::ast::{AggFunc, JoinKind};
 use crate::expr::Expr;
-use crate::plan::{AggExpr, BuildSide, Plan};
+use crate::plan::{AggExpr, BuildSide, FusedStage, Plan};
 use crate::table::PartitionedTable;
 use crate::udf::PartitionCtx;
 
@@ -54,7 +54,9 @@ pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<PartitionedTable> {
         Plan::Filter { input, predicate } => {
             let child = execute(input, ctx)?;
             map_partitions(&child, ctx, |rows, _| {
-                let mut out = Vec::new();
+                // Preallocate from the planner's uniform selectivity
+                // guess (1/4) so typical filters don't regrow the output.
+                let mut out = Vec::with_capacity(rows.len() / 4 + 1);
                 for r in rows {
                     if predicate.eval_predicate(r)? {
                         out.push(r.clone());
@@ -122,40 +124,214 @@ pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<PartitionedTable> {
             schema,
         } => {
             let child = execute(input, ctx)?;
-            execute_aggregate(&child, group_exprs, aggs, ctx)
-                .map(|rows| PartitionedTable::single(schema.clone(), rows))
+            let rows = execute_aggregate(&child, group_exprs, aggs, ctx)?;
+            Ok(gather_to_first_home(schema.clone(), rows, &child))
         }
 
         Plan::Sort { input, keys } => {
             let child = execute(input, ctx)?;
-            let mut rows = child.collect_rows();
-            rows.sort_by(|a, b| {
-                for (idx, desc) in keys {
-                    let ord = a.get(*idx).cmp(b.get(*idx));
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(PartitionedTable::single(child.schema().clone(), rows))
+            let rows = parallel_sort(&child, keys, ctx)?;
+            Ok(gather_to_first_home(child.schema().clone(), rows, &child))
         }
 
         Plan::Limit { input, n } => {
             let child = execute(input, ctx)?;
             let mut rows = Vec::with_capacity((*n).min(child.num_rows()));
-            'outer: for p in child.partitions() {
-                for r in p.iter() {
-                    if rows.len() >= *n {
-                        break 'outer;
-                    }
-                    rows.push(r.clone());
+            // Bulk-copy each partition's prefix instead of per-row clone.
+            for p in child.partitions() {
+                let take = (*n - rows.len()).min(p.len());
+                rows.extend_from_slice(&p[..take]);
+                if rows.len() == *n {
+                    break;
                 }
             }
-            Ok(PartitionedTable::single(child.schema().clone(), rows))
+            Ok(gather_to_first_home(child.schema().clone(), rows, &child))
+        }
+
+        Plan::Fused {
+            input,
+            stages,
+            schema,
+        } => {
+            let child = execute(input, ctx)?;
+            let mapped = map_partitions(&child, ctx, |rows, pctx| run_fused(rows, stages, pctx))?;
+            Ok(replace_schema(mapped, schema.clone()))
         }
     }
+}
+
+/// Wrap gathered (single-partition) result rows, homing the output at
+/// the first input partition's node. Gather-style operators (`Sort`,
+/// `Aggregate`, `Limit`) collapse to one partition; defaulting its home
+/// to node-0 would silently degrade downstream locality-aware placement,
+/// so the gather is instead attributed to the node that holds the first
+/// input partition (where a real engine's gather coordinator would run).
+fn gather_to_first_home(
+    schema: sqlml_common::Schema,
+    rows: Vec<Row>,
+    child: &PartitionedTable,
+) -> PartitionedTable {
+    let out = PartitionedTable::single(schema, rows);
+    match child.homes().first() {
+        Some(h) => out.with_homes(vec![h.clone()]),
+        None => out,
+    }
+}
+
+/// Execute a fused stage chain over one partition. Consecutive scalar
+/// stages (`Filter`/`Project`) run row-at-a-time — a rejected row exits
+/// the whole run with no output written, and a projected row feeds the
+/// next stage without touching a partition-sized buffer. UDF stages are
+/// batch boundaries: they consume the current buffer and produce the
+/// next.
+fn run_fused(rows: &[Row], stages: &[FusedStage], pctx: &PartitionCtx) -> Result<Vec<Row>> {
+    // `buf` is None while the input partition can still be borrowed.
+    let mut buf: Option<Vec<Row>> = None;
+    let mut i = 0;
+    while i < stages.len() {
+        if let FusedStage::Udf {
+            udf,
+            args,
+            input_schema,
+        } = &stages[i]
+        {
+            let input_rows: &[Row] = buf.as_deref().unwrap_or(rows);
+            buf = Some(udf.execute(input_rows, input_schema, args, pctx)?);
+            i += 1;
+            continue;
+        }
+        // Scalar run: [i, j) holds only Filter/Project stages.
+        let mut j = i;
+        while j < stages.len() && !matches!(stages[j], FusedStage::Udf { .. }) {
+            j += 1;
+        }
+        let run = &stages[i..j];
+        let input_rows: &[Row] = buf.as_deref().unwrap_or(rows);
+        let has_filter = run.iter().any(|s| matches!(s, FusedStage::Filter(_)));
+        let mut out = Vec::with_capacity(if has_filter {
+            input_rows.len() / 4 + 1
+        } else {
+            input_rows.len()
+        });
+        'row: for r in input_rows {
+            let mut owned: Option<Row> = None;
+            for stage in run {
+                let cur = owned.as_ref().unwrap_or(r);
+                match stage {
+                    FusedStage::Filter(pred) => {
+                        if !pred.eval_predicate(cur)? {
+                            continue 'row;
+                        }
+                    }
+                    FusedStage::Project { exprs } => {
+                        let mut values = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            values.push(e.eval(cur)?);
+                        }
+                        owned = Some(Row::new(values));
+                    }
+                    FusedStage::Udf { .. } => unreachable!("scalar run contains no UDF stages"),
+                }
+            }
+            out.push(owned.unwrap_or_else(|| r.clone()));
+        }
+        buf = Some(out);
+        i = j;
+    }
+    Ok(buf.unwrap_or_else(|| rows.to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Sort (parallel per-partition sort + k-way merge)
+// ---------------------------------------------------------------------------
+
+/// Row sort key captured for the merge heap: per key column, the value
+/// plus its descending flag.
+struct SortKey(Vec<(Value, bool)>);
+
+impl SortKey {
+    fn of(row: &Row, keys: &[(usize, bool)]) -> SortKey {
+        SortKey(
+            keys.iter()
+                .map(|(idx, desc)| (row.get(*idx).clone(), *desc))
+                .collect(),
+        )
+    }
+}
+
+impl PartialEq for SortKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for SortKey {}
+impl PartialOrd for SortKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SortKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for ((a, desc), (b, _)) in self.0.iter().zip(other.0.iter()) {
+            let ord = a.cmp(b);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+fn sort_cmp(a: &Row, b: &Row, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    for (idx, desc) in keys {
+        let ord = a.get(*idx).cmp(b.get(*idx));
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sort every partition in parallel on the worker pool, then k-way merge
+/// the sorted runs on the driver — the O(N log N) comparison work runs
+/// on all workers instead of one thread.
+fn parallel_sort(
+    input: &PartitionedTable,
+    keys: &[(usize, bool)],
+    ctx: &ExecContext,
+) -> Result<Vec<Row>> {
+    let n = input.num_partitions();
+    let sorted: Vec<Vec<Row>> = run_on_workers(n, ctx, |p| {
+        let mut rows: Vec<Row> = input.partition(p).to_vec();
+        rows.sort_by(|a, b| sort_cmp(a, b, keys));
+        Ok(rows)
+    })?;
+
+    if sorted.len() == 1 {
+        return Ok(sorted.into_iter().next().unwrap());
+    }
+
+    // Merge: min-heap of (key, partition index) — the partition index
+    // tie-break reproduces the stable gather order of a global sort.
+    let total: usize = sorted.iter().map(|v| v.len()).sum();
+    let mut iters: Vec<std::vec::IntoIter<Row>> =
+        sorted.into_iter().map(|v| v.into_iter()).collect();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(SortKey, usize, Row)>> = BinaryHeap::new();
+    for (p, it) in iters.iter_mut().enumerate() {
+        if let Some(r) = it.next() {
+            heap.push(std::cmp::Reverse((SortKey::of(&r, keys), p, r)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(std::cmp::Reverse((_, p, row))) = heap.pop() {
+        out.push(row);
+        if let Some(r) = iters[p].next() {
+            heap.push(std::cmp::Reverse((SortKey::of(&r, keys), p, r)));
+        }
+    }
+    Ok(out)
 }
 
 fn replace_schema(t: PartitionedTable, schema: sqlml_common::Schema) -> PartitionedTable {
@@ -262,44 +438,69 @@ fn execute_join(
         "left-outer joins must build from the right side"
     );
 
-    // Build phase: hash the (gathered/broadcast) build side.
-    let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-    let mut cross_rows: Vec<Row> = Vec::new();
+    // Build phase: index the (gathered/broadcast) build side. Instead of
+    // cloning build rows into the hash table, the index maps each
+    // pre-hashed key to a bucket of (partition, row) ids — the build-side
+    // partitions themselves stay the only copy of the rows.
+    let mut index: HashMap<Prehashed, u32> = HashMap::new();
+    let mut buckets: Vec<Vec<(u32, u32)>> = Vec::new();
     let is_cross = build_keys.is_empty();
-    for part in build_data.partitions() {
-        for r in part.iter() {
-            if is_cross {
-                cross_rows.push(r.clone());
-                continue;
-            }
+    for (pi, part) in build_data.partitions().iter().enumerate() {
+        if is_cross {
+            continue;
+        }
+        for (ri, r) in part.iter().enumerate() {
             // NULL keys never match, so they are simply not added.
             if let Some(k) = eval_keys(build_keys, r)? {
-                table.entry(k).or_default().push(r.clone());
+                let bucket = match index.entry(Prehashed::new(k)) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let b = buckets.len() as u32;
+                        buckets.push(Vec::new());
+                        e.insert(b);
+                        b
+                    }
+                };
+                buckets[bucket as usize].push((pi as u32, ri as u32));
             }
         }
     }
 
     let right_width = right_data.schema().len();
     let null_tail = Row::new(vec![Value::Null; right_width]);
+    let build_parts = build_data.partitions();
+    let cross_ids: Vec<(u32, u32)> = if is_cross {
+        build_parts
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, part)| (0..part.len()).map(move |ri| (pi as u32, ri as u32)))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let result = map_partitions(probe_data, ctx, |rows, _| {
         let mut out = Vec::new();
         for probe_row in rows {
-            let matches: Option<&Vec<Row>> = if is_cross {
-                if cross_rows.is_empty() {
+            // Each probe key is evaluated and hashed exactly once.
+            let matches: Option<&[(u32, u32)]> = if is_cross {
+                if cross_ids.is_empty() {
                     None
                 } else {
-                    Some(&cross_rows)
+                    Some(&cross_ids)
                 }
             } else {
                 match eval_keys(probe_keys, probe_row)? {
-                    Some(k) => table.get(&k),
+                    Some(k) => index
+                        .get(&Prehashed::new(k))
+                        .map(|b| buckets[*b as usize].as_slice()),
                     None => None,
                 }
             };
             match matches {
-                Some(ms) => {
-                    for m in ms {
+                Some(ids) => {
+                    for &(pi, ri) in ids {
+                        let m = &build_parts[pi as usize][ri as usize];
                         // Output layout is always (left ++ right).
                         let joined = match build {
                             BuildSide::Right => probe_row.concat(m),
@@ -318,6 +519,39 @@ fn execute_join(
         Ok(out)
     })?;
     Ok(replace_schema(result, schema.clone()))
+}
+
+/// A join key whose hash is computed exactly once, at construction. The
+/// `Hash` impl just replays the stored 64-bit hash, so hash-map probes
+/// never re-walk (or re-hash) the key values; equality still compares
+/// the values to handle collisions.
+struct Prehashed {
+    hash: u64,
+    key: Vec<Value>,
+}
+
+impl Prehashed {
+    fn new(key: Vec<Value>) -> Prehashed {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        Prehashed {
+            hash: h.finish(),
+            key,
+        }
+    }
+}
+
+impl PartialEq for Prehashed {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.key == other.key
+    }
+}
+impl Eq for Prehashed {}
+impl std::hash::Hash for Prehashed {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 /// Evaluate join keys; `None` when any key is NULL (no match in SQL).

@@ -275,7 +275,7 @@ pub fn cast_value(v: Value, to: sqlml_common::schema::DataType) -> Result<Value>
             Value::Int(d.trunc() as i64)
         }
         (Value::Double(d), DataType::Bool) => Value::Bool(d != 0.0),
-        (v, DataType::Str) => Value::Str(v.render()),
+        (v, DataType::Str) => Value::Str(v.render().into()),
         (Value::Str(s), ty) => Value::parse_typed(s.trim(), ty)
             .map_err(|e| SqlmlError::Execution(format!("CAST failed: {e}")))?,
         (Value::Null, _) => Value::Null, // unreachable: handled above

@@ -195,7 +195,7 @@ impl ScalarUdf for Upper {
     fn eval(&self, args: &[Value]) -> Result<Value> {
         arity("upper", args, 1)?;
         null_prop!(args);
-        Ok(Value::Str(args[0].as_str()?.to_uppercase()))
+        Ok(Value::Str(args[0].as_str()?.to_uppercase().into()))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Str
@@ -210,7 +210,7 @@ impl ScalarUdf for Lower {
     fn eval(&self, args: &[Value]) -> Result<Value> {
         arity("lower", args, 1)?;
         null_prop!(args);
-        Ok(Value::Str(args[0].as_str()?.to_lowercase()))
+        Ok(Value::Str(args[0].as_str()?.to_lowercase().into()))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Str
@@ -240,7 +240,7 @@ impl ScalarUdf for Trim {
     fn eval(&self, args: &[Value]) -> Result<Value> {
         arity("trim", args, 1)?;
         null_prop!(args);
-        Ok(Value::Str(args[0].as_str()?.trim().to_string()))
+        Ok(Value::Str(args[0].as_str()?.trim().into()))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Str
@@ -259,7 +259,9 @@ impl ScalarUdf for Substr {
         let s = args[0].as_str()?;
         let start = args[1].as_i64()?.max(1) as usize - 1;
         let len = args[2].as_i64()?.max(0) as usize;
-        Ok(Value::Str(s.chars().skip(start).take(len).collect()))
+        Ok(Value::Str(
+            s.chars().skip(start).take(len).collect::<String>().into(),
+        ))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Str
@@ -281,7 +283,7 @@ impl ScalarUdf for Concat {
                 other => out.push_str(&other.render()),
             }
         }
-        Ok(Value::Str(out))
+        Ok(Value::Str(out.into()))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Str

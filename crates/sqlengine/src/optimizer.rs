@@ -8,16 +8,27 @@
 //!   the estimated-smaller input (the paper's prep query joins a billion-
 //!   row fact table with a much smaller dimension table; broadcasting the
 //!   small side is what an MPP engine does);
-//! * removal of literal-`TRUE` filters and zero-limit shortcuts.
+//! * removal of literal-`TRUE` filters and zero-limit shortcuts;
+//! * **operator fusion** — chains of `Filter`/`Project`/`TableUdfScan`
+//!   collapse into one [`Plan::Fused`] node that the executor runs as a
+//!   single `map_partitions` pass, so the intermediate per-partition
+//!   `Vec<Row>`s between those operators never materialize.
 
 use sqlml_common::Value;
 
 use crate::ast::JoinKind;
 use crate::expr::Expr;
-use crate::plan::{BuildSide, Plan};
+use crate::plan::{BuildSide, FusedStage, Plan};
 
-/// Optimize a plan tree (consuming it).
+/// Optimize a plan tree (consuming it): rule-based rewrites, then fusion.
 pub fn optimize(plan: Plan) -> Plan {
+    fuse(optimize_unfused(plan))
+}
+
+/// The rule-based rewrites without the fusion pass. Retained as a public
+/// entry point so differential tests can run the row-at-a-time reference
+/// executor against the fused one.
+pub fn optimize_unfused(plan: Plan) -> Plan {
     match plan {
         Plan::HashJoin {
             left,
@@ -28,8 +39,8 @@ pub fn optimize(plan: Plan) -> Plan {
             schema,
             ..
         } => {
-            let left = Box::new(optimize(*left));
-            let right = Box::new(optimize(*right));
+            let left = Box::new(optimize_unfused(*left));
+            let right = Box::new(optimize_unfused(*right));
             // A left-outer probe must stream the left side so unmatched
             // left rows can be emitted; only inner joins may flip.
             let build = if kind == JoinKind::Inner && left.estimated_rows() < right.estimated_rows()
@@ -49,7 +60,7 @@ pub fn optimize(plan: Plan) -> Plan {
             }
         }
         Plan::Filter { input, predicate } => {
-            let input = Box::new(optimize(*input));
+            let input = Box::new(optimize_unfused(*input));
             if matches!(predicate, Expr::Lit(Value::Bool(true))) {
                 *input
             } else {
@@ -63,7 +74,7 @@ pub fn optimize(plan: Plan) -> Plan {
             schema,
         } => Plan::TableUdfScan {
             udf,
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
             args,
             schema,
         },
@@ -72,12 +83,12 @@ pub fn optimize(plan: Plan) -> Plan {
             exprs,
             schema,
         } => Plan::Project {
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
             exprs,
             schema,
         },
         Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
         },
         Plan::Aggregate {
             input,
@@ -85,20 +96,135 @@ pub fn optimize(plan: Plan) -> Plan {
             aggs,
             schema,
         } => Plan::Aggregate {
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
             group_exprs,
             aggs,
             schema,
         },
         Plan::Sort { input, keys } => Plan::Sort {
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
             keys,
         },
         Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(optimize(*input)),
+            input: Box::new(optimize_unfused(*input)),
             n,
         },
         leaf @ Plan::Scan { .. } => leaf,
+        // Fusion only ever runs after this pass, so Fused nodes cannot
+        // appear here; recurse defensively anyway.
+        Plan::Fused {
+            input,
+            stages,
+            schema,
+        } => Plan::Fused {
+            input: Box::new(optimize_unfused(*input)),
+            stages,
+            schema,
+        },
+    }
+}
+
+/// Fusion pass: collapse maximal `Filter`/`Project`/`TableUdfScan`
+/// chains into [`Plan::Fused`] nodes. Single-operator "chains" are left
+/// as plain nodes — fusing them buys nothing and keeps EXPLAIN output
+/// familiar.
+fn fuse(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { .. } | Plan::Project { .. } | Plan::TableUdfScan { .. } => {
+            let schema = plan.schema();
+            // Walk down the fusible spine collecting stages
+            // top-down (reverse execution order).
+            let mut rev_stages: Vec<FusedStage> = Vec::new();
+            let mut cur = plan;
+            let tail = loop {
+                match cur {
+                    Plan::Filter { input, predicate } => {
+                        rev_stages.push(FusedStage::Filter(predicate));
+                        cur = *input;
+                    }
+                    Plan::Project { input, exprs, .. } => {
+                        rev_stages.push(FusedStage::Project { exprs });
+                        cur = *input;
+                    }
+                    Plan::TableUdfScan {
+                        udf, input, args, ..
+                    } => {
+                        rev_stages.push(FusedStage::Udf {
+                            udf,
+                            args,
+                            input_schema: input.schema(),
+                        });
+                        cur = *input;
+                    }
+                    other => break other,
+                }
+            };
+            let input = Box::new(fuse(tail));
+            if rev_stages.len() == 1 {
+                // Rebuild the plain single-operator node.
+                return match rev_stages.pop().unwrap() {
+                    FusedStage::Filter(predicate) => Plan::Filter { input, predicate },
+                    FusedStage::Project { exprs } => Plan::Project {
+                        input,
+                        exprs,
+                        schema,
+                    },
+                    FusedStage::Udf { udf, args, .. } => Plan::TableUdfScan {
+                        udf,
+                        input,
+                        args,
+                        schema,
+                    },
+                };
+            }
+            rev_stages.reverse();
+            Plan::Fused {
+                input,
+                stages: rev_stages,
+                schema,
+            }
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            build,
+            schema,
+        } => Plan::HashJoin {
+            left: Box::new(fuse(*left)),
+            right: Box::new(fuse(*right)),
+            left_keys,
+            right_keys,
+            kind,
+            build,
+            schema,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(fuse(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => Plan::Aggregate {
+            input: Box::new(fuse(*input)),
+            group_exprs,
+            aggs,
+            schema,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(fuse(*input)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(fuse(*input)),
+            n,
+        },
+        leaf @ Plan::Scan { .. } => leaf,
+        already @ Plan::Fused { .. } => already,
     }
 }
 
@@ -174,5 +300,76 @@ mod tests {
             predicate: Expr::Lit(Value::Bool(false)),
         });
         assert!(matches!(p, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn filter_project_chain_fuses_in_execution_order() {
+        let inner = Plan::Filter {
+            input: Box::new(scan(100)),
+            predicate: Expr::Lit(Value::Bool(false)),
+        };
+        let project = Plan::Project {
+            schema: inner.schema(),
+            input: Box::new(inner),
+            exprs: vec![Expr::Col(0)],
+        };
+        let outer = Plan::Filter {
+            input: Box::new(project),
+            predicate: Expr::Lit(Value::Bool(false)),
+        };
+        let p = optimize(outer);
+        match p {
+            Plan::Fused { stages, input, .. } => {
+                assert_eq!(stages.len(), 3);
+                assert!(matches!(stages[0], FusedStage::Filter(_)));
+                assert!(matches!(stages[1], FusedStage::Project { .. }));
+                assert!(matches!(stages[2], FusedStage::Filter(_)));
+                assert!(matches!(*input, Plan::Scan { .. }));
+            }
+            other => panic!("expected Fused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_operator_is_not_wrapped_in_fused() {
+        let p = optimize(Plan::Project {
+            schema: scan(5).schema(),
+            input: Box::new(scan(5)),
+            exprs: vec![Expr::Col(0)],
+        });
+        assert!(matches!(p, Plan::Project { .. }));
+    }
+
+    #[test]
+    fn fusion_stops_at_pipeline_breakers() {
+        // Filter over Distinct over Filter: only chains on either side of
+        // the Distinct may fuse; with one operator each, none do.
+        let p = optimize(Plan::Filter {
+            input: Box::new(Plan::Distinct {
+                input: Box::new(Plan::Filter {
+                    input: Box::new(scan(50)),
+                    predicate: Expr::Lit(Value::Bool(false)),
+                }),
+            }),
+            predicate: Expr::Lit(Value::Bool(false)),
+        });
+        match p {
+            Plan::Filter { input, .. } => assert!(matches!(*input, Plan::Distinct { .. })),
+            other => panic!("expected Filter over Distinct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_estimate_shrinks_per_filter_stage() {
+        let inner = Plan::Filter {
+            input: Box::new(scan(160)),
+            predicate: Expr::Lit(Value::Bool(false)),
+        };
+        let outer = Plan::Filter {
+            input: Box::new(inner),
+            predicate: Expr::Lit(Value::Bool(false)),
+        };
+        let p = optimize(outer);
+        assert_eq!(p.estimated_rows(), 10); // 160 / 4 / 4
     }
 }

@@ -311,7 +311,7 @@ impl Parser {
                         TokenKind::Ident(t) => TableFuncArg::Table(t),
                         TokenKind::IntLit(v) => TableFuncArg::Literal(Value::Int(v)),
                         TokenKind::DoubleLit(v) => TableFuncArg::Literal(Value::Double(v)),
-                        TokenKind::StrLit(v) => TableFuncArg::Literal(Value::Str(v)),
+                        TokenKind::StrLit(v) => TableFuncArg::Literal(Value::Str(v.into())),
                         TokenKind::Keyword(k) if k == "TRUE" => {
                             TableFuncArg::Literal(Value::Bool(true))
                         }
@@ -504,7 +504,7 @@ impl Parser {
         match self.advance() {
             TokenKind::IntLit(v) => Ok(AstExpr::Literal(Value::Int(v))),
             TokenKind::DoubleLit(v) => Ok(AstExpr::Literal(Value::Double(v))),
-            TokenKind::StrLit(v) => Ok(AstExpr::Literal(Value::Str(v))),
+            TokenKind::StrLit(v) => Ok(AstExpr::Literal(Value::Str(v.into()))),
             TokenKind::Keyword(k) if k == "CAST" => {
                 self.expect(&TokenKind::LParen)?;
                 let e = self.expr()?;

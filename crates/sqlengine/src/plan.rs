@@ -29,6 +29,21 @@ pub enum BuildSide {
     Right,
 }
 
+/// One stage of a [`Plan::Fused`] chain, in execution order.
+#[derive(Clone)]
+pub enum FusedStage {
+    Filter(Expr),
+    Project {
+        exprs: Vec<Expr>,
+    },
+    Udf {
+        udf: Arc<dyn TableUdf>,
+        args: Vec<Value>,
+        /// Schema the UDF sees (its input), captured at fuse time.
+        input_schema: Schema,
+    },
+}
+
 /// The plan tree.
 pub enum Plan {
     /// Leaf: a catalog table.
@@ -82,6 +97,16 @@ pub enum Plan {
         input: Box<Plan>,
         n: usize,
     },
+    /// A fused `Filter`/`Project`/`TableUdfScan` chain executed as a
+    /// single `map_partitions` pass: consecutive scalar stages run
+    /// row-at-a-time with no intermediate partition vectors. Produced by
+    /// the optimizer's fusion pass.
+    Fused {
+        input: Box<Plan>,
+        /// Stages in execution order (closest-to-input first).
+        stages: Vec<FusedStage>,
+        schema: Schema,
+    },
 }
 
 impl Plan {
@@ -97,6 +122,7 @@ impl Plan {
             Plan::Aggregate { schema, .. } => schema.clone(),
             Plan::Sort { input, .. } => input.schema(),
             Plan::Limit { input, .. } => input.schema(),
+            Plan::Fused { schema, .. } => schema.clone(),
         }
     }
 
@@ -113,6 +139,14 @@ impl Plan {
             Plan::Aggregate { input, .. } => (input.estimated_rows() / 10).max(1),
             Plan::Sort { input, .. } => input.estimated_rows(),
             Plan::Limit { input, n } => input.estimated_rows().min(*n),
+            Plan::Fused { input, stages, .. } => {
+                stages
+                    .iter()
+                    .fold(input.estimated_rows(), |est, s| match s {
+                        FusedStage::Filter(_) => (est / 4).max(1),
+                        _ => est,
+                    })
+            }
         }
     }
 
@@ -190,6 +224,20 @@ impl Plan {
             }
             Plan::Limit { input, n } => {
                 out.push_str(&format!("{pad}Limit {n}\n"));
+                input.fmt_tree(depth + 1, out);
+            }
+            Plan::Fused { input, stages, .. } => {
+                let labels: Vec<String> = stages
+                    .iter()
+                    .map(|s| match s {
+                        FusedStage::Filter(p) => format!("Filter {p:?}"),
+                        FusedStage::Project { exprs } => format!("Project {exprs:?}"),
+                        FusedStage::Udf { udf, args, .. } => {
+                            format!("TableUdf {}({args:?})", udf.name())
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}Fused [{}]\n", labels.join(" -> ")));
                 input.fmt_tree(depth + 1, out);
             }
         }

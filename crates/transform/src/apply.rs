@@ -1,0 +1,209 @@
+//! Flat, index-resolved recode application.
+//!
+//! [`RecodeMap::code`] walks two nested `BTreeMap<String, _>`s — a
+//! column probe then a value probe, both O(log n) with string
+//! comparisons at every tree node. Applying a map to millions of rows
+//! that way is the dominant cost of the external (naive) transform job.
+//!
+//! A [`FlatRecodeApplier`] resolves everything that is per-*column* —
+//! which action applies, the value→code table, the dummy block width —
+//! exactly once, into a dense `Vec` indexed by column position. Per cell
+//! the work left is a single `HashMap<Arc<str>, i64>` probe (O(1),
+//! hashed once), and non-categorical cells are a straight clone (a
+//! refcount bump for interned strings).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
+
+use crate::pipeline::TransformSpec;
+use crate::recode::RecodeMap;
+
+/// Per-column action, resolved from the spec + map at build time.
+enum ColumnAction {
+    /// Not a transform target: copy the value through.
+    Pass,
+    /// Recode the string value to its integer code (NULL stays NULL).
+    Recode {
+        name: String,
+        codes: HashMap<Arc<str>, i64>,
+    },
+    /// Expand into `k` indicator columns (NULL → all-zero block).
+    Dummy {
+        name: String,
+        codes: HashMap<Arc<str>, i64>,
+        k: usize,
+    },
+}
+
+/// A recode/dummy applier with all per-column resolution done up front.
+/// Build once per partition (or per job), then call [`Self::apply`] per
+/// row.
+pub struct FlatRecodeApplier {
+    actions: Vec<ColumnAction>,
+    out_width: usize,
+}
+
+impl FlatRecodeApplier {
+    /// Resolve `spec` + `map` against `schema` into per-column actions.
+    pub fn new(
+        map: &RecodeMap,
+        schema: &Schema,
+        spec: &TransformSpec,
+    ) -> Result<FlatRecodeApplier> {
+        let recode_columns = spec.effective_recode_columns(schema);
+        let mut actions = Vec::with_capacity(schema.len());
+        let mut out_width = 0;
+        for f in schema.fields() {
+            let is_recoded = recode_columns
+                .iter()
+                .any(|c| c.eq_ignore_ascii_case(&f.name));
+            let is_dummy = spec
+                .dummy_code_columns
+                .iter()
+                .any(|c| c.eq_ignore_ascii_case(&f.name));
+            if !is_recoded && !is_dummy {
+                actions.push(ColumnAction::Pass);
+                out_width += 1;
+                continue;
+            }
+            let codes: HashMap<Arc<str>, i64> = map
+                .column_codes(&f.name)
+                .map(|m| m.iter().map(|(v, c)| (Arc::from(v.as_str()), *c)).collect())
+                .unwrap_or_default();
+            if is_dummy {
+                let k = codes.len();
+                actions.push(ColumnAction::Dummy {
+                    name: f.name.clone(),
+                    codes,
+                    k,
+                });
+                out_width += k;
+            } else {
+                actions.push(ColumnAction::Recode {
+                    name: f.name.clone(),
+                    codes,
+                });
+                out_width += 1;
+            }
+        }
+        Ok(FlatRecodeApplier { actions, out_width })
+    }
+
+    /// Width of the transformed row.
+    pub fn output_width(&self) -> usize {
+        self.out_width
+    }
+
+    /// Transform one row: recode categorical values, expand dummy
+    /// blocks. Matches [`RecodeMap::code`]-based application value for
+    /// value (the property tests assert this).
+    pub fn apply(&self, row: &Row) -> Result<Row> {
+        let mut values = Vec::with_capacity(self.out_width);
+        for (i, action) in self.actions.iter().enumerate() {
+            let v = row.get(i);
+            match action {
+                ColumnAction::Pass => values.push(v.clone()),
+                ColumnAction::Recode { name, codes } => match v {
+                    Value::Null => values.push(Value::Null),
+                    Value::Str(s) => values.push(Value::Int(lookup(codes, s, name)?)),
+                    other => {
+                        return Err(SqlmlError::Type(format!(
+                            "expected a categorical string in {name}, found {other}"
+                        )))
+                    }
+                },
+                ColumnAction::Dummy { name, codes, k } => {
+                    let code = match v {
+                        Value::Null => 0,
+                        Value::Str(s) => lookup(codes, s, name)?,
+                        other => {
+                            return Err(SqlmlError::Type(format!(
+                                "expected a categorical string in {name}, found {other}"
+                            )))
+                        }
+                    };
+                    for j in 1..=*k as i64 {
+                        values.push(Value::Int((j == code) as i64));
+                    }
+                }
+            }
+        }
+        Ok(Row::new(values))
+    }
+}
+
+fn lookup(codes: &HashMap<Arc<str>, i64>, s: &Arc<str>, col: &str) -> Result<i64> {
+    codes
+        .get(&**s)
+        .copied()
+        .ok_or_else(|| SqlmlError::Execution(format!("unseen value {s:?} for {col}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_common::row;
+    use sqlml_common::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::categorical("gender"),
+            Field::categorical("abandoned"),
+        ])
+    }
+
+    fn map() -> RecodeMap {
+        RecodeMap::from_pairs(vec![
+            ("gender".into(), "F".into()),
+            ("gender".into(), "M".into()),
+            ("abandoned".into(), "Yes".into()),
+            ("abandoned".into(), "No".into()),
+        ])
+    }
+
+    #[test]
+    fn recode_matches_map_code() {
+        let spec = TransformSpec::default();
+        let a = FlatRecodeApplier::new(&map(), &schema(), &spec).unwrap();
+        let out = a.apply(&row![30i64, "F", "Yes"]).unwrap();
+        assert_eq!(out, row![30i64, 1i64, 2i64]);
+        assert_eq!(a.output_width(), 3);
+    }
+
+    #[test]
+    fn dummy_expansion_and_null_blocks() {
+        let spec = TransformSpec::new(&["gender"]);
+        let a = FlatRecodeApplier::new(&map(), &schema(), &spec).unwrap();
+        // F -> (1, 0); abandoned recodes.
+        let out = a.apply(&row![30i64, "F", "No"]).unwrap();
+        assert_eq!(out, row![30i64, 1i64, 0i64, 1i64]);
+        assert_eq!(a.output_width(), 4);
+        // NULL gender -> all-zero block.
+        let out = a
+            .apply(&Row::new(vec![
+                Value::Int(30),
+                Value::Null,
+                Value::Str("No".into()),
+            ]))
+            .unwrap();
+        assert_eq!(out, row![30i64, 0i64, 0i64, 1i64]);
+    }
+
+    #[test]
+    fn unseen_value_errors() {
+        let spec = TransformSpec::default();
+        let a = FlatRecodeApplier::new(&map(), &schema(), &spec).unwrap();
+        assert!(a.apply(&row![30i64, "X", "Yes"]).is_err());
+    }
+
+    #[test]
+    fn non_string_in_categorical_errors() {
+        let spec = TransformSpec::default();
+        let a = FlatRecodeApplier::new(&map(), &schema(), &spec).unwrap();
+        let bad = Row::new(vec![Value::Int(30), Value::Int(7), Value::Str("No".into())]);
+        assert!(a.apply(&bad).is_err());
+    }
+}

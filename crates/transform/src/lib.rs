@@ -20,10 +20,12 @@
 //!   dummy code, optionally reusing a cached recode map (§5.2's
 //!   optimization: skipping one of the two passes).
 
+pub mod apply;
 pub mod dummy;
 pub mod effect;
 pub mod pipeline;
 pub mod recode;
 
+pub use apply::FlatRecodeApplier;
 pub use pipeline::{register_udfs, InSqlTransformer, TransformOutput, TransformSpec};
 pub use recode::RecodeMap;

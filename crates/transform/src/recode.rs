@@ -68,7 +68,7 @@ impl RecodeMap {
             for part in partitions {
                 for r in part.iter() {
                     if let Value::Str(s) = r.get(idx) {
-                        pairs.push((col.clone(), s.clone()));
+                        pairs.push((col.clone(), s.to_string()));
                     }
                 }
             }
@@ -79,6 +79,13 @@ impl RecodeMap {
     /// The code for a value of a column.
     pub fn code(&self, column: &str, value: &str) -> Option<i64> {
         self.columns.get(column)?.get(value).copied()
+    }
+
+    /// The full value → code map of one column, if present. Used to build
+    /// flat per-partition appliers that probe a single `HashMap` per cell
+    /// instead of walking two nested `BTreeMap`s.
+    pub fn column_codes(&self, column: &str) -> Option<&BTreeMap<String, i64>> {
+        self.columns.get(column)
     }
 
     /// Number of distinct values of a column (0 if unknown).
@@ -110,8 +117,8 @@ impl RecodeMap {
         for (c, m) in &self.columns {
             for (v, code) in m {
                 out.push(Row::new(vec![
-                    Value::Str(c.clone()),
-                    Value::Str(v.clone()),
+                    Value::Str(c.as_str().into()),
+                    Value::Str(v.as_str().into()),
                     Value::Int(*code),
                 ]));
             }
@@ -181,10 +188,10 @@ impl TableUdf for DistinctValuesUdf {
         args: &[Value],
         _ctx: &PartitionCtx,
     ) -> Result<Vec<Row>> {
-        let mut col_indices = Vec::with_capacity(args.len());
+        let mut col_indices: Vec<(std::sync::Arc<str>, usize)> = Vec::with_capacity(args.len());
         for a in args {
             let name = a.as_str()?;
-            col_indices.push((name.to_string(), input_schema.index_of(name)?));
+            col_indices.push((name.into(), input_schema.index_of(name)?));
         }
         let mut seen: std::collections::HashSet<(usize, &str)> = std::collections::HashSet::new();
         let mut out = Vec::new();
@@ -192,7 +199,7 @@ impl TableUdf for DistinctValuesUdf {
             for (i, (name, idx)) in col_indices.iter().enumerate() {
                 match r.get(*idx) {
                     Value::Str(s) => {
-                        if seen.insert((i, s.as_str())) {
+                        if seen.insert((i, &**s)) {
                             out.push(Row::new(vec![
                                 Value::Str(name.clone()),
                                 Value::Str(s.clone()),
@@ -268,8 +275,8 @@ impl TableUdf for AssignRecodeIdsUdf {
                 }
             }
             out.push(Row::new(vec![
-                Value::Str(col),
-                Value::Str(val.clone()),
+                Value::Str(col.into()),
+                Value::Str(val.as_str().into()),
                 Value::Int(next_code),
             ]));
             last_val = Some(val);

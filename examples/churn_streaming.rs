@@ -37,8 +37,8 @@ fn build_tables(cluster: &SimCluster) {
                 Value::Int(cid),
                 Value::Int(tenure),
                 Value::Double(bill),
-                Value::Str(plan.to_string()),
-                Value::Str(churned.to_string()),
+                Value::Str(plan.into()),
+                Value::Str(churned.into()),
             ])
         })
         .collect();

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Row::new(vec![
                 Value::Double(income),
                 Value::Double(debt),
-                Value::Str(employment.to_string()),
-                Value::Str(approved.to_string()),
+                Value::Str(employment.into()),
+                Value::Str(approved.into()),
             ])
         })
         .collect();

@@ -1,0 +1,234 @@
+//! Differential tests for the allocation-slim hot path.
+//!
+//! The optimizer now fuses `Filter`/`Project`/`TableUdfScan` chains and
+//! the executor runs a hash-reuse join, a parallel merge sort, and the
+//! flat recode applier. Each of those has a retained reference path:
+//!
+//! * `Engine::query_unfused` plans without the fusion pass, so every
+//!   operator materializes its per-partition `Vec<Row>` the way the
+//!   pre-optimization executor did;
+//! * `RecodeMap::code` is the nested-`BTreeMap` probe the
+//!   [`FlatRecodeApplier`] replaced.
+//!
+//! These tests run the paper's Figure 3/4 workload queries (and a
+//! battery of shapes beyond them) through both paths and demand
+//! row-for-row equality.
+
+use sqlml_common::schema::{DataType, Field, Schema};
+use sqlml_common::{Row, SplitMix64, Value};
+use sqlml_core::workload::{Workload, WorkloadScale, PREP_QUERY};
+use sqlml_sqlengine::{Engine, EngineConfig};
+use sqlml_transform::{register_udfs, FlatRecodeApplier, RecodeMap, TransformSpec};
+
+fn workload_engine() -> Engine {
+    let e = Engine::new(EngineConfig::with_workers(4));
+    let w = Workload::generate(WorkloadScale::TINY, 77);
+    e.register_rows("carts", w.carts_schema, w.carts);
+    e.register_rows("users", w.users_schema, w.users);
+    register_udfs(&e);
+    e
+}
+
+/// Run one query through the fused executor and the unfused reference
+/// and demand identical schemas and identical sorted row sets.
+fn assert_differential(e: &Engine, sql: &str) {
+    let fused = e.query(sql).unwrap_or_else(|err| panic!("{sql}: {err}"));
+    let reference = e
+        .query_unfused(sql)
+        .unwrap_or_else(|err| panic!("{sql}: {err}"));
+    assert_eq!(
+        fused.schema().names(),
+        reference.schema().names(),
+        "schema mismatch for {sql}"
+    );
+    assert_eq!(
+        fused.collect_sorted(),
+        reference.collect_sorted(),
+        "row mismatch for {sql}"
+    );
+}
+
+#[test]
+fn figure3_prep_query_matches_reference() {
+    let e = workload_engine();
+    assert_differential(&e, PREP_QUERY);
+}
+
+#[test]
+fn transform_phase_queries_match_reference() {
+    // The exact query shapes the In-SQL transformer generates (§2.1):
+    // the distinct-values UDF scan, the recode-map assignment, and the
+    // dummy-code expansion — all TableUdfScans the fusion pass may pull
+    // into a chain.
+    let e = workload_engine();
+    for sql in [
+        "SELECT * FROM TABLE(distinct_values(users, 'gender', 'country')) D",
+        "SELECT D.colname, D.colval FROM TABLE(distinct_values(carts, 'abandoned')) D \
+         WHERE D.colname = 'abandoned'",
+    ] {
+        assert_differential(&e, sql);
+    }
+}
+
+#[test]
+fn fusible_chains_match_reference() {
+    let e = workload_engine();
+    for sql in [
+        // Filter → Project chains — the fusion pass's bread and butter.
+        "SELECT amount * 2.0 AS a2 FROM carts WHERE amount > 50.0 AND amount < 150.0",
+        "SELECT age + 1 AS age1 FROM users WHERE country = 'USA' AND age < 40",
+        // Filter over the join (fused above a pipeline breaker).
+        "SELECT U.age, C.amount FROM carts C, users U \
+         WHERE C.userid = U.userid AND U.country = 'CA' AND C.amount > 100.0",
+    ] {
+        assert_differential(&e, sql);
+    }
+}
+
+#[test]
+fn pipeline_breakers_match_reference() {
+    let e = workload_engine();
+    for sql in [
+        // Aggregate, Distinct, Sort, Limit — gathered operators whose
+        // home assignment and merge order changed in this PR.
+        "SELECT abandoned, COUNT(*), AVG(amount) FROM carts GROUP BY abandoned",
+        "SELECT DISTINCT country FROM users",
+        "SELECT age, country FROM users ORDER BY age DESC, country",
+        "SELECT amount FROM carts ORDER BY amount LIMIT 17",
+        "SELECT country, COUNT(*) AS n FROM users GROUP BY country ORDER BY n DESC LIMIT 3",
+    ] {
+        assert_differential(&e, sql);
+    }
+}
+
+#[test]
+fn joins_match_reference() {
+    let e = workload_engine();
+    for sql in [
+        // Inner join, both build sides (the optimizer flips on size).
+        "SELECT C.cartid, U.userid FROM carts C, users U WHERE C.userid = U.userid",
+        // Join keyed on an expression.
+        "SELECT C.cartid, U.age FROM carts C, users U \
+         WHERE C.userid = U.userid AND C.year = 2014",
+    ] {
+        assert_differential(&e, sql);
+    }
+}
+
+#[test]
+fn sorted_limit_is_a_true_prefix_of_the_full_sort() {
+    // Limit's early-exit slicing must still return the globally first n
+    // rows of the sort order.
+    let e = workload_engine();
+    let full = e
+        .query("SELECT amount FROM carts ORDER BY amount")
+        .unwrap()
+        .collect_rows();
+    let limited = e
+        .query("SELECT amount FROM carts ORDER BY amount LIMIT 25")
+        .unwrap()
+        .collect_rows();
+    assert_eq!(limited.as_slice(), &full[..25]);
+}
+
+// ---------------------------------------------------------------------
+// FlatRecodeApplier vs RecodeMap::code, on randomized data.
+// ---------------------------------------------------------------------
+
+/// Reference application: the per-cell nested-`BTreeMap` walk the flat
+/// applier replaced.
+fn reference_apply(row: &Row, schema: &Schema, spec: &TransformSpec, map: &RecodeMap) -> Row {
+    let recode_columns = spec.effective_recode_columns(schema);
+    let mut values = Vec::new();
+    for (i, f) in schema.fields().iter().enumerate() {
+        let is_recoded = recode_columns
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(&f.name));
+        let is_dummy = spec
+            .dummy_code_columns
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(&f.name));
+        let v = row.get(i);
+        if is_dummy {
+            let code = match v {
+                Value::Null => 0,
+                Value::Str(s) => map.code(&f.name, s).unwrap(),
+                other => panic!("non-categorical {other}"),
+            };
+            for j in 1..=map.cardinality(&f.name) as i64 {
+                values.push(Value::Int((j == code) as i64));
+            }
+        } else if is_recoded {
+            match v {
+                Value::Null => values.push(Value::Null),
+                Value::Str(s) => values.push(Value::Int(map.code(&f.name, s).unwrap())),
+                other => panic!("non-categorical {other}"),
+            }
+        } else {
+            values.push(v.clone());
+        }
+    }
+    Row::new(values)
+}
+
+#[test]
+fn flat_applier_matches_recode_map_code_on_random_data() {
+    let mut rng = SplitMix64::new(4242);
+    for trial in 0..20 {
+        // Random vocabulary sizes per categorical column.
+        let k1 = rng.range_i64(1, 6) as usize;
+        let k2 = rng.range_i64(2, 12) as usize;
+        let vocab1: Vec<String> = (0..k1).map(|i| format!("a{i}")).collect();
+        let vocab2: Vec<String> = (0..k2).map(|i| format!("b{i}")).collect();
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::categorical("c1"),
+            Field::new("y", DataType::Double),
+            Field::categorical("c2"),
+        ]);
+        let mut pairs = Vec::new();
+        pairs.extend(vocab1.iter().map(|v| ("c1".to_string(), v.clone())));
+        pairs.extend(vocab2.iter().map(|v| ("c2".to_string(), v.clone())));
+        let map = RecodeMap::from_pairs(pairs);
+        // Alternate spec shapes: recode-only, dummy one column, dummy both.
+        let spec = match trial % 3 {
+            0 => TransformSpec::default(),
+            1 => TransformSpec::new(&["c1"]),
+            _ => TransformSpec::new(&["c1", "c2"]),
+        };
+        let applier = FlatRecodeApplier::new(&map, &schema, &spec).unwrap();
+        for _ in 0..200 {
+            let c1 = if rng.chance(0.05) {
+                Value::Null
+            } else {
+                Value::str(vocab1[rng.next_below(k1 as u64) as usize].as_str())
+            };
+            let c2 = if rng.chance(0.05) {
+                Value::Null
+            } else {
+                Value::str(vocab2[rng.next_below(k2 as u64) as usize].as_str())
+            };
+            let row = Row::new(vec![
+                Value::Int(rng.range_i64(-100, 100)),
+                c1,
+                Value::Double(rng.next_f64()),
+                c2,
+            ]);
+            let flat = applier.apply(&row).unwrap();
+            let reference = reference_apply(&row, &schema, &spec, &map);
+            assert_eq!(flat, reference, "trial {trial}, row {row:?}");
+            assert_eq!(flat.len(), applier.output_width());
+        }
+    }
+}
+
+#[test]
+fn flat_applier_rejects_unseen_values_like_the_reference() {
+    let schema = Schema::new(vec![Field::categorical("c")]);
+    let map = RecodeMap::from_pairs(vec![("c".to_string(), "seen".to_string())]);
+    let applier = FlatRecodeApplier::new(&map, &schema, &TransformSpec::default()).unwrap();
+    assert!(map.code("c", "unseen").is_none());
+    assert!(applier
+        .apply(&Row::new(vec![Value::str("unseen")]))
+        .is_err());
+}

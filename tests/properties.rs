@@ -42,7 +42,7 @@ fn random_value(rng: &mut SplitMix64) -> Value {
         // Finite doubles only: NaN equality is bit-exact by design but a
         // NaN literal can't round-trip through the text grammar.
         3 => Value::Double((rng.next_f64() - 0.5) * 2e12),
-        _ => Value::Str(random_string(rng, 12)),
+        _ => Value::Str(random_string(rng, 12).into()),
     }
 }
 
@@ -101,7 +101,7 @@ fn text_codec_round_trips_arbitrary_strings() {
                 .map(|i| Field::categorical(format!("c{i}")))
                 .collect(),
         );
-        let row = Row::new(values.into_iter().map(Value::Str).collect());
+        let row = Row::new(values.into_iter().map(Value::from).collect());
         let mut line = String::new();
         codec::encode_text_row(&row, &mut line);
         assert!(!line.contains('\n'), "encoded line must be single-line");
@@ -125,7 +125,7 @@ fn recode_map_is_partitioning_invariant() {
         let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
         let data: Vec<Row> = rows
             .iter()
-            .map(|r| Row::new(r.iter().map(|s| Value::Str(s.clone())).collect()))
+            .map(|r| Row::new(r.iter().map(|s| Value::from(s.as_str())).collect()))
             .collect();
 
         let reference = RecodeMap::from_pairs(rows.iter().flat_map(|r| {
@@ -176,7 +176,7 @@ fn dummy_coding_is_invertible() {
         let schema = Schema::new(vec![Field::categorical("u"), Field::categorical("v")]);
         let data: Vec<Row> = rows
             .iter()
-            .map(|r| Row::new(r.iter().map(|s| Value::Str(s.clone())).collect()))
+            .map(|r| Row::new(r.iter().map(|s| Value::from(s.as_str())).collect()))
             .collect();
         let engine = Engine::new(EngineConfig::with_workers(workers));
         engine.register_rows("t", schema, data);
