@@ -33,7 +33,7 @@ fn bench_codecs(c: &mut Criterion) {
     let text = codec::encode_text_batch(&rows);
     let mut binary = Vec::new();
     for r in &rows {
-        codec::encode_binary_row(r, &mut binary);
+        codec::encode_binary_row(r, &mut binary).unwrap();
     }
 
     let mut group = c.benchmark_group("codec");
@@ -49,7 +49,7 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = Vec::with_capacity(binary.len());
             for r in &rows {
-                codec::encode_binary_row(black_box(r), &mut buf);
+                codec::encode_binary_row(black_box(r), &mut buf).unwrap();
             }
             buf
         })
@@ -76,13 +76,13 @@ fn bench_codecs(c: &mut Criterion) {
     for batch in [1usize, 64, 1024] {
         let chunk = &rows[..batch];
         let mut encoded = Vec::new();
-        codec::encode_binary_batch(chunk, &mut encoded);
+        codec::encode_binary_batch(chunk, &mut encoded).unwrap();
         group.throughput(Throughput::Bytes(encoded.len() as u64));
         let mut scratch = Vec::with_capacity(encoded.len());
         group.bench_function(&format!("binary_batch_encode_{batch}_rows"), |b| {
             b.iter(|| {
                 scratch.clear();
-                codec::encode_binary_batch(black_box(chunk), &mut scratch);
+                codec::encode_binary_batch(black_box(chunk), &mut scratch).unwrap();
                 scratch.len()
             })
         });

@@ -27,7 +27,7 @@ fn bench_wire(c: &mut Criterion) {
     let batch = Message::RowBatch {
         rows: sample_batch(64),
     };
-    let frame = batch.encode();
+    let frame = batch.encode().unwrap();
 
     let mut group = c.benchmark_group("transfer_wire");
     group.throughput(Throughput::Bytes(frame.len() as u64));

@@ -167,14 +167,18 @@ const TAG_STR: u8 = 4;
 /// Append the binary encoding of `row` to any [`BufMut`] sink (a
 /// `Vec<u8>` or a reusable `BytesMut` scratch buffer):
 /// `u32 value-count`, then per value a 1-byte tag + payload.
-pub fn encode_binary_row<B: BufMut>(row: &Row, buf: &mut B) {
-    buf.put_u32_le(row.len() as u32);
+///
+/// Fails with [`SqlmlError::FrameTooLarge`] when a value count or string
+/// length does not fit the `u32` wire prefix — the encoder never silently
+/// truncates.
+pub fn encode_binary_row<B: BufMut>(row: &Row, buf: &mut B) -> Result<()> {
+    buf.put_u32_le(crate::error::wire_u32(row.len(), "row value count")?);
     for v in row.values() {
         match v {
             Value::Null => buf.put_u8(TAG_NULL),
             Value::Bool(b) => {
                 buf.put_u8(TAG_BOOL);
-                buf.put_u8(*b as u8);
+                buf.put_u8(u8::from(*b));
             }
             Value::Int(i) => {
                 buf.put_u8(TAG_INT);
@@ -186,22 +190,27 @@ pub fn encode_binary_row<B: BufMut>(row: &Row, buf: &mut B) {
             }
             Value::Str(s) => {
                 buf.put_u8(TAG_STR);
-                buf.put_u32_le(s.len() as u32);
+                buf.put_u32_le(crate::error::wire_u32(s.len(), "string byte length")?);
                 buf.put_slice(s.as_bytes());
             }
         }
     }
+    Ok(())
 }
 
 /// Vectorized batch encoding: `u32 row-count`, then each row in the
 /// format of [`encode_binary_row`]. This is the payload layout of a
 /// `RowBatch` wire frame, so the data plane encodes batches in one pass
 /// with no intermediate per-row buffers.
-pub fn encode_binary_batch<B: BufMut>(rows: &[Row], buf: &mut B) {
-    buf.put_u32_le(rows.len() as u32);
+///
+/// Fails with [`SqlmlError::FrameTooLarge`] instead of truncating the row
+/// count (see [`encode_binary_row`]).
+pub fn encode_binary_batch<B: BufMut>(rows: &[Row], buf: &mut B) -> Result<()> {
+    buf.put_u32_le(crate::error::wire_u32(rows.len(), "batch row count")?);
     for r in rows {
-        encode_binary_row(r, buf);
+        encode_binary_row(r, buf)?;
     }
+    Ok(())
 }
 
 /// Decode a batch written by [`encode_binary_batch`], verifying that the
@@ -210,6 +219,7 @@ pub fn decode_binary_batch(buf: &[u8]) -> Result<Vec<Row>> {
     if buf.len() < 4 {
         return Err(SqlmlError::Execution("truncated binary batch".to_string()));
     }
+    // lint:allow(panic) — slice is exactly 4 bytes, try_into cannot fail
     let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
     let mut body = &buf[4..];
     let mut rows = Vec::with_capacity(count.min(1 << 20));
@@ -239,6 +249,7 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
         *pos += n;
         Ok(s)
     };
+    // lint:allow(panic) — take() returned exactly 4 bytes
     let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
     let mut values = Vec::with_capacity(count);
     for _ in 0..count {
@@ -246,11 +257,14 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
         let v = match tag {
             TAG_NULL => Value::Null,
             TAG_BOOL => Value::Bool(take(&mut pos, 1)?[0] != 0),
+            // lint:allow(panic) — take() returned exactly 8 bytes
             TAG_INT => Value::Int(i64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
             TAG_DOUBLE => Value::Double(f64::from_bits(u64::from_le_bytes(
+                // lint:allow(panic) — take() returned exactly 8 bytes
                 take(&mut pos, 8)?.try_into().unwrap(),
             ))),
             TAG_STR => {
+                // lint:allow(panic) — take() returned exactly 4 bytes
                 let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
                 let bytes = take(&mut pos, len)?;
                 Value::Str(
@@ -358,7 +372,7 @@ mod tests {
         ];
         let mut buf = Vec::new();
         for r in &rows {
-            encode_binary_row(r, &mut buf);
+            encode_binary_row(r, &mut buf).unwrap();
         }
         let mut pos = 0;
         for expect in &rows {
@@ -377,11 +391,11 @@ mod tests {
             Row::new(vec![]),
         ];
         let mut buf = Vec::new();
-        encode_binary_batch(&rows, &mut buf);
+        encode_binary_batch(&rows, &mut buf).unwrap();
         assert_eq!(decode_binary_batch(&buf).unwrap(), rows);
         // Empty batch is 4 zero bytes.
         let mut empty = Vec::new();
-        encode_binary_batch(&[], &mut empty);
+        encode_binary_batch(&[], &mut empty).unwrap();
         assert_eq!(empty, vec![0, 0, 0, 0]);
         assert!(decode_binary_batch(&empty).unwrap().is_empty());
         // Trailing garbage and truncation are both detected.
@@ -394,7 +408,7 @@ mod tests {
     fn binary_row_encodes_into_bytes_mut_scratch() {
         let mut scratch = bytes::BytesMut::with_capacity(64);
         let r = row![7i64, "x"];
-        encode_binary_row(&r, &mut scratch);
+        encode_binary_row(&r, &mut scratch).unwrap();
         let (back, used) = decode_binary_row(&scratch).unwrap();
         assert_eq!(back, r);
         assert_eq!(used, scratch.len());
@@ -405,7 +419,7 @@ mod tests {
     #[test]
     fn binary_truncation_is_detected() {
         let mut buf = Vec::new();
-        encode_binary_row(&row![1i64, "abc"], &mut buf);
+        encode_binary_row(&row![1i64, "abc"], &mut buf).unwrap();
         for cut in 1..buf.len() {
             assert!(
                 decode_binary_row(&buf[..cut]).is_err(),

@@ -37,6 +37,17 @@ pub enum SqlmlError {
     /// Injected fault (used by the fault-tolerance tests and ablations to
     /// distinguish deliberate failures from genuine bugs).
     InjectedFault(String),
+    /// A wire frame, string payload, or row batch exceeded the limits of
+    /// its on-the-wire representation (e.g. a length that does not fit in
+    /// the `u32` prefix). Raised instead of silently truncating.
+    FrameTooLarge(String),
+    /// A counter (row, byte, worker, attempt, …) did not fit its target
+    /// integer representation. Raised instead of a lossy `as` cast.
+    Overflow(String),
+    /// A plan tree violated a static invariant (schema mismatch at a node
+    /// boundary, out-of-range column reference, bad UDF signature, …).
+    /// Produced by the plan semantic analyzer, never at runtime.
+    PlanValidation(String),
 }
 
 impl fmt::Display for SqlmlError {
@@ -52,6 +63,9 @@ impl fmt::Display for SqlmlError {
             SqlmlError::Cache(m) => write!(f, "cache error: {m}"),
             SqlmlError::Io(e) => write!(f, "io error: {e}"),
             SqlmlError::InjectedFault(m) => write!(f, "injected fault: {m}"),
+            SqlmlError::FrameTooLarge(m) => write!(f, "frame too large: {m}"),
+            SqlmlError::Overflow(m) => write!(f, "counter overflow: {m}"),
+            SqlmlError::PlanValidation(m) => write!(f, "plan validation error: {m}"),
         }
     }
 }
@@ -79,6 +93,25 @@ impl SqlmlError {
     }
 }
 
+/// Convert a `usize` counter to the `u32` wire representation, failing
+/// with a descriptive [`SqlmlError::FrameTooLarge`] instead of silently
+/// truncating. `what` names the counter for the diagnostic.
+pub fn wire_u32(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n)
+        .map_err(|_| SqlmlError::FrameTooLarge(format!("{what} {n} exceeds the u32 wire limit")))
+}
+
+/// Convert any integer counter to `u32`, failing with a descriptive
+/// [`SqlmlError::Overflow`] on values that do not fit (including negative
+/// ones). `what` names the counter for the diagnostic.
+pub fn counter_u32<T>(n: T, what: &str) -> Result<u32>
+where
+    T: Copy + std::fmt::Display + TryInto<u32>,
+{
+    n.try_into()
+        .map_err(|_| SqlmlError::Overflow(format!("{what} {n} does not fit in u32")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +131,24 @@ mod tests {
         let e = SqlmlError::from(io);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn wire_u32_rejects_oversized_counters() {
+        assert_eq!(wire_u32(42, "rows").unwrap(), 42);
+        assert_eq!(wire_u32(u32::MAX as usize, "rows").unwrap(), u32::MAX);
+        let err = wire_u32(u32::MAX as usize + 1, "rows").unwrap_err();
+        assert!(matches!(err, SqlmlError::FrameTooLarge(_)));
+        assert!(err.to_string().contains("rows"), "{err}");
+    }
+
+    #[test]
+    fn counter_u32_rejects_negatives_and_overflow() {
+        assert_eq!(counter_u32(7i64, "attempts").unwrap(), 7);
+        let err = counter_u32(-3i64, "attempts").unwrap_err();
+        assert!(matches!(err, SqlmlError::Overflow(_)));
+        assert!(err.to_string().contains("attempts"), "{err}");
+        assert!(counter_u32(u64::MAX, "bytes").is_err());
     }
 
     #[test]

@@ -35,6 +35,8 @@ impl SplitMix64 {
 
     /// Uniform in `[0, bound)`. `bound` must be nonzero. Uses Lemire's
     /// multiply-shift rejection method to avoid modulo bias.
+    // Lemire reduction: the high half of a u64×u64 product fits in u64.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "next_below bound must be > 0");
         loop {
@@ -48,6 +50,8 @@ impl SplitMix64 {
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
+    // The span of any i64 sub-range (lo < hi here) fits in u64.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi);
         let span = (hi as i128 - lo as i128 + 1) as u64;
@@ -78,6 +82,8 @@ impl SplitMix64 {
     }
 
     /// Pick one element of a non-empty slice.
+    // next_below(len) < len, which already fits in usize.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.next_below(items.len() as u64) as usize]
     }
@@ -98,6 +104,8 @@ impl SplitMix64 {
     }
 
     /// In-place Fisher–Yates shuffle.
+    // next_below(i + 1) <= i, which already fits in usize.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
             let j = self.next_below(i as u64 + 1) as usize;

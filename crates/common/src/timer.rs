@@ -89,6 +89,8 @@ impl StageTimer {
         let mut out = String::new();
         for s in &self.stages {
             let secs = s.duration.as_secs_f64();
+            // Display-only: the ratio is in [0, 1], so the bar is <= 40.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let bar_len = ((secs / total) * 40.0).round() as usize;
             if show_alloc {
                 let alloc = s

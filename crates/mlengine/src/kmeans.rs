@@ -122,6 +122,8 @@ impl KMeansTrainer {
     fn seed_centroids(&self, data: &Dataset) -> Vec<Vec<f64>> {
         let mut rng = SplitMix64::new(self.seed);
         let all: Vec<&[f64]> = data.iter().map(|p| p.features.as_slice()).collect();
+        // next_below(len) < len, which already fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
         let mut centroids: Vec<Vec<f64>> =
             vec![all[rng.next_below(all.len() as u64) as usize].to_vec()];
         while centroids.len() < self.k {

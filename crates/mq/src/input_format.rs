@@ -210,7 +210,12 @@ impl RecordReader for MqRecordReader {
         if self.rows.is_none() {
             self.rows = Some(self.drain()?);
         }
-        Ok(self.rows.as_mut().expect("filled above").pop_front())
+        match self.rows.as_mut() {
+            Some(rows) => Ok(rows.pop_front()),
+            None => Err(SqlmlError::Ml(
+                "record reader buffer missing after drain".into(),
+            )),
+        }
     }
 }
 
@@ -228,7 +233,7 @@ mod tests {
     fn publish(broker: &Broker, topic: &str, partition: usize, rows: &[Row]) {
         let mut buf = Vec::new();
         for r in rows {
-            codec::encode_binary_row(r, &mut buf);
+            codec::encode_binary_row(r, &mut buf).unwrap();
         }
         broker.append(topic, partition, buf).unwrap();
         broker.seal(topic, partition).unwrap();
@@ -261,7 +266,7 @@ mod tests {
         // Three records of one row each.
         for i in 0..3i64 {
             let mut buf = Vec::new();
-            codec::encode_binary_row(&row![i], &mut buf);
+            codec::encode_binary_row(&row![i], &mut buf).unwrap();
             broker.append("t", 0, buf).unwrap();
         }
         broker.seal("t", 0).unwrap();

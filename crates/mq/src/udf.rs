@@ -89,7 +89,7 @@ impl TableUdf for MqTransferUdf {
         for batch in rows.chunks(BATCH_ROWS) {
             let mut buf = Vec::with_capacity(batch.len() * 32);
             for r in batch {
-                codec::encode_binary_row(r, &mut buf);
+                codec::encode_binary_row(r, &mut buf)?;
             }
             bytes += buf.len() as u64;
             self.broker.append(&topic, ctx.partition, buf)?;

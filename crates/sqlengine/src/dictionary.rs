@@ -52,7 +52,8 @@ impl DictionaryColumn {
                     let code = match index.get(&**s) {
                         Some(c) => *c,
                         None => {
-                            let c = dict.len() as u32;
+                            let c =
+                                sqlml_common::counter_u32(dict.len(), "dictionary cardinality")?;
                             if c == NULL_CODE {
                                 return Err(SqlmlError::Execution("dictionary overflow".into()));
                             }
@@ -104,7 +105,10 @@ impl DictionaryColumn {
 
     /// The local code of a value, if present in this partition.
     pub fn code_of(&self, value: &str) -> Option<u32> {
-        self.dict.iter().position(|v| v == value).map(|i| i as u32)
+        self.dict
+            .iter()
+            .position(|v| v == value)
+            .and_then(|i| u32::try_from(i).ok())
     }
 
     /// Dictionary entries in code order.
@@ -146,27 +150,27 @@ pub fn encode_column_per_partition(
 /// different codes to the same value (or the same code to different
 /// values)?
 pub fn local_codes_conflict(dicts: &[DictionaryColumn]) -> bool {
-    let mut global: HashMap<&str, u32> = HashMap::new();
+    let mut global: HashMap<&str, usize> = HashMap::new();
     for d in dicts {
         for (code, value) in d.entries().iter().enumerate() {
             match global.get(value.as_str()) {
-                Some(existing) if *existing != code as u32 => return true,
+                Some(existing) if *existing != code => return true,
                 Some(_) => {}
                 None => {
-                    global.insert(value, code as u32);
+                    global.insert(value, code);
                 }
             }
         }
     }
     // Same code, different values across partitions?
-    let mut by_code: HashMap<u32, &str> = HashMap::new();
+    let mut by_code: HashMap<usize, &str> = HashMap::new();
     for d in dicts {
         for (code, value) in d.entries().iter().enumerate() {
-            match by_code.get(&(code as u32)) {
+            match by_code.get(&code) {
                 Some(existing) if *existing != value.as_str() => return true,
                 Some(_) => {}
                 None => {
-                    by_code.insert(code as u32, value);
+                    by_code.insert(code, value);
                 }
             }
         }

@@ -193,18 +193,37 @@ impl Engine {
         crate::executor::execute(&plan, &self.ctx)
     }
 
-    /// Plan (and optimize) a SELECT without executing it.
+    /// Plan (and optimize) a SELECT without executing it. With debug
+    /// assertions on (dev and test profiles), the plan semantic analyzer
+    /// runs after planning and again after the optimizer rewrite, so a
+    /// broken invariant is a hard error long before execution; release
+    /// builds skip the walk entirely.
     pub fn plan(&self, stmt: &SelectStmt) -> Result<Plan> {
-        Ok(optimize(plan_select(stmt, &self.catalog)?))
+        let unoptimized = plan_select(stmt, &self.catalog)?;
+        self.debug_validate(&unoptimized)?;
+        let plan = optimize(unoptimized);
+        self.debug_validate(&plan)?;
+        Ok(plan)
     }
 
     /// Plan a SELECT without the operator-fusion pass — the
     /// row-at-a-time reference path used by differential tests.
     pub fn plan_unfused(&self, stmt: &SelectStmt) -> Result<Plan> {
-        Ok(crate::optimizer::optimize_unfused(plan_select(
-            stmt,
-            &self.catalog,
-        )?))
+        let unoptimized = plan_select(stmt, &self.catalog)?;
+        self.debug_validate(&unoptimized)?;
+        let plan = crate::optimizer::optimize_unfused(unoptimized);
+        self.debug_validate(&plan)?;
+        Ok(plan)
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self, plan: &Plan) -> Result<()> {
+        crate::validate::validate(plan, &self.catalog).map(|_| ())
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_validate(&self, _plan: &Plan) -> Result<()> {
+        Ok(())
     }
 
     /// Execute a SELECT through the unfused reference plan. Produces the

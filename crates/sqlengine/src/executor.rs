@@ -310,7 +310,10 @@ fn parallel_sort(
     })?;
 
     if sorted.len() == 1 {
-        return Ok(sorted.into_iter().next().unwrap());
+        return sorted
+            .into_iter()
+            .next()
+            .ok_or_else(|| SqlmlError::Execution("sorted partition vanished".into()));
     }
 
     // Merge: min-heap of (key, partition index) — the partition index
@@ -404,10 +407,13 @@ where
                 slots[p] = Some(v);
             }
         }
-        Ok(slots
+        slots
             .into_iter()
-            .map(|s| s.expect("all partitions produced"))
-            .collect())
+            .enumerate()
+            .map(|(p, s)| {
+                s.ok_or_else(|| SqlmlError::Execution(format!("partition {p} produced no result")))
+            })
+            .collect()
     })
 }
 
@@ -455,13 +461,16 @@ fn execute_join(
                 let bucket = match index.entry(Prehashed::new(k)) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        let b = buckets.len() as u32;
+                        let b = sqlml_common::counter_u32(buckets.len(), "join bucket count")?;
                         buckets.push(Vec::new());
                         e.insert(b);
                         b
                     }
                 };
-                buckets[bucket as usize].push((pi as u32, ri as u32));
+                buckets[bucket as usize].push((
+                    sqlml_common::counter_u32(pi, "build partition index")?,
+                    sqlml_common::counter_u32(ri, "build row index")?,
+                ));
             }
         }
     }
@@ -470,11 +479,14 @@ fn execute_join(
     let null_tail = Row::new(vec![Value::Null; right_width]);
     let build_parts = build_data.partitions();
     let cross_ids: Vec<(u32, u32)> = if is_cross {
-        build_parts
-            .iter()
-            .enumerate()
-            .flat_map(|(pi, part)| (0..part.len()).map(move |ri| (pi as u32, ri as u32)))
-            .collect()
+        let mut ids = Vec::new();
+        for (pi, part) in build_parts.iter().enumerate() {
+            let pi = sqlml_common::counter_u32(pi, "build partition index")?;
+            for ri in 0..part.len() {
+                ids.push((pi, sqlml_common::counter_u32(ri, "build row index")?));
+            }
+        }
+        ids
     } else {
         Vec::new()
     };
@@ -581,7 +593,10 @@ fn execute_distinct(input: &PartitionedTable, ctx: &ExecContext) -> Result<Parti
         let mut out: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
         for r in input.partition(p).iter() {
             if seen.insert(r) {
-                out[row_hash(r) as usize % n].push(r.clone());
+                // Bucket index is reduced mod n, which fits in usize.
+                #[allow(clippy::cast_possible_truncation)]
+                let bucket = row_hash(r) as usize % n;
+                out[bucket].push(r.clone());
             }
         }
         Ok(out)

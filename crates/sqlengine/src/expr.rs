@@ -272,7 +272,11 @@ pub fn cast_value(v: Value, to: sqlml_common::schema::DataType) -> Result<Value>
             if !d.is_finite() || d < i64::MIN as f64 || d > i64::MAX as f64 {
                 return Err(SqlmlError::Execution(format!("cannot cast {d} to BIGINT")));
             }
-            Value::Int(d.trunc() as i64)
+            // Range-checked just above; truncation toward zero is the
+            // SQL CAST(double AS BIGINT) semantics.
+            #[allow(clippy::cast_possible_truncation)]
+            let i = d.trunc() as i64;
+            Value::Int(i)
         }
         (Value::Double(d), DataType::Bool) => Value::Bool(d != 0.0),
         (v, DataType::Str) => Value::Str(v.render().into()),

@@ -96,7 +96,9 @@ impl ScalarUdf for Round {
         } else {
             0
         };
-        let scale = 10f64.powi(digits as i32);
+        let digits = i32::try_from(digits)
+            .map_err(|_| SqlmlError::Type(format!("round digits {digits} out of range")))?;
+        let scale = 10f64.powi(digits);
         Ok(Value::Double((x * scale).round() / scale))
     }
 }
@@ -109,7 +111,11 @@ impl ScalarUdf for Floor {
     fn eval(&self, args: &[Value]) -> Result<Value> {
         arity("floor", args, 1)?;
         null_prop!(args);
-        Ok(Value::Int(args[0].as_f64()?.floor() as i64))
+        // Float-to-int `as` saturates at the i64 bounds, which is the
+        // desired behavior for out-of-range doubles.
+        #[allow(clippy::cast_possible_truncation)]
+        let i = args[0].as_f64()?.floor() as i64;
+        Ok(Value::Int(i))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Int
@@ -124,7 +130,11 @@ impl ScalarUdf for Ceil {
     fn eval(&self, args: &[Value]) -> Result<Value> {
         arity("ceil", args, 1)?;
         null_prop!(args);
-        Ok(Value::Int(args[0].as_f64()?.ceil() as i64))
+        // Float-to-int `as` saturates at the i64 bounds, which is the
+        // desired behavior for out-of-range doubles.
+        #[allow(clippy::cast_possible_truncation)]
+        let i = args[0].as_f64()?.ceil() as i64;
+        Ok(Value::Int(i))
     }
     fn return_type(&self, _: &[DataType]) -> DataType {
         DataType::Int
@@ -257,7 +267,11 @@ impl ScalarUdf for Substr {
         arity("substr", args, 3)?;
         null_prop!(args);
         let s = args[0].as_str()?;
+        // Clamped non-negative before the cast; char offsets into a
+        // string always fit in usize.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let start = args[1].as_i64()?.max(1) as usize - 1;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let len = args[2].as_i64()?.max(0) as usize;
         Ok(Value::Str(
             s.chars().skip(start).take(len).collect::<String>().into(),

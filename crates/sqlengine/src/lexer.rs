@@ -231,7 +231,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     } else {
                         // Multi-byte UTF-8 safe: operate on char boundaries.
                         let ch_str = &input[i..];
-                        let ch = ch_str.chars().next().expect("in bounds");
+                        // `i` sits on a char boundary inside the input,
+                        // so the remainder is non-empty here; an empty
+                        // tail just ends the literal scan.
+                        let Some(ch) = ch_str.chars().next() else {
+                            break;
+                        };
                         s.push(ch);
                         i += ch.len_utf8();
                     }

@@ -39,6 +39,7 @@ pub mod plan;
 pub mod planner;
 pub mod table;
 pub mod udf;
+pub mod validate;
 
 pub use catalog::Catalog;
 pub use engine::{Engine, EngineConfig};

@@ -162,20 +162,22 @@ fn fuse(plan: Plan) -> Plan {
             let input = Box::new(fuse(tail));
             if rev_stages.len() == 1 {
                 // Rebuild the plain single-operator node.
-                return match rev_stages.pop().unwrap() {
-                    FusedStage::Filter(predicate) => Plan::Filter { input, predicate },
-                    FusedStage::Project { exprs } => Plan::Project {
-                        input,
-                        exprs,
-                        schema,
-                    },
-                    FusedStage::Udf { udf, args, .. } => Plan::TableUdfScan {
-                        udf,
-                        input,
-                        args,
-                        schema,
-                    },
-                };
+                if let Some(stage) = rev_stages.pop() {
+                    return match stage {
+                        FusedStage::Filter(predicate) => Plan::Filter { input, predicate },
+                        FusedStage::Project { exprs } => Plan::Project {
+                            input,
+                            exprs,
+                            schema,
+                        },
+                        FusedStage::Udf { udf, args, .. } => Plan::TableUdfScan {
+                            udf,
+                            input,
+                            args,
+                            schema,
+                        },
+                    };
+                }
             }
             rev_stages.reverse();
             Plan::Fused {

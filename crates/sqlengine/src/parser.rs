@@ -68,7 +68,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+    fn expect_token(&mut self, kind: &TokenKind) -> Result<()> {
         if self.accept(kind) {
             Ok(())
         } else {
@@ -117,7 +117,7 @@ impl Parser {
                 let query = self.select()?;
                 return Ok(Statement::CreateTableAs { name, query });
             }
-            self.expect(&TokenKind::LParen)?;
+            self.expect_token(&TokenKind::LParen)?;
             let mut columns = Vec::new();
             loop {
                 let col_name = self.ident()?;
@@ -141,7 +141,7 @@ impl Parser {
                     break;
                 }
             }
-            self.expect(&TokenKind::RParen)?;
+            self.expect_token(&TokenKind::RParen)?;
             return Ok(Statement::CreateTable { name, columns });
         }
         if self.accept_keyword("DROP") {
@@ -234,6 +234,9 @@ impl Parser {
 
         let limit = if self.accept_keyword("LIMIT") {
             match self.advance() {
+                // Guarded non-negative; a LIMIT larger than usize::MAX
+                // is indistinguishable from no limit anyway.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 TokenKind::IntLit(n) if n >= 0 => Some(n as usize),
                 other => {
                     return Err(SqlmlError::Parse(format!(
@@ -301,9 +304,9 @@ impl Parser {
     fn table_ref(&mut self) -> Result<TableRef> {
         if self.accept_keyword("TABLE") {
             // `TABLE(udf(arg, ...))` — parallel table UDF invocation.
-            self.expect(&TokenKind::LParen)?;
+            self.expect_token(&TokenKind::LParen)?;
             let udf = self.ident()?;
-            self.expect(&TokenKind::LParen)?;
+            self.expect_token(&TokenKind::LParen)?;
             let mut args = Vec::new();
             if !matches!(self.peek(), TokenKind::RParen) {
                 loop {
@@ -331,8 +334,8 @@ impl Parser {
                     }
                 }
             }
-            self.expect(&TokenKind::RParen)?;
-            self.expect(&TokenKind::RParen)?;
+            self.expect_token(&TokenKind::RParen)?;
+            self.expect_token(&TokenKind::RParen)?;
             let alias = self.optional_alias()?;
             return Ok(TableRef::TableFunction { udf, args, alias });
         }
@@ -404,7 +407,7 @@ impl Parser {
             });
         }
         if self.accept_keyword("IN") {
-            self.expect(&TokenKind::LParen)?;
+            self.expect_token(&TokenKind::LParen)?;
             let mut list = Vec::new();
             loop {
                 list.push(self.additive()?);
@@ -412,7 +415,7 @@ impl Parser {
                     break;
                 }
             }
-            self.expect(&TokenKind::RParen)?;
+            self.expect_token(&TokenKind::RParen)?;
             return Ok(AstExpr::InList {
                 expr: Box::new(left),
                 list,
@@ -506,7 +509,7 @@ impl Parser {
             TokenKind::DoubleLit(v) => Ok(AstExpr::Literal(Value::Double(v))),
             TokenKind::StrLit(v) => Ok(AstExpr::Literal(Value::Str(v.into()))),
             TokenKind::Keyword(k) if k == "CAST" => {
-                self.expect(&TokenKind::LParen)?;
+                self.expect_token(&TokenKind::LParen)?;
                 let e = self.expr()?;
                 self.expect_keyword("AS")?;
                 let type_name = match self.advance() {
@@ -519,7 +522,7 @@ impl Parser {
                     }
                 };
                 let to = DataType::parse_sql_name(&type_name)?;
-                self.expect(&TokenKind::RParen)?;
+                self.expect_token(&TokenKind::RParen)?;
                 Ok(AstExpr::Cast {
                     expr: Box::new(e),
                     to,
@@ -530,7 +533,7 @@ impl Parser {
             TokenKind::Keyword(k) if k == "NULL" => Ok(AstExpr::Literal(Value::Null)),
             TokenKind::LParen => {
                 let e = self.expr()?;
-                self.expect(&TokenKind::RParen)?;
+                self.expect_token(&TokenKind::RParen)?;
                 Ok(e)
             }
             TokenKind::Keyword(k)
@@ -543,9 +546,9 @@ impl Parser {
                     "MIN" => AggFunc::Min,
                     _ => AggFunc::Max,
                 };
-                self.expect(&TokenKind::LParen)?;
+                self.expect_token(&TokenKind::LParen)?;
                 if func == AggFunc::Count && self.accept(&TokenKind::Star) {
-                    self.expect(&TokenKind::RParen)?;
+                    self.expect_token(&TokenKind::RParen)?;
                     return Ok(AstExpr::Agg {
                         func,
                         arg: None,
@@ -554,7 +557,7 @@ impl Parser {
                 }
                 let distinct = self.accept_keyword("DISTINCT");
                 let arg = self.expr()?;
-                self.expect(&TokenKind::RParen)?;
+                self.expect_token(&TokenKind::RParen)?;
                 Ok(AstExpr::Agg {
                     func,
                     arg: Some(Box::new(arg)),
@@ -580,7 +583,7 @@ impl Parser {
                             }
                         }
                     }
-                    self.expect(&TokenKind::RParen)?;
+                    self.expect_token(&TokenKind::RParen)?;
                     return Ok(AstExpr::FuncCall { name, args });
                 }
                 Ok(AstExpr::Column {

@@ -70,7 +70,7 @@ impl Scope {
                 if qualifier.is_some() {
                     break;
                 }
-            } else if qualifier.is_some() && it.binding.eq_ignore_ascii_case(qualifier.unwrap()) {
+            } else if qualifier.is_some_and(|q| it.binding.eq_ignore_ascii_case(q)) {
                 return Err(SqlmlError::Plan(format!(
                     "relation {qualifier:?} has no column {name:?}"
                 )));
@@ -254,8 +254,10 @@ impl<'a> Planner<'a> {
             // Residual multi-relation predicates now resolvable: filter.
             if !residual.is_empty() {
                 let joined_scope = self.sub_scope(&scope, &joined);
-                let pred =
-                    AstExpr::conjoin(residual.into_iter().map(|p| p.expr).collect()).unwrap();
+                let pred = AstExpr::conjoin(residual.into_iter().map(|p| p.expr).collect())
+                    .ok_or_else(|| {
+                        SqlmlError::Plan("residual join predicate list was empty".into())
+                    })?;
                 let predicate = resolve_expr(&pred, &joined_scope, self.catalog)?;
                 tree = Plan::Filter {
                     input: Box::new(tree),
@@ -680,7 +682,9 @@ fn rewrite_post_agg(
                     if gn.eq_ignore_ascii_case(name)
                         && (qualifier.is_none()
                             || matches!(g, AstExpr::Column { qualifier: Some(gq), .. }
-                                if gq.eq_ignore_ascii_case(qualifier.as_ref().unwrap())))
+                                if qualifier
+                                    .as_ref()
+                                    .is_some_and(|q| gq.eq_ignore_ascii_case(q))))
                     {
                         return Ok(Expr::Col(gi));
                     }

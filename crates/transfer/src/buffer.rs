@@ -123,12 +123,18 @@ impl SpillableBuffer {
             st.spill.file = Some(file);
             st.spill.path = Some(path);
         }
-        let file = st.spill.file.as_mut().expect("created above");
+        let Some(file) = st.spill.file.as_mut() else {
+            return Err(SqlmlError::Transfer(
+                "spill file missing after creation".into(),
+            ));
+        };
         file.seek(SeekFrom::Start(st.spill.write_pos))?;
         // Pre-size a single record (length prefix + body) so each spilled
         // chunk costs one write syscall instead of two.
         let mut record = Vec::with_capacity(4 + chunk.len());
-        record.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        record.extend_from_slice(
+            &sqlml_common::wire_u32(chunk.len(), "spill chunk length")?.to_le_bytes(),
+        );
         record.extend_from_slice(chunk);
         file.write_all(&record)?;
         st.spill.write_pos += record.len() as u64;
@@ -142,7 +148,11 @@ impl SpillableBuffer {
             return Ok(None);
         }
         let read_pos = st.spill.read_pos;
-        let file = st.spill.file.as_mut().expect("spill data implies file");
+        let Some(file) = st.spill.file.as_mut() else {
+            return Err(SqlmlError::Transfer(
+                "spill cursor set but spill file missing".into(),
+            ));
+        };
         file.seek(SeekFrom::Start(read_pos))?;
         let mut len_buf = [0u8; 4];
         file.read_exact(&mut len_buf)?;

@@ -123,8 +123,7 @@ impl Coordinator {
                         Err(_) => break,
                     }
                 }
-            })
-            .expect("spawn coordinator thread");
+            })?;
         Ok(Coordinator { inner, addr })
     }
 
@@ -216,7 +215,10 @@ impl Coordinator {
             let mut state = coord.inner.state.lock();
             for info in snapshot {
                 let mut session = Session {
-                    total_workers: Some(info.workers.len() as u32),
+                    total_workers: Some(sqlml_common::counter_u32(
+                        info.workers.len(),
+                        "restored session worker count",
+                    )?),
                     command: Some(info.command.clone()),
                     splits_per_worker: info.splits_per_worker,
                     launched: true, // never relaunch a restored job
@@ -251,60 +253,65 @@ fn handle_connection(mut stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
                 command,
                 splits_per_worker,
             } => {
-                let launch: Option<(SessionInfo, JobLauncher)> = {
+                // Decide under the lock, but keep all socket I/O outside
+                // it: a slow peer must not stall every other connection.
+                let decision: std::result::Result<Option<(SessionInfo, JobLauncher)>, String> = {
                     let mut state = inner.state.lock();
                     let session = state.sessions.entry(transfer_id).or_default();
-                    if let Some(t) = session.total_workers {
-                        if t != total_workers {
-                            write_message(
-                                &mut stream,
-                                &Message::Abort {
-                                    reason: format!(
-                                        "inconsistent total_workers: {t} vs {total_workers}"
-                                    ),
+                    match session.total_workers {
+                        Some(t) if t != total_workers => Err(format!(
+                            "inconsistent total_workers: {t} vs {total_workers}"
+                        )),
+                        _ => {
+                            session.total_workers = Some(total_workers);
+                            session.command.get_or_insert_with(|| command.clone());
+                            session.splits_per_worker = splits_per_worker;
+                            session.workers.insert(
+                                worker,
+                                SqlWorkerInfo {
+                                    worker,
+                                    data_addr,
+                                    node,
                                 },
-                            )?;
-                            continue;
+                            );
+                            // Step 2: "When all the SQL workers have
+                            // registered, the coordinator launches the ML
+                            // job".
+                            if session.workers.len() == total_workers as usize && !session.launched
+                            {
+                                session.launched = true;
+                                let mut workers: Vec<SqlWorkerInfo> =
+                                    session.workers.values().cloned().collect();
+                                workers.sort_by_key(|w| w.worker);
+                                let info = SessionInfo {
+                                    transfer_id,
+                                    command: session.command.clone().unwrap_or_default(),
+                                    splits_per_worker,
+                                    workers,
+                                };
+                                session.complete = Some(info.clone());
+                                inner.session_ready.notify_all();
+                                Ok(inner.launcher.lock().clone().map(|l| (info, l)))
+                            } else {
+                                Ok(None)
+                            }
                         }
                     }
-                    session.total_workers = Some(total_workers);
-                    session.command.get_or_insert_with(|| command.clone());
-                    session.splits_per_worker = splits_per_worker;
-                    session.workers.insert(
-                        worker,
-                        SqlWorkerInfo {
-                            worker,
-                            data_addr,
-                            node,
-                        },
-                    );
-                    // Step 2: "When all the SQL workers have registered,
-                    // the coordinator launches the ML job".
-                    if session.workers.len() as u32 == total_workers && !session.launched {
-                        session.launched = true;
-                        let mut workers: Vec<SqlWorkerInfo> =
-                            session.workers.values().cloned().collect();
-                        workers.sort_by_key(|w| w.worker);
-                        let info = SessionInfo {
-                            transfer_id,
-                            command: session.command.clone().unwrap_or_default(),
-                            splits_per_worker,
-                            workers,
-                        };
-                        session.complete = Some(info.clone());
-                        inner.session_ready.notify_all();
-                        inner.launcher.lock().clone().map(|l| (info, l))
-                    } else {
-                        None
-                    }
                 };
-                if let Some((info, launcher)) = launch {
-                    std::thread::Builder::new()
-                        .name(format!("sqlml-job-{}", info.transfer_id))
-                        .spawn(move || launcher(info))
-                        .expect("spawn job launcher");
+                match decision {
+                    Err(reason) => {
+                        write_message(&mut stream, &Message::Abort { reason })?;
+                        continue;
+                    }
+                    Ok(launch) => {
+                        if let Some((info, launcher)) = launch {
+                            std::thread::Builder::new()
+                                .name(format!("sqlml-job-{}", info.transfer_id))
+                                .spawn(move || launcher(info))?;
+                        }
+                        write_message(&mut stream, &Message::SqlAck { splits_per_worker })?;
+                    }
                 }
-                write_message(&mut stream, &Message::SqlAck { splits_per_worker })?;
             }
             Message::GetSplits { transfer_id } => {
                 // Step 3: block until registration completes, then answer

@@ -259,7 +259,11 @@ impl StreamRecordReader {
             if self.conn.is_none() {
                 self.begin_attempt()?;
             }
-            let conn = self.conn.as_mut().expect("connected above");
+            let Some(conn) = self.conn.as_mut() else {
+                return Err(SqlmlError::Transfer(
+                    "reader connection missing after begin_attempt".into(),
+                ));
+            };
             let broken_reason = match read_message_with(conn, &mut self.scratch) {
                 Ok(Message::RowBatch { rows }) => {
                     // 4-byte length prefix + payload.
@@ -268,6 +272,9 @@ impl StreamRecordReader {
                     if let Some(m) = &self.metrics {
                         m.on_batch(rows.len() as u64, frame_bytes);
                     }
+                    // min() bounds the skip by the batch length, which
+                    // already fits in usize.
+                    #[allow(clippy::cast_possible_truncation)]
                     let skip = self.skip_remaining.min(rows.len() as u64) as usize;
                     self.skip_remaining -= skip as u64;
                     if skip < rows.len() {
@@ -442,7 +449,7 @@ mod tests {
                 .map(|i| Row::new(vec![Value::Int(i), Value::Str("pad-pad-pad".into())]))
                 .collect();
             let mut frame = Vec::new();
-            encode_row_batch_frame(&rows, &mut frame);
+            encode_row_batch_frame(&rows, &mut frame).unwrap();
             for _ in 0..TOTAL_ROWS / BATCH {
                 stream.write_all(&frame).unwrap();
             }
@@ -478,7 +485,7 @@ mod tests {
         let (addr, sender) = fake_sender(move |mut stream| {
             let rows = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])];
             let mut frame = Vec::new();
-            encode_row_batch_frame(&rows, &mut frame);
+            encode_row_batch_frame(&rows, &mut frame).unwrap();
             stream.write_all(&frame).unwrap();
             stream.flush().unwrap();
             // Do not send DataEnd until the reader has yielded rows.
@@ -508,7 +515,7 @@ mod tests {
         let (addr, sender) = fake_sender(|mut stream| {
             let rows = vec![Row::new(vec![Value::Int(1)])];
             let mut frame = Vec::new();
-            encode_row_batch_frame(&rows, &mut frame);
+            encode_row_batch_frame(&rows, &mut frame).unwrap();
             stream.write_all(&frame).unwrap();
             // Lie: claim 5 rows were sent. The reader treats this as a
             // broken attempt and retries; with the sender gone, every
@@ -540,7 +547,7 @@ mod tests {
                     .map(|i| Row::new(vec![Value::Int(*i)]))
                     .collect();
                 frame.clear();
-                encode_row_batch_frame(&rows, &mut frame);
+                encode_row_batch_frame(&rows, &mut frame).unwrap();
                 stream.write_all(&frame).unwrap();
             }
             write_message(

@@ -65,6 +65,8 @@ impl TransferMetrics {
         if slot.load(Ordering::Relaxed) != UNSET {
             return;
         }
+        // u64 microseconds overflow ~585k years after session start.
+        #[allow(clippy::cast_possible_truncation)]
         let us = self.start.elapsed().as_micros() as u64;
         let _ = slot.compare_exchange(UNSET, us, Ordering::Relaxed, Ordering::Relaxed);
     }

@@ -89,9 +89,10 @@ const T_ABORT: u8 = 0x1F;
 pub trait FrameSink: BufMut + DerefMut<Target = [u8]> {}
 impl<B: BufMut + DerefMut<Target = [u8]>> FrameSink for B {}
 
-fn put_string<B: BufMut>(buf: &mut B, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+fn put_string<B: BufMut>(buf: &mut B, s: &str) -> Result<()> {
+    buf.put_u32_le(sqlml_common::wire_u32(s.len(), "string byte length")?);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String> {
@@ -113,17 +114,19 @@ fn corrupt(what: &str) -> SqlmlError {
 }
 
 impl Message {
-    /// Serialize into a frame (length prefix included).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize into a frame (length prefix included). Fails when a
+    /// string, batch, or the whole frame exceeds its wire-length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut buf = Vec::with_capacity(64);
-        self.encode_into(&mut buf);
-        buf
+        self.encode_into(&mut buf)?;
+        Ok(buf)
     }
 
     /// Append the frame encoding of `self` to a reusable sink without
     /// allocating: the hot path clears and reuses one scratch buffer per
-    /// connection.
-    pub fn encode_into<B: FrameSink>(&self, buf: &mut B) {
+    /// connection. On error the sink's contents past its original length
+    /// are unspecified; callers must discard (or truncate) the buffer.
+    pub fn encode_into<B: FrameSink>(&self, buf: &mut B) -> Result<()> {
         let frame_start = buf.len();
         buf.put_u32_le(0); // length placeholder
         match self {
@@ -140,9 +143,9 @@ impl Message {
                 buf.put_u64_le(*transfer_id);
                 buf.put_u32_le(*worker);
                 buf.put_u32_le(*total_workers);
-                put_string(buf, data_addr);
-                put_string(buf, node);
-                put_string(buf, command);
+                put_string(buf, data_addr)?;
+                put_string(buf, node)?;
+                put_string(buf, command)?;
                 buf.put_u32_le(*splits_per_worker);
             }
             Message::SqlAck { splits_per_worker } => {
@@ -155,12 +158,12 @@ impl Message {
             }
             Message::Splits { entries } => {
                 buf.put_u8(T_SPLITS);
-                buf.put_u32_le(entries.len() as u32);
+                buf.put_u32_le(sqlml_common::wire_u32(entries.len(), "split count")?);
                 for e in entries {
                     buf.put_u32_le(e.sql_worker);
                     buf.put_u32_le(e.index_in_group);
-                    put_string(buf, &e.data_addr);
-                    put_string(buf, &e.location);
+                    put_string(buf, &e.data_addr)?;
+                    put_string(buf, &e.location)?;
                 }
             }
             Message::RegisterMl {
@@ -171,7 +174,7 @@ impl Message {
                 buf.put_u8(T_REGISTER_ML);
                 buf.put_u64_le(*transfer_id);
                 buf.put_u32_le(*ml_worker);
-                put_string(buf, node);
+                put_string(buf, node)?;
             }
             Message::MlAck => {
                 buf.put_u8(T_ML_ACK);
@@ -192,7 +195,7 @@ impl Message {
             }
             Message::RowBatch { rows } => {
                 buf.put_u8(T_ROW_BATCH);
-                codec::encode_binary_batch(rows, buf);
+                codec::encode_binary_batch(rows, buf)?;
             }
             Message::DataEnd { total_rows } => {
                 buf.put_u8(T_DATA_END);
@@ -200,10 +203,10 @@ impl Message {
             }
             Message::Abort { reason } => {
                 buf.put_u8(T_ABORT);
-                put_string(buf, reason);
+                put_string(buf, reason)?;
             }
         }
-        patch_frame_len(buf, frame_start);
+        patch_frame_len(buf, frame_start)
     }
 
     /// Total rows carried if this is a `RowBatch`, else 0.
@@ -325,21 +328,30 @@ impl Message {
 }
 
 /// Patch the `u32` length prefix of the frame starting at `frame_start`.
-fn patch_frame_len<B: FrameSink>(buf: &mut B, frame_start: usize) {
-    let len = (buf.len() - frame_start - 4) as u32;
+/// Fails when the payload exceeds [`MAX_FRAME`] — a frame the receive
+/// side would reject anyway must not be put on the wire.
+fn patch_frame_len<B: FrameSink>(buf: &mut B, frame_start: usize) -> Result<()> {
+    let payload = buf.len() - frame_start - 4;
+    if payload > MAX_FRAME {
+        return Err(SqlmlError::FrameTooLarge(format!(
+            "frame payload of {payload} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )));
+    }
+    let len = sqlml_common::wire_u32(payload, "frame payload length")?;
     buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
 /// Append a complete `RowBatch` frame for a borrowed slice of rows —
 /// the sender hot path. Equivalent to
 /// `Message::RowBatch { rows: rows.to_vec() }.encode()` without cloning
 /// any row and without intermediate buffers.
-pub fn encode_row_batch_frame<B: FrameSink>(rows: &[Row], buf: &mut B) {
+pub fn encode_row_batch_frame<B: FrameSink>(rows: &[Row], buf: &mut B) -> Result<()> {
     let frame_start = buf.len();
     buf.put_u32_le(0); // length placeholder
     buf.put_u8(T_ROW_BATCH);
-    codec::encode_binary_batch(rows, buf);
-    patch_frame_len(buf, frame_start);
+    codec::encode_binary_batch(rows, buf)?;
+    patch_frame_len(buf, frame_start)
 }
 
 /// Incrementally builds `RowBatch` frames row by row into a reusable
@@ -372,10 +384,17 @@ impl RowBatchFrameBuilder {
         self.rows_in_frame = 0;
     }
 
-    /// Append one row to the frame under construction.
-    pub fn push_row(&mut self, row: &Row) {
-        codec::encode_binary_row(row, &mut self.scratch);
+    /// Append one row to the frame under construction. On error the
+    /// frame under construction is reset (the row is not half-encoded
+    /// into it) and the error is returned for the caller to surface.
+    pub fn push_row(&mut self, row: &Row) -> Result<()> {
+        let before = self.scratch.len();
+        if let Err(e) = codec::encode_binary_row(row, &mut self.scratch) {
+            self.scratch.truncate(before);
+            return Err(e);
+        }
         self.rows_in_frame += 1;
+        Ok(())
     }
 
     /// Rows in the frame under construction.
@@ -394,13 +413,18 @@ impl RowBatchFrameBuilder {
 
     /// Patch the length/count headers, return the finished frame as an
     /// owned chunk, and reset for the next frame. The scratch allocation
-    /// is retained.
-    pub fn take_frame(&mut self) -> Vec<u8> {
-        patch_frame_len(&mut self.scratch, 0);
+    /// is retained. Fails (resetting the builder) when the accumulated
+    /// frame exceeds the wire limits.
+    pub fn take_frame(&mut self) -> Result<Vec<u8>> {
+        let patched = patch_frame_len(&mut self.scratch, 0);
+        if let Err(e) = patched {
+            self.start_frame();
+            return Err(e);
+        }
         self.scratch[5..9].copy_from_slice(&self.rows_in_frame.to_le_bytes());
         let frame = self.scratch.to_vec();
         self.start_frame();
-        frame
+        Ok(frame)
     }
 }
 
@@ -408,7 +432,7 @@ impl RowBatchFrameBuilder {
 /// `BufWriter` around one).
 pub fn write_message<W: Write>(stream: &mut W, msg: &Message) -> Result<()> {
     stream
-        .write_all(&msg.encode())
+        .write_all(&msg.encode()?)
         .map_err(|e| SqlmlError::Transfer(format!("write failed: {e}")))
 }
 
@@ -444,7 +468,7 @@ mod tests {
     use sqlml_common::Value;
 
     fn round_trip(msg: Message) {
-        let frame = msg.encode();
+        let frame = msg.encode().unwrap();
         let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
         assert_eq!(len, frame.len() - 4);
         let back = Message::decode(&frame[4..]).unwrap();
@@ -514,15 +538,15 @@ mod tests {
             row![1i64, "hello", 2.5],
             sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
         ];
-        let via_message = Message::RowBatch { rows: rows.clone() }.encode();
+        let via_message = Message::RowBatch { rows: rows.clone() }.encode().unwrap();
         let mut scratch = BytesMut::with_capacity(256);
-        encode_row_batch_frame(&rows, &mut scratch);
+        encode_row_batch_frame(&rows, &mut scratch).unwrap();
         assert_eq!(&scratch[..], &via_message[..]);
         // The scratch buffer is reusable: clear keeps the allocation and a
         // second encode produces an identical frame.
         let cap = scratch.capacity();
         scratch.clear();
-        encode_row_batch_frame(&rows, &mut scratch);
+        encode_row_batch_frame(&rows, &mut scratch).unwrap();
         assert_eq!(&scratch[..], &via_message[..]);
         assert_eq!(scratch.capacity(), cap);
     }
@@ -535,21 +559,21 @@ mod tests {
             row![7i64, "world", -0.5],
         ];
         let mut expect = Vec::new();
-        encode_row_batch_frame(&rows, &mut expect);
+        encode_row_batch_frame(&rows, &mut expect).unwrap();
 
         let mut builder = RowBatchFrameBuilder::with_capacity(64);
         assert!(builder.is_empty());
         for r in &rows {
-            builder.push_row(r);
+            builder.push_row(r).unwrap();
         }
         assert_eq!(builder.rows(), 3);
         assert!(builder.frame_len() > 9);
-        let frame = builder.take_frame();
+        let frame = builder.take_frame().unwrap();
         assert_eq!(frame, expect);
         // Builder resets after take_frame and produces a fresh frame.
         assert!(builder.is_empty());
-        builder.push_row(&rows[0]);
-        let single = builder.take_frame();
+        builder.push_row(&rows[0]).unwrap();
+        let single = builder.take_frame().unwrap();
         match Message::decode(&single[4..]).unwrap() {
             Message::RowBatch { rows: got } => assert_eq!(got, vec![rows[0].clone()]),
             other => panic!("expected RowBatch, got {other:?}"),
@@ -567,7 +591,7 @@ mod tests {
             Message::DataEnd { total_rows: 1 },
         ];
         for m in &msgs {
-            m.encode_into(&mut wire);
+            m.encode_into(&mut wire).unwrap();
         }
         let mut cursor = std::io::Cursor::new(wire);
         let mut scratch = Vec::new();
@@ -579,7 +603,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_rejected() {
-        let frame = Message::GetSplits { transfer_id: 9 }.encode();
+        let frame = Message::GetSplits { transfer_id: 9 }.encode().unwrap();
         for cut in 1..frame.len() - 4 {
             assert!(Message::decode(&frame[4..4 + cut]).is_err(), "cut {cut}");
         }

@@ -211,13 +211,26 @@ impl StreamSession {
             receive: metrics.snapshot(),
             ..Default::default()
         };
+        // The per-worker stats come back through a SQL table, i.e. as
+        // `i64`. A negative count can only mean a corrupted stats row, so
+        // clamp with `try_from` and a descriptive error rather than
+        // letting an `as` cast wrap it into a huge unsigned value.
+        let stat_u64 = |r: &sqlml_common::Row, col: usize, what: &str| -> Result<u64> {
+            let v = r.get(col).as_i64()?;
+            u64::try_from(v).map_err(|_| {
+                SqlmlError::Overflow(format!("negative {what} {v} in worker stats row"))
+            })
+        };
         for r in stats_table.collect_rows() {
-            stats.rows_sent += r.get(1).as_i64()? as u64;
-            stats.bytes_sent += r.get(2).as_i64()? as u64;
-            stats.batches_sent += r.get(3).as_i64()? as u64;
-            stats.bytes_spilled += r.get(4).as_i64()? as u64;
-            stats.spill_events += r.get(5).as_i64()? as u64;
-            stats.max_attempts = stats.max_attempts.max(r.get(6).as_i64()? as u32);
+            stats.rows_sent += stat_u64(&r, 1, "rows_sent")?;
+            stats.bytes_sent += stat_u64(&r, 2, "bytes_sent")?;
+            stats.batches_sent += stat_u64(&r, 3, "batches_sent")?;
+            stats.bytes_spilled += stat_u64(&r, 4, "bytes_spilled")?;
+            stats.spill_events += stat_u64(&r, 5, "spill_events")?;
+            let attempts = r.get(6).as_i64()?;
+            stats.max_attempts = stats
+                .max_attempts
+                .max(sqlml_common::counter_u32(attempts, "max_attempts")?);
         }
         Ok(StreamRunOutcome { job, stats })
     }

@@ -181,14 +181,22 @@ impl StreamTransferUdf {
         if frame_bytes.is_some_and(|b| b < 1) {
             return Err(SqlmlError::Plan("frame_bytes must be >= 1".into()));
         }
+        // All three are validated >= 1 above; sizes this large always
+        // fit in usize on the targets we build for.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let (buffer_bytes, batch_rows, frame_bytes) = (
+            buffer as usize,
+            batch_rows.map_or(BATCH_ROWS, |b| b as usize),
+            frame_bytes.map_or(FRAME_BYTES, |b| b as usize),
+        );
         Ok(TransferArgs {
             coord_addr,
             transfer_id,
             command,
-            k: k as u32,
-            buffer_bytes: buffer as usize,
-            batch_rows: batch_rows.map_or(BATCH_ROWS, |b| b as usize),
-            frame_bytes: frame_bytes.map_or(FRAME_BYTES, |b| b as usize),
+            k: sqlml_common::counter_u32(k, "splits-per-worker k")?,
+            buffer_bytes,
+            batch_rows,
+            frame_bytes,
         })
     }
 }
@@ -231,8 +239,11 @@ impl TableUdf for StreamTransferUdf {
             &mut coord,
             &Message::RegisterSql {
                 transfer_id: args.transfer_id,
-                worker: ctx.partition as u32,
-                total_workers: ctx.num_partitions as u32,
+                worker: sqlml_common::counter_u32(ctx.partition, "worker partition index")?,
+                total_workers: sqlml_common::counter_u32(
+                    ctx.num_partitions,
+                    "total SQL worker count",
+                )?,
                 data_addr,
                 node: ctx.node.clone(),
                 command: args.command.clone(),
@@ -417,7 +428,7 @@ impl StreamTransferUdf {
                                        counters: &mut AttemptCounters|
                  -> Result<()> {
                     let frame_rows = builder.rows() as u64;
-                    let frame = builder.take_frame();
+                    let frame = builder.take_frame()?;
                     counters.bytes_sent += frame.len() as u64;
                     counters.batches_sent += 1;
                     buffers[*peer].push(frame)?;
@@ -439,7 +450,7 @@ impl StreamTransferUdf {
                             }
                         }
                     }
-                    builder.push_row(row);
+                    builder.push_row(row)?;
                     sent_rows += 1;
                     if builder.rows() as usize >= args.batch_rows
                         || builder.frame_len() >= args.frame_bytes
@@ -454,7 +465,7 @@ impl StreamTransferUdf {
                     let end = Message::DataEnd {
                         total_rows: per_peer_rows[i],
                     }
-                    .encode();
+                    .encode()?;
                     counters.bytes_sent += end.len() as u64;
                     b.push(end)?;
                 }

@@ -70,7 +70,7 @@ fn binary_codec_round_trips_any_row() {
     for _ in 0..256 {
         let row = random_row(&mut rng);
         let mut buf = Vec::new();
-        codec::encode_binary_row(&row, &mut buf);
+        codec::encode_binary_row(&row, &mut buf).unwrap();
         let (back, used) = codec::decode_binary_row(&buf).unwrap();
         assert_eq!(back, row);
         assert_eq!(used, buf.len());
@@ -84,7 +84,7 @@ fn binary_batch_codec_round_trips_any_rows() {
         let n = rng.next_below(40) as usize;
         let rows: Vec<Row> = (0..n).map(|_| random_row(&mut rng)).collect();
         let mut buf = Vec::new();
-        codec::encode_binary_batch(&rows, &mut buf);
+        codec::encode_binary_batch(&rows, &mut buf).unwrap();
         let back = codec::decode_binary_batch(&buf).unwrap();
         assert_eq!(back, rows);
     }

@@ -1,0 +1,494 @@
+//! Repo-specific lint rules implemented as a hand-rolled token scanner.
+//!
+//! The build environment is offline (no crate registry), so this driver
+//! cannot use `syn`. Instead it works on a *masked* view of each source
+//! file: comments, string/char literals, and `#[cfg(test)] mod` bodies
+//! are blanked out (preserving byte offsets and line numbers), and the
+//! rules then scan the remaining code text. That is precise enough for
+//! the three rules enforced here, all of which are token-local:
+//!
+//! 1. `panic` — no `.unwrap()`, `.expect(..)`, `panic!`, `todo!`, or
+//!    `unimplemented!` in non-test code of the hot-path crates. Use the
+//!    typed `SqlmlError` taxonomy instead.
+//! 2. `cast` — no lossy `as` narrowing to `u8/u16/u32/i8/i16/i32` on
+//!    counters. Use `sqlml_common::wire_u32` / `counter_u32` /
+//!    `try_into()` so overflow is an error, not silent truncation.
+//! 3. `lock` — no lock guard held across socket I/O in the coordinator
+//!    control plane (`coordinator.rs` / `session.rs`): a slow peer must
+//!    not be able to stall every other connection on a mutex.
+//!
+//! A site that is provably safe can carry a same-line escape marker:
+//! `// lint:allow(panic)`, `// lint:allow(cast)`, `// lint:allow(lock)`.
+//! Markers are deliberately loud so reviewers see every exemption.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name: `panic`, `cast`, or `lock`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Masked view of a source file: same length and line structure as the
+/// original, with comments, literals, and test-module bodies blanked.
+pub struct Masked {
+    pub code: Vec<u8>,
+    lines: Vec<String>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and string/char literals, preserving newlines.
+fn mask_literals(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for k in from..to.min(out.len()) {
+            if out[k] != b'\n' {
+                out[k] = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |p| i + p);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, as in Rust.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j + 1 < b.len() && depth > 0 {
+                    if b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'r' | b'b'
+                if {
+                    // Raw / byte / raw-byte string starts: r" r#" b" br#"
+                    let mut j = i + 1;
+                    if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] == b'#' {
+                        j += 1;
+                    }
+                    j < b.len() && b[j] == b'"' && (i == 0 || !is_ident(b[i - 1]))
+                } =>
+            {
+                let mut j = i + 1;
+                if b[i] == b'b' && b[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    while j < b.len() {
+                        if b[j] == b'"' && b[j..].starts_with(&closer) {
+                            j += closer.len();
+                            break;
+                        }
+                        j += 1;
+                    }
+                    blank(&mut out, i, j);
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: 'x' or '\n' is a literal; 'a
+                // followed by an identifier (no closing quote) is a
+                // lifetime and is left alone.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    blank(&mut out, i, (j + 1).min(b.len()));
+                    i = j + 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    blank(&mut out, i, i + 3);
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Blank the bodies of `#[cfg(test)] mod <name> { .. }` blocks so test
+/// helpers and assertions are exempt from the rules.
+fn mask_test_mods(code: &mut [u8]) {
+    let text = String::from_utf8_lossy(code).into_owned();
+    let mut search = 0;
+    while let Some(rel) = text[search..].find("#[cfg(test)]") {
+        let attr_at = search + rel;
+        // Scan forward for the next `mod` keyword and its opening brace.
+        let after = attr_at + "#[cfg(test)]".len();
+        let Some(mod_rel) = text[after..].find("mod ") else {
+            break;
+        };
+        let Some(brace_rel) = text[after + mod_rel..].find('{') else {
+            break;
+        };
+        let open = after + mod_rel + brace_rel;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, ch) in text[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for item in code.iter_mut().take(end).skip(attr_at) {
+            if *item != b'\n' {
+                *item = b' ';
+            }
+        }
+        search = end.max(attr_at + 1);
+    }
+}
+
+impl Masked {
+    pub fn new(src: &str) -> Self {
+        let mut code = mask_literals(src);
+        mask_test_mods(&mut code);
+        Masked {
+            code,
+            lines: src.lines().map(str::to_owned).collect(),
+        }
+    }
+
+    fn line_of(&self, offset: usize) -> usize {
+        1 + self.code[..offset].iter().filter(|&&b| b == b'\n').count()
+    }
+
+    fn allowed(&self, line: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        // Same line, or a comment line directly above.
+        self.lines
+            .get(line - 1)
+            .is_some_and(|l| l.contains(&marker))
+            || (line >= 2
+                && self
+                    .lines
+                    .get(line - 2)
+                    .is_some_and(|l| l.trim_start().starts_with("//") && l.contains(&marker)))
+    }
+}
+
+/// Rule 1: panicking constructs in non-test code.
+pub fn check_panics(m: &Masked) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code = &m.code;
+    let text = String::from_utf8_lossy(code);
+    // Method calls: `.unwrap()` / `.expect(`.
+    for (needle, label) in [(".unwrap", "unwrap()"), (".expect", "expect()")] {
+        let mut from = 0;
+        while let Some(rel) = text[from..].find(needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            // Not part of a longer identifier (`.unwrap_or`, `.expect_token`).
+            if code.get(from).copied().is_some_and(is_ident) {
+                continue;
+            }
+            // Must be a call.
+            let mut j = from;
+            while code.get(j) == Some(&b' ') {
+                j += 1;
+            }
+            if code.get(j) != Some(&b'(') {
+                continue;
+            }
+            let line = m.line_of(at);
+            if m.allowed(line, "panic") {
+                continue;
+            }
+            out.push(Violation {
+                line,
+                rule: "panic",
+                message: format!("`{label}` in non-test code; return a typed SqlmlError instead"),
+            });
+        }
+    }
+    // Macros: panic! / todo! / unimplemented!.
+    for mac in ["panic!", "todo!", "unimplemented!"] {
+        let mut from = 0;
+        while let Some(rel) = text[from..].find(mac) {
+            let at = from + rel;
+            from = at + mac.len();
+            if at > 0 && is_ident(code[at - 1]) {
+                continue;
+            }
+            let line = m.line_of(at);
+            if m.allowed(line, "panic") {
+                continue;
+            }
+            out.push(Violation {
+                line,
+                rule: "panic",
+                message: format!("`{mac}` in non-test code; return a typed SqlmlError instead"),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: lossy `as` narrowing to small integer types.
+pub fn check_casts(m: &Masked) -> Vec<Violation> {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut out = Vec::new();
+    let code = &m.code;
+    let text = String::from_utf8_lossy(code);
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(" as ") {
+        let at = from + rel;
+        from = at + 4;
+        // `as` must be a standalone word (the space before handles the
+        // left edge for everything except line starts, which cannot be a
+        // cast anyway).
+        let mut j = at + 4;
+        while code.get(j) == Some(&b' ') {
+            j += 1;
+        }
+        let start = j;
+        while code.get(j).copied().is_some_and(is_ident) {
+            j += 1;
+        }
+        let ty = &text[start..j];
+        if NARROW.contains(&ty) {
+            let line = m.line_of(at);
+            if m.allowed(line, "cast") {
+                continue;
+            }
+            out.push(Violation {
+                line,
+                rule: "cast",
+                message: format!(
+                    "lossy `as {ty}` narrowing; use wire_u32/counter_u32/try_into so \
+                     overflow is an error"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Socket I/O calls that must never run under a held lock guard.
+const IO_TOKENS: [&str; 5] = [
+    "write_message(",
+    "read_message(",
+    ".write_all(",
+    ".read_exact(",
+    "TcpStream::connect(",
+];
+
+/// Rule 3: no lock guard held across socket I/O. Line-oriented scan with
+/// brace-depth tracking: a `let g = ...lock();` binding is live until its
+/// enclosing block closes or an explicit `drop(g)`.
+pub fn check_lock_across_io(m: &Masked) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut guards: Vec<(String, i64, usize)> = Vec::new(); // (name, depth, line)
+    let text = String::from_utf8_lossy(&m.code);
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let depth_before = depth;
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        // Expire guards whose scope closed on this line.
+        guards.retain(|(_, d, _)| depth >= *d);
+        // Explicit drops.
+        if let Some(p) = line.find("drop(") {
+            let arg: String = line[p + 5..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|(name, _, _)| *name != arg);
+        }
+        // I/O under a live guard?
+        if !guards.is_empty() && IO_TOKENS.iter().any(|t| line.contains(t)) {
+            let (name, _, gline) = &guards[0];
+            if !m.allowed(lineno, "lock") {
+                out.push(Violation {
+                    line: lineno,
+                    rule: "lock",
+                    message: format!(
+                        "socket I/O while lock guard `{name}` (taken on line {gline}) is \
+                         held; release the lock before touching the network"
+                    ),
+                });
+            }
+        }
+        // New guard bindings: `let [mut] NAME = ....lock(`.
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("let ") {
+            if line.contains(".lock(") {
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !m.allowed(lineno, "lock") {
+                    guards.push((name, depth_before.min(depth), lineno));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> Masked {
+        Masked::new(src)
+    }
+
+    #[test]
+    fn panic_rule_flags_unwrap_expect_and_macros() {
+        let src = "fn f() {\n  x.unwrap();\n  y.expect(\"no\");\n  panic!(\"boom\");\n}\n";
+        let v = check_panics(&masked(src));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panic_rule_skips_lookalikes_comments_strings_and_tests() {
+        let src = concat!(
+            "fn f() {\n",
+            "  x.unwrap_or(0);\n",
+            "  self.expect_token(&k)?;\n",
+            "  // x.unwrap() in a comment\n",
+            "  let s = \"panic!\";\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "  #[test]\n",
+            "  fn t() { x.unwrap(); }\n",
+            "}\n",
+        );
+        assert!(check_panics(&masked(src)).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_honours_allow_marker() {
+        let src = "fn f() {\n  x.unwrap(); // lint:allow(panic) infallible by construction\n}\n";
+        assert!(check_panics(&masked(src)).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_flags_narrowing_only() {
+        let src =
+            "fn f(n: usize) {\n  let a = n as u32;\n  let b = n as u64;\n  let c = n as f64;\n}\n";
+        let v = check_casts(&masked(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("u32"));
+    }
+
+    #[test]
+    fn cast_rule_honours_allow_marker_and_test_mods() {
+        let src = concat!(
+            "fn f(n: usize) {\n",
+            "  let a = (n & 0xff) as u8; // lint:allow(cast) masked to one byte\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "  fn t(n: usize) -> u8 { n as u8 }\n",
+            "}\n",
+        );
+        assert!(check_casts(&masked(src)).is_empty());
+    }
+
+    #[test]
+    fn lock_rule_flags_io_under_guard() {
+        let src = concat!(
+            "fn f() {\n",
+            "  let state = inner.state.lock();\n",
+            "  write_message(&mut stream, &msg)?;\n",
+            "}\n",
+        );
+        let v = check_lock_across_io(&masked(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("state"));
+    }
+
+    #[test]
+    fn lock_rule_clears_on_scope_exit_and_drop() {
+        let src = concat!(
+            "fn f() {\n",
+            "  {\n",
+            "    let state = inner.state.lock();\n",
+            "  }\n",
+            "  write_message(&mut stream, &msg)?;\n",
+            "  let g = m.lock();\n",
+            "  drop(g);\n",
+            "  stream.write_all(&buf)?;\n",
+            "}\n",
+        );
+        assert!(check_lock_across_io(&masked(src)).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_masked() {
+        let src = "fn f() {\n  let s = r#\"x.unwrap()\"#;\n  let c = '\\'';\n  let l: &'static str = s;\n}\n";
+        assert!(check_panics(&masked(src)).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! runs the repo-specific static-analysis rules (see `lint.rs`) over the
+//! hot-path crates and exits non-zero listing every violation. CI runs
+//! this next to `cargo clippy`; the rules here are ones clippy cannot
+//! express (project error-taxonomy policy, lock-vs-socket discipline).
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must be panic-free and cast-checked.
+const SCOPED_SRC: [&str; 5] = [
+    "crates/transfer/src",
+    "crates/mq/src",
+    "crates/sqlengine/src",
+    "crates/transform/src",
+    "crates/common/src",
+];
+
+/// Files where the lock-across-I/O rule applies (coordinator control
+/// plane: one slow peer must not stall the mutex for everyone).
+const LOCK_SCOPED: [&str; 2] = [
+    "crates/transfer/src/coordinator.rs",
+    "crates/transfer/src/session.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs via `cargo run -p xtask`, so CARGO_MANIFEST_DIR
+    // is <root>/xtask.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Integration tests / benches / examples are exempt.
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let mut total = 0usize;
+    let mut files = 0usize;
+    for scope in SCOPED_SRC {
+        let mut paths = Vec::new();
+        rust_files(&root.join(scope), &mut paths);
+        paths.sort();
+        for path in paths {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            files += 1;
+            let masked = lint::Masked::new(&src);
+            let mut violations = lint::check_panics(&masked);
+            violations.extend(lint::check_casts(&masked));
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if LOCK_SCOPED
+                .iter()
+                .any(|l| rel.ends_with(l) || rel == Path::new(l))
+            {
+                violations.extend(lint::check_lock_across_io(&masked));
+            }
+            violations.sort_by_key(|v| v.line);
+            for v in &violations {
+                println!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+            }
+            total += violations.len();
+        }
+    }
+    if total == 0 {
+        println!("xtask lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {total} violation(s) across {files} files");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&workspace_root()),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
