@@ -91,6 +91,29 @@ fn bench_codecs(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The compact varint+dictionary wire codec at the same frame sizes.
+    // The categorical columns repeat heavily, so the per-frame dictionary
+    // is exercised on every row just like a real streamed frame.
+    let mut group = c.benchmark_group("codec_compact");
+    for batch in [64usize, 1024] {
+        let chunk = &rows[..batch];
+        let mut encoded = Vec::new();
+        codec::encode_compact_batch(chunk, &mut encoded).unwrap();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        let mut scratch = Vec::with_capacity(encoded.len());
+        group.bench_function(&format!("compact_batch_encode_{batch}_rows"), |b| {
+            b.iter(|| {
+                scratch.clear();
+                codec::encode_compact_batch(black_box(chunk), &mut scratch).unwrap();
+                scratch.len()
+            })
+        });
+        group.bench_function(&format!("compact_batch_decode_{batch}_rows"), |b| {
+            b.iter(|| codec::decode_compact_batch(black_box(&encoded)).unwrap())
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {

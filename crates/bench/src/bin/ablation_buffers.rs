@@ -42,6 +42,9 @@ fn main() {
                 send_buffer_bytes: buffer,
                 batch_rows: params.batch_rows,
                 frame_bytes: params.frame_bytes,
+                sender_threads: params.sender_threads,
+                codec: params.codec,
+                batch_rows_max: params.batch_rows_max,
                 ..Default::default()
             };
             let cluster = sqlml_core::SimCluster::start(c).expect("cluster");

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use sqlml_core::{ClusterConfig, SimCluster, WorkloadScale};
 use sqlml_dfs::DfsConfig;
+use sqlml_transfer::WireCodec;
 
 /// Parameters shared by the figure binaries, settable from the command
 /// line (`--carts N`, `--throttle-mbps M`, `--seed S`).
@@ -25,6 +26,12 @@ pub struct BenchParams {
     pub batch_rows: usize,
     /// Wire-byte target per frame (paper: 4 KiB).
     pub frame_bytes: usize,
+    /// Sender threads per SQL worker (0 = dedicated per peer).
+    pub sender_threads: usize,
+    /// Wire codec for the streaming data plane.
+    pub codec: WireCodec,
+    /// Adaptive batching ceiling in rows per frame (0 = auto).
+    pub batch_rows_max: usize,
     /// Print per-stage breakdowns (and, when built with the
     /// `alloc-counters` feature, bytes allocated per stage).
     pub verbose: bool,
@@ -39,6 +46,9 @@ impl Default for BenchParams {
             seed: 42,
             batch_rows: defaults.batch_rows,
             frame_bytes: defaults.frame_bytes,
+            sender_threads: defaults.sender_threads,
+            codec: defaults.codec,
+            batch_rows_max: defaults.batch_rows_max,
             verbose: false,
         }
     }
@@ -46,8 +56,9 @@ impl Default for BenchParams {
 
 impl BenchParams {
     /// Parse `--carts N`, `--throttle-mbps M` (0 = off), `--seed S`,
-    /// `--batch-rows N`, `--frame-bytes N` and `--verbose` from the
-    /// command line, over the defaults.
+    /// `--batch-rows N`, `--frame-bytes N`, `--sender-threads N`,
+    /// `--codec legacy|compact`, `--batch-rows-max N` and `--verbose`
+    /// from the command line, over the defaults.
     pub fn from_args() -> BenchParams {
         let mut p = BenchParams::default();
         let args: Vec<String> = std::env::args().collect();
@@ -80,6 +91,16 @@ impl BenchParams {
                     p.frame_bytes = value.parse().expect("--frame-bytes takes a number");
                     assert!(p.frame_bytes >= 1, "--frame-bytes must be >= 1");
                 }
+                "--sender-threads" => {
+                    p.sender_threads = value.parse().expect("--sender-threads takes a number");
+                }
+                "--codec" => {
+                    p.codec = WireCodec::from_flag(value)
+                        .unwrap_or_else(|| panic!("--codec takes legacy|compact, got {value:?}"));
+                }
+                "--batch-rows-max" => {
+                    p.batch_rows_max = value.parse().expect("--batch-rows-max takes a number");
+                }
                 other => panic!("unknown argument {other:?}"),
             }
             i += 2;
@@ -99,6 +120,9 @@ impl BenchParams {
             send_buffer_bytes: 4 * 1024, // the paper's 4 KiB
             batch_rows: self.batch_rows,
             frame_bytes: self.frame_bytes,
+            sender_threads: self.sender_threads,
+            codec: self.codec,
+            batch_rows_max: self.batch_rows_max,
             dfs: DfsConfig {
                 num_datanodes: 4,
                 block_size: 1024 * 1024,

@@ -6,9 +6,17 @@
 //!   stored on the DFS ("Both tables were stored in text format on HDFS").
 //!   Used by the naive pipeline's materialization hops and by
 //!   `TextInputFormat` on the ML side.
-//! * **Binary record format** — a compact length-prefixed encoding used on
-//!   the streaming-transfer wire, where schema is negotiated once per
+//! * **Binary record format** — a length-prefixed encoding used on the
+//!   streaming-transfer wire, where schema is negotiated once per
 //!   connection and rows are self-delimiting.
+//! * **Compact batch format** — the negotiated upgrade of the binary
+//!   format ([`WireCodec::Compact`]): integers become LEB128 varints
+//!   (zigzag for signed) and string cells become varint references into a
+//!   per-frame dictionary, so a categorical value repeated across the
+//!   rows of one frame is shipped exactly once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::BufMut;
 
@@ -286,6 +294,403 @@ pub fn decode_binary_row(buf: &[u8]) -> Result<(Row, usize)> {
     Ok((Row::new(values), pos))
 }
 
+// ---------------------------------------------------------------------------
+// Compact batch format (varints + per-frame string dictionary)
+// ---------------------------------------------------------------------------
+
+/// Wire codec negotiated per transfer group during the data handshake.
+///
+/// The reader advertises the best codec it understands in its `DataHello`;
+/// the sender announces the group-wide choice in `DataStart` (the minimum
+/// over every peer's advertisement and its own configuration, so one
+/// legacy peer downgrades the whole group rather than splitting it).
+/// A handshake with no codec byte at all — a pre-upgrade peer — reads as
+/// [`WireCodec::Legacy`], which keeps old and new binaries interoperable
+/// in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Fixed-width binary rows ([`encode_binary_batch`]).
+    Legacy,
+    /// Varint + per-frame-dictionary rows ([`encode_compact_batch`]).
+    #[default]
+    Compact,
+}
+
+impl WireCodec {
+    /// The single-byte wire representation used in the handshake.
+    pub const fn as_byte(self) -> u8 {
+        match self {
+            WireCodec::Legacy => 0,
+            WireCodec::Compact => 1,
+        }
+    }
+
+    /// Parse the handshake byte.
+    pub fn from_byte(b: u8) -> Result<WireCodec> {
+        match b {
+            0 => Ok(WireCodec::Legacy),
+            1 => Ok(WireCodec::Compact),
+            other => Err(SqlmlError::Transfer(format!(
+                "unknown wire codec byte {other}"
+            ))),
+        }
+    }
+
+    /// Group negotiation: compact only when both sides speak it.
+    pub fn negotiate(self, peer: WireCodec) -> WireCodec {
+        if self == WireCodec::Compact && peer == WireCodec::Compact {
+            WireCodec::Compact
+        } else {
+            WireCodec::Legacy
+        }
+    }
+
+    /// CLI flag spelling (`--codec legacy|compact`).
+    pub fn from_flag(s: &str) -> Option<WireCodec> {
+        match s {
+            "legacy" => Some(WireCodec::Legacy),
+            "compact" => Some(WireCodec::Compact),
+            _ => None,
+        }
+    }
+
+    /// Human label for bench output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            WireCodec::Legacy => "legacy",
+            WireCodec::Compact => "compact",
+        }
+    }
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Append `v` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn put_uvarint<B: BufMut>(buf: &mut B, mut v: u64) {
+    while v >= 0x80 {
+        #[allow(clippy::cast_possible_truncation)]
+        buf.put_u8((v as u8) | 0x80); // lint:allow(cast) — masked to the low 7 bits
+        v >>= 7;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    buf.put_u8(v as u8); // lint:allow(cast) — v < 0x80 after the loop
+}
+
+/// Wire size of `v` as a varint, without encoding it.
+#[inline]
+pub fn uvarint_len(v: u64) -> usize {
+    let bits = 64 - v.max(1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Read one varint from `buf` starting at `*pos`, advancing `*pos`.
+/// Rejects encodings that overflow `u64` (more than 10 bytes or spare
+/// bits set in the 10th).
+#[inline]
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let Some(&b) = buf.get(*pos) else {
+            return Err(SqlmlError::Execution("truncated varint".to_string()));
+        };
+        *pos += 1;
+        let bits = u64::from(b & 0x7f);
+        if shift >= 64 || (shift == 63 && bits > 1) {
+            return Err(SqlmlError::Execution("varint overflows u64".to_string()));
+        }
+        v |= bits << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed integer so small magnitudes (of either sign) get
+/// short varints: 0, -1, 1, -2 → 0, 1, 2, 3.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Dictionary-compression counters for the compact codec. `bytes_saved`
+/// compares each string cell against its legacy cost (4-byte length
+/// prefix + bytes, shipped every occurrence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DictStats {
+    /// String cells that referenced an entry already in the frame's dict.
+    pub hits: u64,
+    /// String cells that created a new dict entry.
+    pub misses: u64,
+    /// Wire bytes saved vs. the legacy encoding of the same string cells.
+    pub bytes_saved: u64,
+}
+
+impl DictStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: DictStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bytes_saved += other.bytes_saved;
+    }
+
+    /// Total string-cell lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Incremental encoder for the compact batch format.
+///
+/// Rows are appended one at a time ([`push_row`](Self::push_row)) while
+/// the per-frame dictionary accumulates on the side; the dictionary must
+/// precede the rows on the wire, so the frame is assembled in one pass at
+/// [`finish_into`](Self::finish_into). Payload layout:
+///
+/// ```text
+/// uvarint dict_count
+/// dict_count × (uvarint byte_len, utf8 bytes)   — first-use order
+/// uvarint row_count
+/// row_count × (uvarint value_count, values)
+/// value: tag byte, then
+///   BOOL   1 byte
+///   INT    uvarint zigzag(i64)
+///   DOUBLE 8 bytes LE IEEE-754 bits
+///   STR    uvarint dict index
+/// ```
+///
+/// The encoder is reusable across frames: `finish_into` resets the frame
+/// state but keeps allocations and lifetime [`DictStats`].
+#[derive(Debug, Default)]
+pub struct CompactBatchEncoder {
+    rows: Vec<u8>,
+    dict: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+    dict_wire_bytes: usize,
+    row_count: usize,
+    frame_stats: DictStats,
+    total_stats: DictStats,
+}
+
+impl CompactBatchEncoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one row to the in-progress frame. On error (a dictionary
+    /// that outgrew its `u32` index space — practically unreachable) the
+    /// frame is rolled back to its pre-row state.
+    pub fn push_row(&mut self, row: &Row) -> Result<()> {
+        let rows_mark = self.rows.len();
+        let dict_mark = self.dict.len();
+        let dict_bytes_mark = self.dict_wire_bytes;
+        let stats_mark = self.frame_stats;
+        match self.push_row_inner(row) {
+            Ok(()) => {
+                self.row_count += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.rows.truncate(rows_mark);
+                for entry in self.dict.drain(dict_mark..) {
+                    self.index.remove(&entry);
+                }
+                self.dict_wire_bytes = dict_bytes_mark;
+                self.frame_stats = stats_mark;
+                Err(e)
+            }
+        }
+    }
+
+    fn push_row_inner(&mut self, row: &Row) -> Result<()> {
+        put_uvarint(&mut self.rows, row.len() as u64);
+        for v in row.values() {
+            match v {
+                Value::Null => self.rows.put_u8(TAG_NULL),
+                Value::Bool(b) => {
+                    self.rows.put_u8(TAG_BOOL);
+                    self.rows.put_u8(u8::from(*b));
+                }
+                Value::Int(i) => {
+                    self.rows.put_u8(TAG_INT);
+                    put_uvarint(&mut self.rows, zigzag(*i));
+                }
+                Value::Double(d) => {
+                    self.rows.put_u8(TAG_DOUBLE);
+                    self.rows.put_u64_le(d.to_bits());
+                }
+                Value::Str(s) => {
+                    self.rows.put_u8(TAG_STR);
+                    let legacy_cost = 4 + s.len() as u64;
+                    let (idx, compact_cost) = match self.index.get(&**s) {
+                        Some(&i) => {
+                            self.frame_stats.hits += 1;
+                            (i, uvarint_len(u64::from(i)))
+                        }
+                        None => {
+                            let i =
+                                crate::error::wire_u32(self.dict.len(), "frame dictionary size")?;
+                            self.index.insert(Arc::clone(s), i);
+                            self.dict.push(Arc::clone(s));
+                            let entry = uvarint_len(s.len() as u64) + s.len();
+                            self.dict_wire_bytes += entry;
+                            self.frame_stats.misses += 1;
+                            (i, entry + uvarint_len(u64::from(i)))
+                        }
+                    };
+                    put_uvarint(&mut self.rows, u64::from(idx));
+                    self.frame_stats.bytes_saved += legacy_cost.saturating_sub(compact_cost as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows appended since the last `finish_into`.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// Exact wire size of the payload `finish_into` would emit now.
+    pub fn wire_len(&self) -> usize {
+        uvarint_len(self.dict.len() as u64)
+            + self.dict_wire_bytes
+            + uvarint_len(self.row_count as u64)
+            + self.rows.len()
+    }
+
+    /// Emit the assembled frame payload (dictionary first, then rows) and
+    /// reset the frame state for reuse.
+    pub fn finish_into<B: BufMut>(&mut self, buf: &mut B) {
+        put_uvarint(buf, self.dict.len() as u64);
+        for entry in &self.dict {
+            put_uvarint(buf, entry.len() as u64);
+            buf.put_slice(entry.as_bytes());
+        }
+        put_uvarint(buf, self.row_count as u64);
+        buf.put_slice(&self.rows);
+        self.rows.clear();
+        self.dict.clear();
+        self.index.clear();
+        self.dict_wire_bytes = 0;
+        self.row_count = 0;
+        self.total_stats.merge(self.frame_stats);
+        self.frame_stats = DictStats::default();
+    }
+
+    /// Lifetime dictionary counters, including the in-progress frame.
+    pub fn stats(&self) -> DictStats {
+        let mut s = self.total_stats;
+        s.merge(self.frame_stats);
+        s
+    }
+}
+
+/// One-shot convenience over [`CompactBatchEncoder`]: encode `rows` as a
+/// single compact frame payload appended to `buf`.
+pub fn encode_compact_batch<B: BufMut>(rows: &[Row], buf: &mut B) -> Result<DictStats> {
+    let mut enc = CompactBatchEncoder::new();
+    for r in rows {
+        enc.push_row(r)?;
+    }
+    enc.finish_into(buf);
+    Ok(enc.stats())
+}
+
+/// Decode a compact frame payload written by [`CompactBatchEncoder`],
+/// verifying full consumption. Rows referencing the same dictionary entry
+/// share one `Arc<str>` allocation.
+pub fn decode_compact_batch(buf: &[u8]) -> Result<Vec<Row>> {
+    // Wire counts are u64; reject anything that does not fit a usize
+    // (only reachable on 32-bit targets with a corrupt frame).
+    fn get_count(buf: &[u8], pos: &mut usize) -> Result<usize> {
+        let v = get_uvarint(buf, pos)?;
+        usize::try_from(v)
+            .map_err(|_| SqlmlError::Execution(format!("compact batch count {v} overflows usize")))
+    }
+    let mut pos = 0usize;
+    let truncated = || SqlmlError::Execution("truncated compact batch".to_string());
+    let dict_count = get_count(buf, &mut pos)?;
+    let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_count.min(1 << 20));
+    for _ in 0..dict_count {
+        let len = get_count(buf, &mut pos)?;
+        let end = pos.checked_add(len).ok_or_else(truncated)?;
+        let bytes = buf.get(pos..end).ok_or_else(truncated)?;
+        let s = std::str::from_utf8(bytes).map_err(|e| {
+            SqlmlError::Execution(format!("invalid utf8 in compact dictionary: {e}"))
+        })?;
+        dict.push(Arc::from(s));
+        pos = end;
+    }
+    let row_count = get_count(buf, &mut pos)?;
+    let mut rows = Vec::with_capacity(row_count.min(1 << 20));
+    for _ in 0..row_count {
+        let value_count = get_count(buf, &mut pos)?;
+        let mut values = Vec::with_capacity(value_count.min(1 << 16));
+        for _ in 0..value_count {
+            let tag = *buf.get(pos).ok_or_else(truncated)?;
+            pos += 1;
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_BOOL => {
+                    let b = *buf.get(pos).ok_or_else(truncated)?;
+                    pos += 1;
+                    Value::Bool(b != 0)
+                }
+                TAG_INT => Value::Int(unzigzag(get_uvarint(buf, &mut pos)?)),
+                TAG_DOUBLE => {
+                    let end = pos.checked_add(8).ok_or_else(truncated)?;
+                    let bytes = buf.get(pos..end).ok_or_else(truncated)?;
+                    pos = end;
+                    Value::Double(f64::from_bits(u64::from_le_bytes(
+                        bytes.try_into().unwrap(), // lint:allow(panic) — slice is exactly 8 bytes
+                    )))
+                }
+                TAG_STR => {
+                    let idx = get_count(buf, &mut pos)?;
+                    let entry = dict.get(idx).ok_or_else(|| {
+                        SqlmlError::Execution(format!(
+                            "compact row references dictionary entry {idx} of {}",
+                            dict.len()
+                        ))
+                    })?;
+                    Value::Str(Arc::clone(entry))
+                }
+                other => {
+                    return Err(SqlmlError::Execution(format!(
+                        "unknown compact value tag {other}"
+                    )))
+                }
+            };
+            values.push(v);
+        }
+        rows.push(Row::new(values));
+    }
+    if pos != buf.len() {
+        return Err(SqlmlError::Execution(format!(
+            "compact batch has {} trailing bytes",
+            buf.len() - pos
+        )));
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,5 +831,254 @@ mod tests {
                 "cut at {cut} should fail"
             );
         }
+    }
+
+    // -- compact codec ------------------------------------------------------
+
+    #[test]
+    fn uvarint_round_trip_and_length() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "length mismatch for {v}");
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert!(get_uvarint(&[0x80], &mut pos).is_err());
+        // 11 continuation bytes overflow u64.
+        let too_long = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(get_uvarint(&too_long, &mut pos).is_err());
+        // Spare high bits in the 10th byte overflow too.
+        let spare = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut pos = 0;
+        assert!(get_uvarint(&spare, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag({v})");
+        }
+        // Small magnitudes stay small on the wire.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn compact_round_trip_all_types() {
+        let rows = vec![
+            Row::new(vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-42),
+                Value::Double(6.25),
+                Value::Str("héllo|world".into()),
+            ]),
+            Row::new(vec![]),
+            row![i64::MAX, f64::MIN_POSITIVE, "héllo|world"],
+            row![i64::MIN, "other"],
+        ];
+        let mut buf = Vec::new();
+        let stats = encode_compact_batch(&rows, &mut buf).unwrap();
+        assert_eq!(decode_compact_batch(&buf).unwrap(), rows);
+        // "héllo|world" appears twice: one miss, one hit.
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.bytes_saved > 0);
+    }
+
+    #[test]
+    fn compact_empty_batch_and_empty_dict() {
+        // No rows at all.
+        let mut buf = Vec::new();
+        let stats = encode_compact_batch(&[], &mut buf).unwrap();
+        assert_eq!(buf, vec![0, 0], "empty dict + zero row count");
+        assert_eq!(stats, DictStats::default());
+        assert!(decode_compact_batch(&buf).unwrap().is_empty());
+        // Rows with no strings: dictionary stays empty.
+        let rows = vec![row![1i64, 2.5], row![-7i64, 0.0]];
+        let mut buf = Vec::new();
+        let stats = encode_compact_batch(&rows, &mut buf).unwrap();
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(buf[0], 0, "dict_count is zero");
+        assert_eq!(decode_compact_batch(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn compact_all_unique_strings_never_hit() {
+        let rows: Vec<Row> = (0..100).map(|i| row![format!("value-{i}")]).collect();
+        let mut buf = Vec::new();
+        let stats = encode_compact_batch(&rows, &mut buf).unwrap();
+        assert_eq!(stats.misses, 100);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(decode_compact_batch(&buf).unwrap(), rows);
+    }
+
+    #[test]
+    fn compact_dictionary_grows_past_u16_indices() {
+        // > 65536 distinct strings force indices beyond u16, exercising
+        // multi-byte varint dict references.
+        let n = (1 << 16) + 50;
+        let rows: Vec<Row> = (0..n).map(|i| row![format!("s{i}")]).collect();
+        let mut buf = Vec::new();
+        let stats = encode_compact_batch(&rows, &mut buf).unwrap();
+        assert_eq!(stats.misses, n as u64);
+        let back = decode_compact_batch(&buf).unwrap();
+        assert_eq!(back.len(), n);
+        assert_eq!(back[n - 1], rows[n - 1]);
+        // Repeat the last string: the hit's reference is a 3-byte varint.
+        let mut enc = CompactBatchEncoder::new();
+        for r in &rows {
+            enc.push_row(r).unwrap();
+        }
+        enc.push_row(&rows[n - 1]).unwrap();
+        let mut buf2 = Vec::new();
+        enc.finish_into(&mut buf2);
+        assert_eq!(enc.stats().hits, 1);
+        let back2 = decode_compact_batch(&buf2).unwrap();
+        assert_eq!(back2.len(), n + 1);
+        assert_eq!(back2[n], rows[n - 1]);
+    }
+
+    #[test]
+    fn compact_encoder_is_reusable_and_incremental_matches_one_shot() {
+        let rows = vec![
+            row![1i64, "F", 1.0, "Yes"],
+            row![2i64, "M", 2.0, "No"],
+            row![3i64, "F", 3.0, "Yes"],
+        ];
+        let mut one_shot = Vec::new();
+        encode_compact_batch(&rows, &mut one_shot).unwrap();
+        let mut enc = CompactBatchEncoder::new();
+        for frame in 0..3 {
+            for r in &rows {
+                enc.push_row(r).unwrap();
+            }
+            assert_eq!(enc.row_count(), rows.len());
+            assert_eq!(enc.wire_len(), one_shot.len(), "frame {frame}");
+            let mut buf = Vec::new();
+            enc.finish_into(&mut buf);
+            assert_eq!(buf, one_shot, "incremental output is byte-identical");
+            assert!(enc.is_empty(), "frame state resets");
+        }
+        // Lifetime stats accumulated across the three frames.
+        assert_eq!(enc.stats().misses, 3 * 4);
+        assert_eq!(enc.stats().hits, 3 * 2);
+    }
+
+    #[test]
+    fn compact_random_round_trip_property() {
+        // Deterministic pseudo-random rows across all value shapes.
+        let mut rng = crate::rng::SplitMix64::new(0xC0DEC);
+        let names = ["Yes", "No", "F", "M", "", "long-categorical-value"];
+        for _ in 0..50 {
+            let n_rows = (rng.next_u64() % 20) as usize;
+            let rows: Vec<Row> = (0..n_rows)
+                .map(|_| {
+                    let n_vals = (rng.next_u64() % 8) as usize;
+                    let values: Vec<Value> = (0..n_vals)
+                        .map(|_| match rng.next_u64() % 5 {
+                            0 => Value::Null,
+                            1 => Value::Bool(rng.next_u64().is_multiple_of(2)),
+                            2 => Value::Int(rng.next_u64() as i64),
+                            3 => Value::Double(f64::from_bits(
+                                // Avoid NaN (breaks Eq on rows) by using a
+                                // fixed exponent.
+                                (rng.next_u64() & 0x000F_FFFF_FFFF_FFFF) | (0x3FF0u64 << 48),
+                            )),
+                            _ => Value::Str(
+                                names[(rng.next_u64() % names.len() as u64) as usize].into(),
+                            ),
+                        })
+                        .collect();
+                    Row::new(values)
+                })
+                .collect();
+            let mut buf = Vec::new();
+            encode_compact_batch(&rows, &mut buf).unwrap();
+            assert_eq!(decode_compact_batch(&buf).unwrap(), rows);
+        }
+    }
+
+    #[test]
+    fn compact_truncation_and_garbage_are_detected() {
+        let rows = vec![row![1i64, "abc", 2.5], row![2i64, "abc", 3.5]];
+        let mut buf = Vec::new();
+        encode_compact_batch(&rows, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                decode_compact_batch(&buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        // Trailing garbage rejected.
+        let mut extended = buf.clone();
+        extended.push(0x00);
+        assert!(decode_compact_batch(&extended).is_err());
+        // Out-of-range dictionary reference rejected: one row, one string
+        // cell pointing at entry 5 of an empty dict.
+        let bad = [0u8, 1, 1, TAG_STR, 5];
+        assert!(decode_compact_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn compact_is_smaller_than_legacy_on_categorical_batches() {
+        let rows: Vec<Row> = (0..64)
+            .map(|i| row![i as i64, if i % 2 == 0 { "Yes" } else { "No" }, 1.5])
+            .collect();
+        let mut legacy = Vec::new();
+        encode_binary_batch(&rows, &mut legacy).unwrap();
+        let mut compact = Vec::new();
+        let stats = encode_compact_batch(&rows, &mut compact).unwrap();
+        assert!(
+            compact.len() < legacy.len() / 2,
+            "compact {} vs legacy {}",
+            compact.len(),
+            legacy.len()
+        );
+        assert_eq!(stats.hits, 62);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn wire_codec_negotiation_and_bytes() {
+        assert_eq!(WireCodec::from_byte(0).unwrap(), WireCodec::Legacy);
+        assert_eq!(WireCodec::from_byte(1).unwrap(), WireCodec::Compact);
+        assert!(WireCodec::from_byte(9).is_err());
+        assert_eq!(
+            WireCodec::Compact.negotiate(WireCodec::Compact),
+            WireCodec::Compact
+        );
+        assert_eq!(
+            WireCodec::Compact.negotiate(WireCodec::Legacy),
+            WireCodec::Legacy
+        );
+        assert_eq!(
+            WireCodec::Legacy.negotiate(WireCodec::Compact),
+            WireCodec::Legacy
+        );
+        assert_eq!(WireCodec::from_flag("compact"), Some(WireCodec::Compact));
+        assert_eq!(WireCodec::from_flag("legacy"), Some(WireCodec::Legacy));
+        assert_eq!(WireCodec::from_flag("zstd"), None);
     }
 }

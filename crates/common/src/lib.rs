@@ -16,6 +16,7 @@ pub mod schema;
 pub mod timer;
 pub mod value;
 
+pub use codec::{DictStats, WireCodec};
 pub use error::{counter_u32, wire_u32, Result, SqlmlError};
 pub use intern::Interner;
 pub use rng::SplitMix64;

@@ -30,6 +30,12 @@ pub struct ClusterConfig {
     /// Wire-byte target per frame (frames close at `batch_rows` rows or
     /// `frame_bytes` bytes, whichever comes first; paper: 4 KiB).
     pub frame_bytes: usize,
+    /// Sender threads per SQL worker (0 = one dedicated thread per peer).
+    pub sender_threads: usize,
+    /// Wire codec for the streaming data plane (negotiated per group).
+    pub codec: sqlml_transfer::WireCodec,
+    /// Adaptive batching ceiling in rows per frame (0 = auto).
+    pub batch_rows_max: usize,
     /// DFS parameters (block size, replication, optional throttling).
     pub dfs: DfsConfig,
     /// Split DFS text inputs at block granularity (Hadoop's behaviour)
@@ -47,6 +53,9 @@ impl Default for ClusterConfig {
             send_buffer_bytes: 4 * 1024,
             batch_rows: sqlml_transfer::stream_udf::BATCH_ROWS,
             frame_bytes: sqlml_transfer::stream_udf::FRAME_BYTES,
+            sender_threads: 0,
+            codec: sqlml_transfer::WireCodec::default(),
+            batch_rows_max: 0,
             dfs: DfsConfig {
                 num_datanodes: 4,
                 block_size: 1024 * 1024,
@@ -140,6 +149,9 @@ impl SimCluster {
             send_buffer_bytes: self.config.send_buffer_bytes,
             batch_rows: self.config.batch_rows,
             frame_bytes: self.config.frame_bytes,
+            sender_threads: self.config.sender_threads,
+            codec: self.config.codec,
+            batch_rows_max: self.config.batch_rows_max,
             ml_job: self.ml_job_config(),
             spill_dir: std::env::temp_dir().join("sqlml-cluster-spill"),
         }

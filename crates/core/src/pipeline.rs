@@ -81,8 +81,11 @@ impl PipelineReport {
 
     /// One-line transfer-throughput summary for streaming runs, rendered
     /// alongside the stage breakdown: rows/bytes/batches sent, wire
-    /// throughput, spill activity, time to first row at the ML side, and
-    /// restart attempts. `None` for strategies that never streamed.
+    /// throughput, spill activity, time to first row at the ML side,
+    /// restart attempts, and the overlapped-plane counters (sender queue
+    /// stall/depth, decode-ahead wait, and — when strings streamed —
+    /// dictionary hit ratio and bytes saved). `None` for strategies that
+    /// never streamed.
     pub fn transfer_summary(&self) -> Option<String> {
         use sqlml_common::timer::{format_bytes, format_duration};
         let s = self.stream_stats.as_ref()?;
@@ -92,16 +95,30 @@ impl PipelineReport {
             .receive
             .time_to_first_row
             .map_or_else(|| "n/a".to_string(), format_duration);
-        Some(format!(
+        let mut summary = format!(
             "transfer: {} rows, {} in {} batches ({throughput}/s wire), \
-             spilled {} ({} events), first row +{first_row}, attempts {}",
+             spilled {} ({} events), first row +{first_row}, attempts {}, \
+             queue hw {} frames, sender stalled {}, decode-ahead waited {}",
             s.rows_sent,
             format_bytes(s.bytes_sent),
             s.batches_sent,
             format_bytes(s.bytes_spilled),
             s.spill_events,
             s.max_attempts,
-        ))
+            s.queue_depth_hw,
+            format_duration(std::time::Duration::from_micros(s.sender_stall_us)),
+            format_duration(s.receive.prefetch_wait),
+        );
+        let lookups = s.dict_hits + s.dict_misses;
+        // Integer percentage is plenty for a one-line summary.
+        if let Some(pct) = (s.dict_hits * 100).checked_div(lookups) {
+            summary.push_str(&format!(
+                ", dict {}/{lookups} ({pct}%) saved {}",
+                s.dict_hits,
+                format_bytes(s.dict_bytes_saved),
+            ));
+        }
+        Some(summary)
     }
 }
 

@@ -9,11 +9,20 @@
 //! capacity, `push` diverts chunks to a spill file rather than blocking
 //! the producer — the paper's point is exactly that a slow reader must
 //! not stall the SQL pipeline.
+//!
+//! On top of the spill tier sits an optional *total* queued-bytes bound
+//! ([`SpillableBuffer::bounded`]): once memory + unread spill together
+//! exceed it, `push` blocks until the consumer catches up. This is the
+//! backpressure valve of the overlapped data plane — without it a dead
+//! socket would grow the spill file until the disk fills. Time spent
+//! blocked and the frame-queue depth high-water are recorded and surface
+//! in the transfer stats.
 
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use sqlml_common::{Result, SqlmlError};
@@ -34,6 +43,12 @@ struct State {
     closed: bool,
     bytes_spilled: u64,
     spill_events: u64,
+    /// Unread payload bytes across memory *and* the spill file.
+    queued_bytes: usize,
+    /// Chunks currently queued (memory + spill).
+    depth: u64,
+    depth_high_water: u64,
+    stall_us: u64,
 }
 
 /// Statistics observed by tests and the benchmark harness.
@@ -42,16 +57,24 @@ pub struct BufferStats {
     pub bytes_spilled: u64,
     /// Number of chunks diverted through the spill file.
     pub spill_events: u64,
+    /// Microseconds the producer spent blocked on the queued-bytes bound.
+    pub stall_us: u64,
+    /// Most chunks (frames) ever queued at once.
+    pub depth_high_water: u64,
 }
 
 /// Bounded producer/consumer chunk queue with disk overflow.
 #[derive(Debug)]
 pub struct SpillableBuffer {
     capacity_bytes: usize,
+    /// Total queued-bytes bound past which `push` blocks (backpressure).
+    max_queued_bytes: Option<usize>,
     spill_dir: PathBuf,
     tag: String,
     state: Mutex<State>,
     available: Condvar,
+    /// Signaled on every dequeue so a producer blocked on the bound wakes.
+    space: Condvar,
 }
 
 impl SpillableBuffer {
@@ -65,6 +88,7 @@ impl SpillableBuffer {
     ) -> Self {
         SpillableBuffer {
             capacity_bytes: capacity_bytes.max(1),
+            max_queued_bytes: None,
             spill_dir: spill_dir.into(),
             tag: tag.into(),
             state: Mutex::new(State {
@@ -74,15 +98,45 @@ impl SpillableBuffer {
                 closed: false,
                 bytes_spilled: 0,
                 spill_events: 0,
+                queued_bytes: 0,
+                depth: 0,
+                depth_high_water: 0,
+                stall_us: 0,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
-    /// Enqueue a chunk without blocking: memory if there is room, disk
-    /// otherwise.
-    pub fn push(&self, chunk: Vec<u8>) -> Result<()> {
+    /// Add a total queued-bytes bound: once memory plus unread spill
+    /// exceed `max_queued_bytes`, `push` blocks until the consumer drains
+    /// below it (recording the stall time). The bound sits *above* the
+    /// in-memory capacity, so the spill tier still absorbs bursts without
+    /// stalling the producer.
+    pub fn bounded(mut self, max_queued_bytes: usize) -> Self {
+        self.max_queued_bytes = Some(max_queued_bytes.max(1));
+        self
+    }
+
+    /// Enqueue a chunk: memory if there is room, disk otherwise. Blocks
+    /// only when a queued-bytes bound is set and exceeded; returns the
+    /// time spent blocked (zero otherwise), which the adaptive batcher
+    /// uses as its growth signal.
+    pub fn push(&self, chunk: Vec<u8>) -> Result<Duration> {
         let mut st = self.state.lock();
+        let mut stalled = Duration::ZERO;
+        if let Some(bound) = self.max_queued_bytes {
+            // A chunk larger than the whole bound is still accepted when
+            // the queue is empty, so progress is always possible.
+            if st.queued_bytes + chunk.len() > bound && st.depth > 0 && !st.closed {
+                let t0 = Instant::now();
+                while st.queued_bytes + chunk.len() > bound && st.depth > 0 && !st.closed {
+                    self.space.wait(&mut st);
+                }
+                stalled = t0.elapsed();
+                st.stall_us += u64::try_from(stalled.as_micros()).unwrap_or(u64::MAX);
+            }
+        }
         if st.closed {
             return Err(SqlmlError::Transfer("push to closed buffer".into()));
         }
@@ -95,13 +149,17 @@ impl SpillableBuffer {
             st.memory_bytes + chunk.len() > self.capacity_bytes && !st.memory.is_empty();
         if over_capacity || spill_pending {
             self.spill_chunk(&mut st, &chunk)?;
+            st.queued_bytes += chunk.len();
         } else {
             st.memory_bytes += chunk.len();
+            st.queued_bytes += chunk.len();
             st.memory.push_back(chunk);
         }
+        st.depth += 1;
+        st.depth_high_water = st.depth_high_water.max(st.depth);
         drop(st);
         self.available.notify_one();
-        Ok(())
+        Ok(stalled)
     }
 
     fn spill_chunk(&self, st: &mut State, chunk: &[u8]) -> Result<()> {
@@ -163,6 +221,13 @@ impl SpillableBuffer {
         Ok(Some(chunk))
     }
 
+    /// Bookkeeping shared by every dequeue path; call with the chunk just
+    /// removed from memory or the spill file.
+    fn on_dequeue(st: &mut State, chunk_len: usize) {
+        st.queued_bytes = st.queued_bytes.saturating_sub(chunk_len);
+        st.depth = st.depth.saturating_sub(1);
+    }
+
     /// Dequeue the next chunk, blocking until one is available or the
     /// buffer is closed (then `None` once drained).
     pub fn pop(&self) -> Result<Option<Vec<u8>>> {
@@ -170,9 +235,15 @@ impl SpillableBuffer {
         loop {
             if let Some(chunk) = st.memory.pop_front() {
                 st.memory_bytes -= chunk.len();
+                Self::on_dequeue(&mut st, chunk.len());
+                drop(st);
+                self.space.notify_one();
                 return Ok(Some(chunk));
             }
             if let Some(chunk) = Self::unspill_chunk(&mut st)? {
+                Self::on_dequeue(&mut st, chunk.len());
+                drop(st);
+                self.space.notify_one();
                 return Ok(Some(chunk));
             }
             if st.closed {
@@ -191,17 +262,35 @@ impl SpillableBuffer {
     /// [`pop`]: SpillableBuffer::pop
     pub fn try_pop(&self) -> Result<Option<Vec<u8>>> {
         let mut st = self.state.lock();
-        if let Some(chunk) = st.memory.pop_front() {
+        let chunk = if let Some(chunk) = st.memory.pop_front() {
             st.memory_bytes -= chunk.len();
+            Some(chunk)
+        } else {
+            Self::unspill_chunk(&mut st)?
+        };
+        if let Some(chunk) = chunk {
+            Self::on_dequeue(&mut st, chunk.len());
+            drop(st);
+            self.space.notify_one();
             return Ok(Some(chunk));
         }
-        Self::unspill_chunk(&mut st)
+        Ok(None)
     }
 
-    /// Signal end of stream; blocked consumers drain and then see `None`.
+    /// Signal end of stream; blocked consumers drain and then see `None`,
+    /// and a producer blocked on the queued-bytes bound fails its push.
     pub fn close(&self) {
         self.state.lock().closed = true;
         self.available.notify_all();
+        self.space.notify_all();
+    }
+
+    /// True once the stream is closed and every queued chunk (memory and
+    /// spill) has been consumed. Multiplexed sender threads use this to
+    /// retire a peer's slot.
+    pub fn is_drained(&self) -> bool {
+        let st = self.state.lock();
+        st.closed && st.memory.is_empty() && st.spill.read_pos >= st.spill.write_pos
     }
 
     pub fn stats(&self) -> BufferStats {
@@ -209,6 +298,8 @@ impl SpillableBuffer {
         BufferStats {
             bytes_spilled: st.bytes_spilled,
             spill_events: st.spill_events,
+            stall_us: st.stall_us,
+            depth_high_water: st.depth_high_water,
         }
     }
 }
@@ -337,6 +428,75 @@ mod tests {
         let b = SpillableBuffer::new(8, tmp_dir(), "closed");
         b.close();
         assert!(b.push(vec![1]).is_err());
+    }
+
+    #[test]
+    fn depth_high_water_and_queued_accounting() {
+        let b = SpillableBuffer::new(4, tmp_dir(), "depth");
+        b.push(vec![1; 4]).unwrap();
+        b.push(vec![2; 4]).unwrap(); // spilled
+        b.push(vec![3; 4]).unwrap(); // spilled
+        assert_eq!(b.stats().depth_high_water, 3);
+        assert!(!b.is_drained());
+        b.close();
+        while b.pop().unwrap().is_some() {}
+        assert!(b.is_drained());
+        // High-water survives the drain.
+        assert_eq!(b.stats().depth_high_water, 3);
+        assert_eq!(b.stats().stall_us, 0, "unbounded buffer never stalls");
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_consumer_drains() {
+        use std::time::{Duration, Instant};
+        let b = Arc::new(SpillableBuffer::new(4, tmp_dir(), "bound").bounded(8));
+        b.push(vec![1; 4]).unwrap();
+        b.push(vec![2; 4]).unwrap(); // at the bound now
+        let pusher = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let stalled = b.push(vec![3; 4]).unwrap();
+                (stalled, t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(b.pop().unwrap().is_some(), "make room");
+        let (stalled, waited) = pusher.join().unwrap();
+        assert!(waited >= Duration::from_millis(40), "push must block");
+        assert!(stalled >= Duration::from_millis(40));
+        assert!(b.stats().stall_us >= 40_000);
+        // The remaining chunks arrive in order.
+        b.close();
+        assert_eq!(b.pop().unwrap(), Some(vec![2; 4]));
+        assert_eq!(b.pop().unwrap(), Some(vec![3; 4]));
+        assert_eq!(b.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn close_unblocks_a_stalled_producer_with_an_error() {
+        let b = Arc::new(SpillableBuffer::new(4, tmp_dir(), "bound-close").bounded(4));
+        b.push(vec![1; 4]).unwrap();
+        let pusher = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.push(vec![2; 4]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        b.close();
+        assert!(
+            pusher.join().unwrap().is_err(),
+            "a stalled push must fail when the buffer closes (writer death)"
+        );
+    }
+
+    #[test]
+    fn oversized_chunk_passes_the_bound_when_queue_is_empty() {
+        let b = SpillableBuffer::new(4, tmp_dir(), "bound-oversized").bounded(8);
+        // 100 bytes > bound 8, but the queue is empty: must not deadlock.
+        let stalled = b.push(vec![7; 100]).unwrap();
+        assert_eq!(stalled, std::time::Duration::ZERO);
+        b.close();
+        assert_eq!(b.pop().unwrap(), Some(vec![7; 100]));
     }
 
     #[test]

@@ -6,10 +6,11 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
-use sqlml_common::{Result, Row, Schema, SqlmlError};
+use sqlml_common::{Result, Row, Schema, SqlmlError, WireCodec};
 use sqlml_mlengine::input::{InputFormat, InputSplit, RecordReader};
 
 use crate::metrics::TransferMetrics;
@@ -22,6 +23,12 @@ pub const MAX_READ_ATTEMPTS: u32 = 8;
 /// Socket read buffer on the data plane (the consumer half of the
 /// paper's buffered transfer path).
 const READ_BUFFER_BYTES: usize = 64 * 1024;
+
+/// Decoded batches the prefetch thread may run ahead of the ML consumer.
+/// Together with the batch being decoded and the one sitting in
+/// `pending`, this keeps the reader's memory within the documented
+/// O(batch) bound (≤ 4 batches in flight).
+const PREFETCH_BATCHES: usize = 2;
 
 /// One streaming split: "read group-index `index_in_group` from SQL
 /// worker `sql_worker` at `data_addr`", preferably on node `location`.
@@ -131,35 +138,43 @@ impl InputFormat for SqlStreamInputFormat {
     }
 }
 
-/// Pipelined reader over one streaming split.
+/// Pipelined reader over one streaming split, with decode-ahead.
 ///
-/// The reader holds the live socket and decodes one `RowBatch` frame at a
-/// time on demand: peak memory is O(batch), and ML ingestion overlaps SQL
-/// production instead of waiting for the stream to drain. A running row
-/// count is validated against the sender's `DataEnd` total.
+/// A dedicated prefetch thread owns the socket and the whole
+/// reconnect/skip state machine: it reads frames, deserializes them, and
+/// pushes decoded batches through a bounded channel. The ML thread pops
+/// batches from the channel, so deserialization overlaps both the socket
+/// reads *and* ML-side consumption. Peak memory stays O(batch): the
+/// channel holds at most [`PREFETCH_BATCHES`] batches plus one being
+/// handed over, plus the batch in `pending`. A running row count is
+/// validated against the sender's `DataEnd` total.
 ///
-/// Exactly-once across the §6 whole-group restart protocol: rows decoded
-/// but not yet handed to the ML engine are discarded when an attempt
-/// breaks, and on reconnect the reader skips the `delivered` watermark of
-/// rows from the sender's deterministic re-stream before yielding more.
+/// Exactly-once across the §6 whole-group restart protocol: the prefetch
+/// thread tracks a `forwarded` watermark (rows pushed into the channel —
+/// every one of which the reader will deliver), and on reconnect skips
+/// that many rows of the sender's deterministic re-stream before
+/// forwarding more.
 pub struct StreamRecordReader {
     split: StreamSplit,
     metrics: Option<Arc<TransferMetrics>>,
-    conn: Option<BufReader<TcpStream>>,
-    /// Reusable frame-payload buffer (no per-frame allocation).
-    scratch: Vec<u8>,
+    /// Decoded batches from the prefetch thread; `None` until started or
+    /// after the channel is consumed/failed.
+    rx: Option<mpsc::Receiver<Result<Vec<Row>>>>,
+    started: bool,
+    /// Rows currently inside the channel (including one mid-handoff),
+    /// maintained by the prefetch thread; lets the reader observe its
+    /// total memory footprint.
+    queued_rows: Arc<AtomicUsize>,
+    /// Set by the prefetch thread on a clean `DataEnd` before it exits,
+    /// so the reader can tell a clean end from a dead thread.
+    ended_clean: Arc<AtomicBool>,
     /// Rows of the current decoded batch only.
     pending: VecDeque<Row>,
-    /// Rows handed to the ML engine — the exactly-once watermark.
+    /// Rows handed to the ML engine.
     delivered: u64,
-    /// Rows received in the current attempt, checked at `DataEnd`.
-    received_this_attempt: u64,
-    /// Rows to skip after a reconnect (re-streamed, already delivered).
-    skip_remaining: u64,
-    next_attempt: u32,
     finished: bool,
-    /// High-water mark of `pending` (observability for the O(batch)
-    /// memory guarantee).
+    /// High-water mark of pending + channel rows (observability for the
+    /// O(batch) memory guarantee).
     max_pending: usize,
 }
 
@@ -168,20 +183,20 @@ impl StreamRecordReader {
         StreamRecordReader {
             split,
             metrics,
-            conn: None,
-            scratch: Vec::new(),
+            rx: None,
+            started: false,
+            queued_rows: Arc::new(AtomicUsize::new(0)),
+            ended_clean: Arc::new(AtomicBool::new(false)),
             pending: VecDeque::new(),
             delivered: 0,
-            received_this_attempt: 0,
-            skip_remaining: 0,
-            next_attempt: 1,
             finished: false,
             max_pending: 0,
         }
     }
 
-    /// Largest number of rows ever buffered at once — stays O(batch) no
-    /// matter how long the stream is.
+    /// Largest number of rows ever buffered at once (decoded batches in
+    /// the prefetch channel plus the batch being delivered) — stays
+    /// O(batch) no matter how long the stream is.
     pub fn max_pending_rows(&self) -> usize {
         self.max_pending
     }
@@ -191,7 +206,117 @@ impl StreamRecordReader {
         self.delivered
     }
 
-    /// One connection + handshake attempt.
+    /// Spawn the decode-ahead thread on first use.
+    fn ensure_started(&mut self) -> Result<()> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        let (tx, rx) = mpsc::sync_channel(PREFETCH_BATCHES);
+        let worker = PrefetchWorker {
+            split: self.split.clone(),
+            metrics: self.metrics.clone(),
+            conn: None,
+            scratch: Vec::new(),
+            forwarded: 0,
+            received_this_attempt: 0,
+            skip_remaining: 0,
+            next_attempt: 1,
+            queued_rows: Arc::clone(&self.queued_rows),
+            ended_clean: Arc::clone(&self.ended_clean),
+        };
+        std::thread::Builder::new()
+            .name(format!(
+                "sqlml-prefetch-{}-{}",
+                self.split.sql_worker, self.split.index_in_group
+            ))
+            .spawn(move || worker.run(&tx))
+            .map_err(|e| {
+                SqlmlError::Transfer(format!("failed to spawn decode-ahead thread: {e}"))
+            })?;
+        self.rx = Some(rx);
+        Ok(())
+    }
+
+    /// Pop the next decoded batch from the prefetch channel into
+    /// `pending`. `Ok(true)` when rows are pending, `Ok(false)` on clean
+    /// end of stream.
+    fn fill_pending(&mut self) -> Result<bool> {
+        self.ensure_started()?;
+        let Some(rx) = self.rx.as_ref() else {
+            return Ok(false);
+        };
+        let wait_start = Instant::now();
+        match rx.recv() {
+            Ok(Ok(rows)) => {
+                if let Some(m) = &self.metrics {
+                    m.on_prefetch_wait(wait_start.elapsed());
+                }
+                self.queued_rows.fetch_sub(rows.len(), Ordering::Relaxed);
+                self.pending.extend(rows);
+                let depth = self.pending.len() + self.queued_rows.load(Ordering::Relaxed);
+                self.max_pending = self.max_pending.max(depth);
+                if let Some(m) = &self.metrics {
+                    m.on_prefetch_depth(depth);
+                }
+                Ok(true)
+            }
+            Ok(Err(e)) => {
+                self.rx = None;
+                Err(e)
+            }
+            Err(mpsc::RecvError) => {
+                self.rx = None;
+                if self.ended_clean.load(Ordering::SeqCst) {
+                    self.finished = true;
+                    Ok(false)
+                } else {
+                    Err(SqlmlError::Transfer(
+                        "decode-ahead thread exited without DataEnd".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, row: Row) -> Row {
+        self.delivered += 1;
+        if self.delivered == 1 {
+            if let Some(m) = &self.metrics {
+                m.on_first_row();
+            }
+        }
+        row
+    }
+}
+
+/// The decode-ahead half of [`StreamRecordReader`]: owns the socket, the
+/// restart protocol, and the forwarded-rows watermark; runs until the
+/// stream ends cleanly, a fatal error is forwarded, or the reader is
+/// dropped (its channel send fails).
+struct PrefetchWorker {
+    split: StreamSplit,
+    metrics: Option<Arc<TransferMetrics>>,
+    conn: Option<BufReader<TcpStream>>,
+    /// Reusable frame-payload buffer (no per-frame allocation).
+    scratch: Vec<u8>,
+    /// Rows pushed into the channel — the exactly-once watermark (the
+    /// reader delivers everything it receives).
+    forwarded: u64,
+    /// Rows received in the current attempt, checked at `DataEnd`.
+    received_this_attempt: u64,
+    /// Rows to skip after a reconnect (re-streamed, already forwarded).
+    skip_remaining: u64,
+    next_attempt: u32,
+    queued_rows: Arc<AtomicUsize>,
+    ended_clean: Arc<AtomicBool>,
+}
+
+impl PrefetchWorker {
+    /// One connection + handshake attempt. Advertises compact-codec
+    /// support; the sender's `DataStart` announces the group choice and
+    /// the decoder handles either frame kind by tag, so the reply's codec
+    /// field needs no further action here.
     fn connect(&mut self) -> Result<()> {
         let mut stream = TcpStream::connect(&self.split.data_addr)
             .map_err(|e| SqlmlError::Transfer(format!("sender unreachable: {e}")))?;
@@ -203,6 +328,7 @@ impl StreamRecordReader {
                 transfer_id: self.split.transfer_id,
                 split_index: self.split.index_in_group,
                 attempt: self.next_attempt,
+                codec: WireCodec::Compact,
             },
         )?;
         let mut conn = BufReader::with_capacity(READ_BUFFER_BYTES, stream);
@@ -232,7 +358,7 @@ impl StreamRecordReader {
                     last_err = Some(e);
                     self.next_attempt += 1;
                     // Sender may be mid-restart; give it a moment.
-                    std::thread::sleep(Duration::from_millis(25 * attempt as u64));
+                    std::thread::sleep(Duration::from_millis(25 * u64::from(attempt)));
                 }
             }
         }
@@ -242,27 +368,22 @@ impl StreamRecordReader {
         )))
     }
 
-    /// The current attempt broke: discard undelivered rows and arrange to
-    /// skip the already-delivered prefix of the sender's re-stream.
-    fn on_broken_attempt(&mut self) {
-        self.conn = None;
-        self.pending.clear();
-        self.skip_remaining = self.delivered;
-        self.next_attempt += 1;
-    }
-
-    /// Read frames until rows are pending (`Ok(true)`) or the stream ends
-    /// cleanly (`Ok(false)`). Decodes at most one `RowBatch` beyond the
-    /// skip watermark, so memory stays bounded by the sender's batch size.
-    fn fill_pending(&mut self) -> Result<bool> {
+    /// Main loop: read → decode → forward until clean end, fatal error,
+    /// or reader drop. Backpressure comes from the bounded channel: when
+    /// the ML side falls behind, `send` blocks and so does the socket.
+    fn run(mut self, tx: &mpsc::SyncSender<Result<Vec<Row>>>) {
         loop {
             if self.conn.is_none() {
-                self.begin_attempt()?;
+                if let Err(e) = self.begin_attempt() {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
             }
             let Some(conn) = self.conn.as_mut() else {
-                return Err(SqlmlError::Transfer(
+                let _ = tx.send(Err(SqlmlError::Transfer(
                     "reader connection missing after begin_attempt".into(),
-                ));
+                )));
+                return;
             };
             let broken_reason = match read_message_with(conn, &mut self.scratch) {
                 Ok(Message::RowBatch { rows }) => {
@@ -278,9 +399,17 @@ impl StreamRecordReader {
                     let skip = self.skip_remaining.min(rows.len() as u64) as usize;
                     self.skip_remaining -= skip as u64;
                     if skip < rows.len() {
-                        self.pending.extend(rows.into_iter().skip(skip));
-                        self.max_pending = self.max_pending.max(self.pending.len());
-                        return Ok(true);
+                        let fresh: Vec<Row> = if skip == 0 {
+                            rows
+                        } else {
+                            rows.into_iter().skip(skip).collect()
+                        };
+                        self.forwarded += fresh.len() as u64;
+                        self.queued_rows.fetch_add(fresh.len(), Ordering::Relaxed);
+                        if tx.send(Ok(fresh)).is_err() {
+                            // Reader dropped mid-stream; nothing to clean.
+                            return;
+                        }
                     }
                     continue;
                 }
@@ -296,43 +425,38 @@ impl StreamRecordReader {
                             self.skip_remaining
                         )
                     } else {
-                        self.finished = true;
-                        self.conn = None;
                         if let Some(m) = &self.metrics {
                             m.on_data_end();
                         }
-                        return Ok(false);
+                        // Publish the clean end *before* the channel
+                        // disconnect the reader observes.
+                        self.ended_clean.store(true, Ordering::SeqCst);
+                        return;
                     }
                 }
                 Ok(Message::Abort { reason }) => format!("sender aborted: {reason}"),
                 Ok(other) => {
-                    return Err(SqlmlError::Transfer(format!(
+                    let _ = tx.send(Err(SqlmlError::Transfer(format!(
                         "unexpected data frame {other:?}"
-                    )))
+                    ))));
+                    return;
                 }
                 Err(e) => e.to_string(),
             };
             // Broken attempt (connection failure, abort, or count
-            // mismatch): restart against the sender's next attempt.
-            let _ = broken_reason;
-            self.on_broken_attempt();
+            // mismatch): restart against the sender's next attempt,
+            // skipping the already-forwarded prefix of the re-stream.
+            self.conn = None;
+            self.skip_remaining = self.forwarded;
+            self.next_attempt += 1;
             if self.next_attempt > MAX_READ_ATTEMPTS {
-                return Err(SqlmlError::Transfer(format!(
+                let _ = tx.send(Err(SqlmlError::Transfer(format!(
                     "stream read failed after {MAX_READ_ATTEMPTS} attempts: {broken_reason}"
-                )));
+                ))));
+                return;
             }
-            std::thread::sleep(Duration::from_millis(25 * self.next_attempt as u64));
+            std::thread::sleep(Duration::from_millis(25 * u64::from(self.next_attempt)));
         }
-    }
-
-    fn deliver(&mut self, row: Row) -> Row {
-        self.delivered += 1;
-        if self.delivered == 1 {
-            if let Some(m) = &self.metrics {
-                m.on_first_row();
-            }
-        }
-        row
     }
 }
 
@@ -432,7 +556,14 @@ mod tests {
                 Message::DataHello { .. } => {}
                 other => panic!("expected hello, got {other:?}"),
             }
-            write_message(&mut stream, &Message::DataStart { attempt: 1 }).unwrap();
+            write_message(
+                &mut stream,
+                &Message::DataStart {
+                    attempt: 1,
+                    codec: WireCodec::Legacy,
+                },
+            )
+            .unwrap();
             f(stream);
         });
         (addr, handle)

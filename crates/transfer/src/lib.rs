@@ -29,6 +29,7 @@ pub mod coordinator;
 pub mod input_format;
 pub mod metrics;
 pub mod protocol;
+pub mod sender;
 pub mod session;
 pub mod stream_udf;
 
@@ -37,4 +38,5 @@ pub use coordinator::{Coordinator, CoordinatorHandle};
 pub use input_format::{SqlStreamInputFormat, StreamRecordReader};
 pub use metrics::{MetricsSnapshot, TransferMetrics};
 pub use session::{FaultInjector, StreamSession, StreamSessionConfig, StreamStats};
+pub use sqlml_common::WireCodec;
 pub use stream_udf::StreamTransferUdf;

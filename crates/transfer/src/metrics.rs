@@ -22,6 +22,11 @@ pub struct TransferMetrics {
     first_row_us: AtomicU64,
     /// Microseconds from `start` until the first `DataEnd` was observed.
     first_data_end_us: AtomicU64,
+    /// Microseconds ML threads spent blocked waiting on the decode-ahead
+    /// queue (i.e. the prefetch thread was the bottleneck).
+    prefetch_wait_us: AtomicU64,
+    /// Most decoded-but-undelivered rows ever held by one reader.
+    prefetch_depth_hw: AtomicU64,
 }
 
 impl Default for TransferMetrics {
@@ -39,6 +44,8 @@ impl TransferMetrics {
             batches_received: AtomicU64::new(0),
             first_row_us: AtomicU64::new(UNSET),
             first_data_end_us: AtomicU64::new(UNSET),
+            prefetch_wait_us: AtomicU64::new(0),
+            prefetch_depth_hw: AtomicU64::new(0),
         }
     }
 
@@ -59,6 +66,18 @@ impl TransferMetrics {
     /// Record that a reader observed its `DataEnd` (first call wins).
     pub fn on_data_end(&self) {
         self.stamp(&self.first_data_end_us);
+    }
+
+    /// Record time an ML thread spent blocked on the decode-ahead queue.
+    pub fn on_prefetch_wait(&self, waited: Duration) {
+        let us = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX);
+        self.prefetch_wait_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record a reader's current decoded-but-undelivered row count.
+    pub fn on_prefetch_depth(&self, rows: usize) {
+        self.prefetch_depth_hw
+            .fetch_max(rows as u64, Ordering::Relaxed);
     }
 
     fn stamp(&self, slot: &AtomicU64) {
@@ -82,6 +101,8 @@ impl TransferMetrics {
             batches_received: self.batches_received.load(Ordering::Relaxed),
             time_to_first_row: us(&self.first_row_us),
             time_to_first_data_end: us(&self.first_data_end_us),
+            prefetch_wait: Duration::from_micros(self.prefetch_wait_us.load(Ordering::Relaxed)),
+            prefetch_depth_high_water: self.prefetch_depth_hw.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +115,10 @@ pub struct MetricsSnapshot {
     pub batches_received: u64,
     pub time_to_first_row: Option<Duration>,
     pub time_to_first_data_end: Option<Duration>,
+    /// Total time ML threads waited on the decode-ahead queue.
+    pub prefetch_wait: Duration,
+    /// Most decoded-but-undelivered rows ever held by one reader.
+    pub prefetch_depth_high_water: u64,
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@ use std::io::{Read, Write};
 use std::ops::DerefMut;
 
 use bytes::{Buf, BufMut, BytesMut};
-use sqlml_common::{codec, Result, Row, SqlmlError};
+use sqlml_common::codec::{CompactBatchEncoder, DictStats};
+use sqlml_common::{codec, Result, Row, SqlmlError, WireCodec};
 
 /// Maximum accepted frame size (guards against corrupt length prefixes).
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
@@ -42,15 +43,21 @@ pub enum Message {
     },
     /// Coordinator → ML worker.
     MlAck,
-    /// Reader → SQL worker data listener (step 7).
+    /// Reader → SQL worker data listener (step 7). `codec` advertises the
+    /// best wire codec the reader understands; a pre-codec peer's 16-byte
+    /// hello decodes as [`WireCodec::Legacy`].
     DataHello {
         transfer_id: u64,
         split_index: u32,
         attempt: u32,
+        codec: WireCodec,
     },
-    /// SQL worker → reader: stream (re)starting.
-    DataStart { attempt: u32 },
-    /// SQL worker → reader: a batch of rows.
+    /// SQL worker → reader: stream (re)starting. `codec` announces the
+    /// group-negotiated codec every subsequent `RowBatch` frame uses.
+    DataStart { attempt: u32, codec: WireCodec },
+    /// SQL worker → reader: a batch of rows. On the wire this is either a
+    /// legacy (`T_ROW_BATCH`) or compact (`T_ROW_BATCH_COMPACT`) frame;
+    /// both decode to this variant so the read path is codec-agnostic.
     RowBatch { rows: Vec<Row> },
     /// SQL worker → reader: end of stream with the expected row count.
     DataEnd { total_rows: u64 },
@@ -81,6 +88,7 @@ const T_DATA_HELLO: u8 = 0x10;
 const T_DATA_START: u8 = 0x11;
 const T_ROW_BATCH: u8 = 0x12;
 const T_DATA_END: u8 = 0x13;
+const T_ROW_BATCH_COMPACT: u8 = 0x14;
 const T_ABORT: u8 = 0x1F;
 
 /// Byte sinks a frame can be encoded into: append via [`BufMut`], then
@@ -183,17 +191,26 @@ impl Message {
                 transfer_id,
                 split_index,
                 attempt,
+                codec,
             } => {
                 buf.put_u8(T_DATA_HELLO);
                 buf.put_u64_le(*transfer_id);
                 buf.put_u32_le(*split_index);
                 buf.put_u32_le(*attempt);
+                // Trailing codec byte: pre-codec decoders read the fixed
+                // 16-byte prefix and ignore the rest, so this is
+                // backward compatible.
+                buf.put_u8(codec.as_byte());
             }
-            Message::DataStart { attempt } => {
+            Message::DataStart { attempt, codec } => {
                 buf.put_u8(T_DATA_START);
                 buf.put_u32_le(*attempt);
+                buf.put_u8(codec.as_byte());
             }
             Message::RowBatch { rows } => {
+                // `Message::encode` always emits the legacy frame; compact
+                // frames are produced by [`RowBatchFrameBuilder`] on the
+                // sender hot path after negotiation.
                 buf.put_u8(T_ROW_BATCH);
                 codec::encode_binary_batch(rows, buf)?;
             }
@@ -296,20 +313,29 @@ impl Message {
             T_ML_ACK => Ok(Message::MlAck),
             T_DATA_HELLO => {
                 need(payload, 16, "hello")?;
+                let transfer_id = payload.get_u64_le();
+                let split_index = payload.get_u32_le();
+                let attempt = payload.get_u32_le();
                 Ok(Message::DataHello {
-                    transfer_id: payload.get_u64_le(),
-                    split_index: payload.get_u32_le(),
-                    attempt: payload.get_u32_le(),
+                    transfer_id,
+                    split_index,
+                    attempt,
+                    codec: get_codec_byte(&mut payload)?,
                 })
             }
             T_DATA_START => {
                 need(payload, 4, "start")?;
+                let attempt = payload.get_u32_le();
                 Ok(Message::DataStart {
-                    attempt: payload.get_u32_le(),
+                    attempt,
+                    codec: get_codec_byte(&mut payload)?,
                 })
             }
             T_ROW_BATCH => Ok(Message::RowBatch {
                 rows: codec::decode_binary_batch(payload)?,
+            }),
+            T_ROW_BATCH_COMPACT => Ok(Message::RowBatch {
+                rows: codec::decode_compact_batch(payload)?,
             }),
             T_DATA_END => {
                 need(payload, 8, "end")?;
@@ -324,6 +350,16 @@ impl Message {
                 "unknown frame tag {other:#x}"
             ))),
         }
+    }
+}
+
+/// Read the optional trailing codec byte of a handshake frame: a peer
+/// from before the codec negotiation sends none, which means legacy.
+fn get_codec_byte(payload: &mut &[u8]) -> Result<WireCodec> {
+    if payload.is_empty() {
+        Ok(WireCodec::Legacy)
+    } else {
+        WireCodec::from_byte(payload.get_u8())
     }
 }
 
@@ -358,29 +394,52 @@ pub fn encode_row_batch_frame<B: FrameSink>(rows: &[Row], buf: &mut B) -> Result
 /// scratch buffer, so the sender can cut frames on *either* a row-count
 /// or a byte-size target without ever cloning rows or re-encoding.
 ///
-/// The produced bytes are identical to [`encode_row_batch_frame`] over
-/// the same rows.
+/// In [`WireCodec::Legacy`] mode the produced bytes are identical to
+/// [`encode_row_batch_frame`] over the same rows. In
+/// [`WireCodec::Compact`] mode rows accumulate in a
+/// [`CompactBatchEncoder`] (the per-frame dictionary must precede the
+/// rows on the wire, so the frame is assembled at
+/// [`take_frame`](Self::take_frame)) and the produced bytes are identical
+/// to a `T_ROW_BATCH_COMPACT` frame around
+/// [`codec::encode_compact_batch`].
 #[derive(Debug)]
 pub struct RowBatchFrameBuilder {
+    codec: WireCodec,
     scratch: BytesMut,
+    compact: CompactBatchEncoder,
     rows_in_frame: u32,
 }
 
 impl RowBatchFrameBuilder {
+    /// Legacy-codec builder (the pre-negotiation default).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_codec(capacity, WireCodec::Legacy)
+    }
+
+    /// Builder for the group-negotiated codec.
+    pub fn with_codec(capacity: usize, codec: WireCodec) -> Self {
         let mut b = RowBatchFrameBuilder {
+            codec,
             scratch: BytesMut::with_capacity(capacity),
+            compact: CompactBatchEncoder::new(),
             rows_in_frame: 0,
         };
         b.start_frame();
         b
     }
 
+    /// The codec this builder emits frames in.
+    pub fn codec(&self) -> WireCodec {
+        self.codec
+    }
+
     fn start_frame(&mut self) {
         self.scratch.clear();
-        self.scratch.put_u32_le(0); // length placeholder
-        self.scratch.put_u8(T_ROW_BATCH);
-        self.scratch.put_u32_le(0); // row-count placeholder
+        if self.codec == WireCodec::Legacy {
+            self.scratch.put_u32_le(0); // length placeholder
+            self.scratch.put_u8(T_ROW_BATCH);
+            self.scratch.put_u32_le(0); // row-count placeholder
+        }
         self.rows_in_frame = 0;
     }
 
@@ -388,10 +447,16 @@ impl RowBatchFrameBuilder {
     /// frame under construction is reset (the row is not half-encoded
     /// into it) and the error is returned for the caller to surface.
     pub fn push_row(&mut self, row: &Row) -> Result<()> {
-        let before = self.scratch.len();
-        if let Err(e) = codec::encode_binary_row(row, &mut self.scratch) {
-            self.scratch.truncate(before);
-            return Err(e);
+        match self.codec {
+            WireCodec::Legacy => {
+                let before = self.scratch.len();
+                if let Err(e) = codec::encode_binary_row(row, &mut self.scratch) {
+                    self.scratch.truncate(before);
+                    return Err(e);
+                }
+            }
+            // The compact encoder rolls a failed row back itself.
+            WireCodec::Compact => self.compact.push_row(row)?,
         }
         self.rows_in_frame += 1;
         Ok(())
@@ -404,11 +469,20 @@ impl RowBatchFrameBuilder {
 
     /// Wire size (including the length prefix) of the frame so far.
     pub fn frame_len(&self) -> usize {
-        self.scratch.len()
+        match self.codec {
+            WireCodec::Legacy => self.scratch.len(),
+            // length prefix + tag + payload-so-far
+            WireCodec::Compact => 5 + self.compact.wire_len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         self.rows_in_frame == 0
+    }
+
+    /// Lifetime dictionary-compression counters (all zero in legacy mode).
+    pub fn dict_stats(&self) -> DictStats {
+        self.compact.stats()
     }
 
     /// Patch the length/count headers, return the finished frame as an
@@ -416,13 +490,23 @@ impl RowBatchFrameBuilder {
     /// is retained. Fails (resetting the builder) when the accumulated
     /// frame exceeds the wire limits.
     pub fn take_frame(&mut self) -> Result<Vec<u8>> {
-        let patched = patch_frame_len(&mut self.scratch, 0);
-        if let Err(e) = patched {
+        let mut frame = match self.codec {
+            WireCodec::Legacy => {
+                self.scratch[5..9].copy_from_slice(&self.rows_in_frame.to_le_bytes());
+                self.scratch.to_vec()
+            }
+            WireCodec::Compact => {
+                let mut frame = Vec::with_capacity(5 + self.compact.wire_len());
+                frame.put_u32_le(0); // length placeholder
+                frame.put_u8(T_ROW_BATCH_COMPACT);
+                self.compact.finish_into(&mut frame);
+                frame
+            }
+        };
+        if let Err(e) = patch_frame_len(&mut frame, 0) {
             self.start_frame();
             return Err(e);
         }
-        self.scratch[5..9].copy_from_slice(&self.rows_in_frame.to_le_bytes());
-        let frame = self.scratch.to_vec();
         self.start_frame();
         Ok(frame)
     }
@@ -516,8 +600,18 @@ mod tests {
             transfer_id: 42,
             split_index: 1,
             attempt: 2,
+            codec: WireCodec::Compact,
         });
-        round_trip(Message::DataStart { attempt: 2 });
+        round_trip(Message::DataHello {
+            transfer_id: 42,
+            split_index: 1,
+            attempt: 2,
+            codec: WireCodec::Legacy,
+        });
+        round_trip(Message::DataStart {
+            attempt: 2,
+            codec: WireCodec::Compact,
+        });
         round_trip(Message::RowBatch {
             rows: vec![
                 row![1i64, "hello", 2.5],
@@ -581,10 +675,83 @@ mod tests {
     }
 
     #[test]
+    fn pre_codec_handshake_frames_decode_as_legacy() {
+        // A peer from before the codec negotiation sends a 16-byte hello
+        // (no trailing codec byte): hand-craft one and check it reads as
+        // legacy, in both directions.
+        let mut hello = vec![T_DATA_HELLO];
+        hello.extend_from_slice(&42u64.to_le_bytes());
+        hello.extend_from_slice(&1u32.to_le_bytes());
+        hello.extend_from_slice(&2u32.to_le_bytes());
+        assert_eq!(
+            Message::decode(&hello).unwrap(),
+            Message::DataHello {
+                transfer_id: 42,
+                split_index: 1,
+                attempt: 2,
+                codec: WireCodec::Legacy,
+            }
+        );
+        let mut start = vec![T_DATA_START];
+        start.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(
+            Message::decode(&start).unwrap(),
+            Message::DataStart {
+                attempt: 3,
+                codec: WireCodec::Legacy,
+            }
+        );
+        // And an unknown codec byte is rejected rather than guessed at.
+        start.push(0xEE);
+        assert!(Message::decode(&start).is_err());
+    }
+
+    #[test]
+    fn compact_frames_decode_to_row_batch() {
+        let rows = vec![
+            row![1i64, "hello", 2.5],
+            row![2i64, "hello", 3.5],
+            sqlml_common::Row::new(vec![Value::Null, Value::Bool(true)]),
+        ];
+        let mut builder = RowBatchFrameBuilder::with_codec(64, WireCodec::Compact);
+        for r in &rows {
+            builder.push_row(r).unwrap();
+        }
+        assert_eq!(builder.rows(), 3);
+        let frame = builder.take_frame().unwrap();
+        assert_eq!(frame[4], T_ROW_BATCH_COMPACT);
+        // Frame length prefix is consistent.
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        match Message::decode(&frame[4..]).unwrap() {
+            Message::RowBatch { rows: got } => assert_eq!(got, rows),
+            other => panic!("expected RowBatch, got {other:?}"),
+        }
+        // "hello" repeated across rows: one miss, one hit in the dict.
+        assert_eq!(builder.dict_stats().misses, 1);
+        assert_eq!(builder.dict_stats().hits, 1);
+        // The compact frame beats the legacy frame for the same rows.
+        let mut legacy = Vec::new();
+        encode_row_batch_frame(&rows, &mut legacy).unwrap();
+        assert!(frame.len() < legacy.len());
+        // Builder resets and stays reusable after take_frame.
+        assert!(builder.is_empty());
+        builder.push_row(&rows[0]).unwrap();
+        let single = builder.take_frame().unwrap();
+        match Message::decode(&single[4..]).unwrap() {
+            Message::RowBatch { rows: got } => assert_eq!(got, vec![rows[0].clone()]),
+            other => panic!("expected RowBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn read_message_with_reuses_scratch_across_frames() {
         let mut wire = Vec::new();
         let msgs = [
-            Message::DataStart { attempt: 1 },
+            Message::DataStart {
+                attempt: 1,
+                codec: WireCodec::Legacy,
+            },
             Message::RowBatch {
                 rows: vec![row![9i64, "z"]],
             },

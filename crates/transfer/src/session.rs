@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use sqlml_common::{Result, SqlmlError};
+use sqlml_common::{Result, SqlmlError, WireCodec};
 use sqlml_mlengine::job::{JobConfig, JobOutcome, JobRunner, TrainingSpec};
 use sqlml_sqlengine::Engine;
 
@@ -26,11 +26,19 @@ pub struct StreamSessionConfig {
     pub splits_per_worker: u32,
     /// In-memory send-buffer bytes per peer (the paper used 4 KiB).
     pub send_buffer_bytes: usize,
-    /// Rows per `RowBatch` frame on the data plane.
+    /// Rows per `RowBatch` frame on the data plane (adaptive floor).
     pub batch_rows: usize,
-    /// Wire-byte target per frame (a frame closes at `batch_rows` rows or
+    /// Wire-byte target per frame (a frame closes at the row target or
     /// `frame_bytes` bytes, whichever comes first).
     pub frame_bytes: usize,
+    /// Sender threads per SQL worker: 0 = one dedicated thread per peer,
+    /// otherwise that many threads multiplex the peers.
+    pub sender_threads: usize,
+    /// Preferred wire codec; the group downgrades to legacy unless every
+    /// reader advertises compact support.
+    pub codec: WireCodec,
+    /// Adaptive batching ceiling in rows per frame (0 = auto).
+    pub batch_rows_max: usize,
     /// ML cluster layout for the launched job.
     pub ml_job: JobConfig,
     /// Directory for send-buffer spill files.
@@ -44,6 +52,9 @@ impl Default for StreamSessionConfig {
             send_buffer_bytes: 4 * 1024,
             batch_rows: BATCH_ROWS,
             frame_bytes: FRAME_BYTES,
+            sender_threads: 0,
+            codec: WireCodec::default(),
+            batch_rows_max: 0,
             ml_job: JobConfig::default(),
             spill_dir: std::env::temp_dir().join("sqlml-spill"),
         }
@@ -63,6 +74,16 @@ pub struct StreamStats {
     /// Max attempts over all SQL workers (>1 means the restart protocol
     /// fired).
     pub max_attempts: u32,
+    /// Microseconds encode threads stalled on full sender queues.
+    pub sender_stall_us: u64,
+    /// Most frames ever queued at once on any worker's sender queues.
+    pub queue_depth_hw: u64,
+    /// Compact-codec dictionary hits across all workers.
+    pub dict_hits: u64,
+    /// Compact-codec dictionary misses across all workers.
+    pub dict_misses: u64,
+    /// Wire bytes the compact codec saved vs the legacy string encoding.
+    pub dict_bytes_saved: u64,
     /// Rows the ML job actually ingested.
     pub rows_ingested: usize,
     /// Data-local splits on the ML side.
@@ -186,12 +207,15 @@ impl StreamSession {
 
         // Kick off the SQL side; this blocks until all rows are streamed.
         let sql = format!(
-            "SELECT * FROM TABLE(stream_transfer({table}, '{}', {transfer_id}, '{command}', {}, {}, {}, {})) AS s",
+            "SELECT * FROM TABLE(stream_transfer({table}, '{}', {transfer_id}, '{command}', {}, {}, {}, {}, {}, {}, {})) AS s",
             self.coordinator_addr(),
             config.splits_per_worker,
             config.send_buffer_bytes,
             config.batch_rows,
             config.frame_bytes,
+            config.sender_threads,
+            config.codec.as_byte(),
+            config.batch_rows_max,
         );
         let stats_result = engine.query(&sql);
 
@@ -231,6 +255,11 @@ impl StreamSession {
             stats.max_attempts = stats
                 .max_attempts
                 .max(sqlml_common::counter_u32(attempts, "max_attempts")?);
+            stats.sender_stall_us += stat_u64(&r, 7, "queue_stall_us")?;
+            stats.queue_depth_hw = stats.queue_depth_hw.max(stat_u64(&r, 8, "queue_depth_hw")?);
+            stats.dict_hits += stat_u64(&r, 9, "dict_hits")?;
+            stats.dict_misses += stat_u64(&r, 10, "dict_misses")?;
+            stats.dict_bytes_saved += stat_u64(&r, 11, "dict_bytes_saved")?;
         }
         Ok(StreamRunOutcome { job, stats })
     }

@@ -4,19 +4,21 @@
 //! Invoked as
 //! `TABLE(stream_transfer(result, '<coordinator-addr>', <transfer-id>,
 //! '<ml command>', <k>, <send-buffer-bytes>[, <batch-rows>[,
-//! <frame-bytes>]]))`, it runs once per partition (= per SQL worker):
-//! registers with the coordinator, accepts `k` reader connections, and
-//! streams the partition's rows round-robin over them through spillable
-//! send buffers. Its SQL-visible output is one statistics row per worker.
+//! <frame-bytes>[, <sender-threads>[, <codec>[, <batch-rows-max>]]]]]))`,
+//! it runs once per partition (= per SQL worker): registers with the
+//! coordinator, accepts `k` reader connections, and streams the
+//! partition's rows round-robin over them through spillable send buffers.
+//! Its SQL-visible output is one statistics row per worker.
 //!
-//! The data plane is batched and allocation-free on the hot path: rows
-//! are encoded straight from the partition slice into a reusable frame
-//! scratch (no intermediate `Vec<Row>` clones), frames are cut when they
-//! reach `batch_rows` rows *or* `frame_bytes` wire bytes (whichever comes
-//! first), and each peer's writer thread coalesces queued frames through
-//! a `BufWriter`, flushing only when its queue goes momentarily empty.
+//! The data plane is batched, overlapped, and allocation-free on the hot
+//! path: rows are encoded straight from the partition slice into a
+//! reusable frame scratch (no intermediate `Vec<Row>` clones), frames are
+//! cut when they reach the adaptive row target *or* `frame_bytes` wire
+//! bytes (whichever comes first), and the [`crate::sender`] threads drain
+//! the bounded per-peer queues so socket writes of batch N overlap the
+//! encode of batch N+1. The wire codec (legacy fixed-width vs compact
+//! varint+dictionary) is negotiated per group during the handshake.
 
-use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,20 +27,24 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use sqlml_common::schema::{DataType, Field};
-use sqlml_common::{Result, Row, Schema, SqlmlError, Value};
+use sqlml_common::{Result, Row, Schema, SqlmlError, Value, WireCodec};
 use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
 
 use crate::buffer::SpillableBuffer;
 use crate::protocol::{read_message, write_message, Message, RowBatchFrameBuilder};
+use crate::sender;
 
-/// Default rows per `RowBatch` frame.
+/// Default rows per `RowBatch` frame (the adaptive floor).
 pub const BATCH_ROWS: usize = 64;
 
 /// Default wire-byte target per frame — the paper's 4 KiB send buffer.
 pub const FRAME_BYTES: usize = 4096;
 
-/// Socket write buffer used by each peer's writer thread.
-const WRITE_BUFFER_BYTES: usize = 64 * 1024;
+/// Auto `batch_rows_max` = `batch_rows * BATCH_GROWTH_CAP`.
+pub const BATCH_GROWTH_CAP: usize = 16;
+
+/// Consecutive stall-free frames before the adaptive batcher shrinks.
+const CALM_FRAMES_TO_SHRINK: u32 = 8;
 
 /// How many times a SQL worker retries its whole group after a transfer
 /// failure (§6's restart protocol) before giving up.
@@ -94,6 +100,16 @@ pub struct WorkerTransferStats {
     pub bytes_spilled: u64,
     pub spill_events: u64,
     pub attempts: u32,
+    /// Microseconds the encode thread stalled on full sender queues.
+    pub queue_stall_us: u64,
+    /// Most frames ever queued at once across this worker's peers.
+    pub queue_depth_hw: u64,
+    /// Compact-codec dictionary hits (string values sent as an index).
+    pub dict_hits: u64,
+    /// Compact-codec dictionary misses (new entries written to a frame).
+    pub dict_misses: u64,
+    /// Wire bytes the compact codec saved vs the legacy string encoding.
+    pub dict_bytes_saved: u64,
 }
 
 impl WorkerTransferStats {
@@ -106,6 +122,11 @@ impl WorkerTransferStats {
             Value::Int(self.bytes_spilled as i64),
             Value::Int(self.spill_events as i64),
             Value::Int(self.attempts as i64),
+            Value::Int(self.queue_stall_us as i64),
+            Value::Int(self.queue_depth_hw as i64),
+            Value::Int(self.dict_hits as i64),
+            Value::Int(self.dict_misses as i64),
+            Value::Int(self.dict_bytes_saved as i64),
         ])
     }
 }
@@ -120,6 +141,11 @@ pub fn stats_schema() -> Schema {
         Field::new("bytes_spilled", DataType::Int),
         Field::new("spill_events", DataType::Int),
         Field::new("attempts", DataType::Int),
+        Field::new("queue_stall_us", DataType::Int),
+        Field::new("queue_depth_hw", DataType::Int),
+        Field::new("dict_hits", DataType::Int),
+        Field::new("dict_misses", DataType::Int),
+        Field::new("dict_bytes_saved", DataType::Int),
     ])
 }
 
@@ -133,6 +159,54 @@ struct TransferArgs {
     buffer_bytes: usize,
     batch_rows: usize,
     frame_bytes: usize,
+    /// Sender threads per group: 0 = one dedicated thread per peer.
+    sender_threads: usize,
+    /// This worker's preferred codec; the group uses it only when every
+    /// reader advertises it too.
+    codec: WireCodec,
+    /// Adaptive batching ceiling (rows per frame).
+    batch_rows_max: usize,
+}
+
+/// Grows the per-frame row target when the encode thread stalls on a full
+/// sender queue (frames too small to keep the sockets busy) and shrinks it
+/// back after a calm streak, within `[min, max]`.
+#[derive(Debug)]
+struct AdaptiveBatch {
+    min: usize,
+    max: usize,
+    current: usize,
+    calm_frames: u32,
+}
+
+impl AdaptiveBatch {
+    fn new(min: usize, max: usize) -> Self {
+        AdaptiveBatch {
+            min,
+            max: max.max(min),
+            current: min,
+            calm_frames: 0,
+        }
+    }
+
+    /// Rows to put in the next frame.
+    fn target(&self) -> usize {
+        self.current
+    }
+
+    /// Feed back one cut frame: did its queue push stall?
+    fn on_frame(&mut self, stalled: bool) {
+        if stalled {
+            self.current = self.current.saturating_mul(2).min(self.max);
+            self.calm_frames = 0;
+        } else {
+            self.calm_frames += 1;
+            if self.calm_frames >= CALM_FRAMES_TO_SHRINK {
+                self.current = (self.current / 2).max(self.min);
+                self.calm_frames = 0;
+            }
+        }
+    }
 }
 
 /// The streaming-transfer table UDF.
@@ -155,10 +229,11 @@ impl StreamTransferUdf {
     }
 
     fn parse_args(args: &[Value]) -> Result<TransferArgs> {
-        if !(5..=7).contains(&args.len()) {
+        if !(5..=10).contains(&args.len()) {
             return Err(SqlmlError::Plan(
                 "stream_transfer takes (coordinator_addr, transfer_id, command, k, \
-                 buffer_bytes[, batch_rows[, frame_bytes]])"
+                 buffer_bytes[, batch_rows[, frame_bytes[, sender_threads[, codec[, \
+                 batch_rows_max]]]]])"
                     .into(),
             ));
         }
@@ -169,6 +244,9 @@ impl StreamTransferUdf {
         let buffer = args[4].as_i64()?;
         let batch_rows = args.get(5).map(|v| v.as_i64()).transpose()?;
         let frame_bytes = args.get(6).map(|v| v.as_i64()).transpose()?;
+        let sender_threads = args.get(7).map(|v| v.as_i64()).transpose()?;
+        let codec_arg = args.get(8).map(|v| v.as_i64()).transpose()?;
+        let batch_rows_max = args.get(9).map(|v| v.as_i64()).transpose()?;
         if k < 1 {
             return Err(SqlmlError::Plan("k must be >= 1".into()));
         }
@@ -181,14 +259,41 @@ impl StreamTransferUdf {
         if frame_bytes.is_some_and(|b| b < 1) {
             return Err(SqlmlError::Plan("frame_bytes must be >= 1".into()));
         }
-        // All three are validated >= 1 above; sizes this large always
-        // fit in usize on the targets we build for.
+        if sender_threads.is_some_and(|s| s < 0) {
+            return Err(SqlmlError::Plan("sender_threads must be >= 0".into()));
+        }
+        if batch_rows_max.is_some_and(|m| m < 0) {
+            return Err(SqlmlError::Plan("batch_rows_max must be >= 0".into()));
+        }
+        let codec = match codec_arg {
+            None => WireCodec::default(),
+            Some(v) => {
+                let byte = u8::try_from(v)
+                    .map_err(|_| SqlmlError::Plan(format!("codec out of range: {v}")))?;
+                WireCodec::from_byte(byte).map_err(|e| SqlmlError::Plan(e.to_string()))?
+            }
+        };
+        // All sizes are validated non-negative above; sizes this large
+        // always fit in usize on the targets we build for.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let (buffer_bytes, batch_rows, frame_bytes) = (
+        let (buffer_bytes, batch_rows, frame_bytes, sender_threads, batch_rows_max) = (
             buffer as usize,
             batch_rows.map_or(BATCH_ROWS, |b| b as usize),
             frame_bytes.map_or(FRAME_BYTES, |b| b as usize),
+            sender_threads.map_or(0, |s| s as usize),
+            batch_rows_max.map_or(0, |m| m as usize),
         );
+        // 0 (or absent) = auto ceiling; anything else must leave room
+        // above the floor.
+        let batch_rows_max = match batch_rows_max {
+            0 => batch_rows.saturating_mul(BATCH_GROWTH_CAP),
+            m if m < batch_rows => {
+                return Err(SqlmlError::Plan(
+                    "batch_rows_max must be >= batch_rows (or 0 for auto)".into(),
+                ))
+            }
+            m => m,
+        };
         Ok(TransferArgs {
             coord_addr,
             transfer_id,
@@ -197,6 +302,9 @@ impl StreamTransferUdf {
             buffer_bytes,
             batch_rows,
             frame_bytes,
+            sender_threads,
+            codec,
+            batch_rows_max,
         })
     }
 }
@@ -280,6 +388,11 @@ impl TableUdf for StreamTransferUdf {
                     stats.batches_sent = sent.batches_sent;
                     stats.bytes_spilled = sent.bytes_spilled;
                     stats.spill_events = sent.spill_events;
+                    stats.queue_stall_us = sent.queue_stall_us;
+                    stats.queue_depth_hw = sent.queue_depth_hw;
+                    stats.dict_hits = sent.dict_hits;
+                    stats.dict_misses = sent.dict_misses;
+                    stats.dict_bytes_saved = sent.dict_bytes_saved;
                     return Ok(vec![stats.to_row()]);
                 }
                 Err(e) => {
@@ -300,12 +413,17 @@ struct AttemptCounters {
     batches_sent: u64,
     bytes_spilled: u64,
     spill_events: u64,
+    queue_stall_us: u64,
+    queue_depth_hw: u64,
+    dict_hits: u64,
+    dict_misses: u64,
+    dict_bytes_saved: u64,
 }
 
 impl StreamTransferUdf {
-    /// One attempt: accept `k` readers, stream all rows round-robin, end
-    /// each stream. Any failure tears the whole group down (the restart
-    /// granularity §6 prescribes).
+    /// One attempt: accept `k` readers, negotiate the group codec, stream
+    /// all rows round-robin, end each stream. Any failure tears the whole
+    /// group down (the restart granularity §6 prescribes).
     fn stream_group(
         &self,
         rows: &[Row],
@@ -316,12 +434,15 @@ impl StreamTransferUdf {
     ) -> Result<AttemptCounters> {
         let k = args.k as usize;
         // Accept k hellos (any split order), with a deadline so a dead ML
-        // job cannot hang the SQL worker forever.
+        // job cannot hang the SQL worker forever. `DataStart` is deferred
+        // until every peer has said hello: the group codec is the minimum
+        // over all advertisements, so one legacy reader downgrades the
+        // whole group rather than splitting it.
         listener.set_nonblocking(true)?;
         let deadline = std::time::Instant::now() + Duration::from_secs(60);
-        let mut conns: Vec<TcpStream> = Vec::with_capacity(k);
-        let mut seen = vec![false; k];
-        while conns.len() < k {
+        let mut slots: Vec<Option<(TcpStream, WireCodec)>> = (0..k).map(|_| None).collect();
+        let mut connected = 0usize;
+        while connected < k {
             let (mut stream, _) = match listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -342,9 +463,10 @@ impl StreamTransferUdf {
                 Message::DataHello {
                     transfer_id: tid,
                     split_index,
+                    codec,
                     ..
-                } if tid == args.transfer_id && (split_index as usize) < seen.len() => {
-                    if seen[split_index as usize] {
+                } if tid == args.transfer_id && (split_index as usize) < slots.len() => {
+                    if slots[split_index as usize].is_some() {
                         // Stale reader from a previous attempt: refuse it;
                         // it will reconnect.
                         write_message(
@@ -355,9 +477,8 @@ impl StreamTransferUdf {
                         )?;
                         continue;
                     }
-                    seen[split_index as usize] = true;
-                    write_message(&mut stream, &Message::DataStart { attempt })?;
-                    conns.push(stream);
+                    slots[split_index as usize] = Some((stream, codec));
+                    connected += 1;
                 }
                 _ => {
                     let _ = write_message(
@@ -369,69 +490,83 @@ impl StreamTransferUdf {
                 }
             }
         }
+        let group_codec = slots
+            .iter()
+            .flatten()
+            .fold(args.codec, |chosen, (_, peer)| chosen.negotiate(*peer));
+        let mut conns: Vec<TcpStream> = Vec::with_capacity(k);
+        for slot in slots {
+            let Some((mut stream, _)) = slot else {
+                return Err(SqlmlError::Transfer(
+                    "reader slot empty after barrier".into(),
+                ));
+            };
+            write_message(
+                &mut stream,
+                &Message::DataStart {
+                    attempt,
+                    codec: group_codec,
+                },
+            )?;
+            conns.push(stream);
+        }
 
-        // One spillable buffer + writer thread per peer.
+        // One bounded spillable buffer + sender thread share per peer.
+        // The backpressure bound sits well above the spill threshold so
+        // spilling still absorbs bursts; only a runaway queue stalls the
+        // encode thread (and that stall drives the adaptive batcher).
+        let queue_bound = args
+            .buffer_bytes
+            .saturating_mul(64)
+            .clamp(1 << 20, 64 << 20);
         let buffers: Vec<Arc<SpillableBuffer>> = (0..k)
             .map(|i| {
-                Arc::new(SpillableBuffer::new(
-                    args.buffer_bytes,
-                    &self.spill_dir,
-                    format!("w{}p{}a{attempt}s{i}", ctx.worker, ctx.partition),
-                ))
+                Arc::new(
+                    SpillableBuffer::new(
+                        args.buffer_bytes,
+                        &self.spill_dir,
+                        format!("w{}p{}a{attempt}s{i}", ctx.worker, ctx.partition),
+                    )
+                    .bounded(queue_bound),
+                )
             })
             .collect();
         let failed = Arc::new(AtomicBool::new(false));
 
         let result = std::thread::scope(|scope| -> Result<AttemptCounters> {
-            let writers: Vec<_> = conns
+            let peers: Vec<(TcpStream, Arc<SpillableBuffer>)> = conns
                 .into_iter()
-                .zip(buffers.iter())
-                .map(|(stream, buffer)| {
-                    let buffer = Arc::clone(buffer);
-                    let failed = Arc::clone(&failed);
-                    scope.spawn(move || -> Result<()> {
-                        // Coalesce: after a blocking pop, drain whatever
-                        // else is already queued through the BufWriter and
-                        // flush only when the queue goes momentarily
-                        // empty — small frames share one syscall.
-                        let mut writer = BufWriter::with_capacity(WRITE_BUFFER_BYTES, stream);
-                        let mut run = || -> Result<()> {
-                            while let Some(chunk) = buffer.pop()? {
-                                writer.write_all(&chunk)?;
-                                while let Some(chunk) = buffer.try_pop()? {
-                                    writer.write_all(&chunk)?;
-                                }
-                                writer.flush()?;
-                            }
-                            writer.flush()?;
-                            Ok(())
-                        };
-                        run().map_err(|e| {
-                            failed.store(true, Ordering::SeqCst);
-                            SqlmlError::Transfer(format!("peer write failed: {e}"))
-                        })
-                    })
-                })
+                .zip(buffers.iter().map(Arc::clone))
                 .collect();
+            let writers =
+                sender::spawn_senders(scope, peers, args.sender_threads, Arc::clone(&failed));
 
             // Producer: encode rows straight from the partition slice into
-            // per-peer frames, round-robin (step 8). Frames are cut at
-            // `batch_rows` rows or `frame_bytes` wire bytes.
+            // per-peer frames, round-robin (step 8). Frames are cut at the
+            // adaptive row target or `frame_bytes` wire bytes; queue-push
+            // stall feedback grows the target so slow sockets get fewer,
+            // larger frames.
             let mut counters = AttemptCounters::default();
             let mut per_peer_rows = vec![0u64; k];
             let mut peer = 0usize;
             let mut sent_rows = 0usize;
-            let mut builder = RowBatchFrameBuilder::with_capacity(args.frame_bytes + 1024);
-            let mut produce = |counters: &mut AttemptCounters| -> Result<()> {
+            let mut batcher = AdaptiveBatch::new(args.batch_rows, args.batch_rows_max);
+            let mut builder =
+                RowBatchFrameBuilder::with_codec(args.frame_bytes + 1024, group_codec);
+            let mut produce = |counters: &mut AttemptCounters,
+                               builder: &mut RowBatchFrameBuilder|
+             -> Result<()> {
                 let mut flush_frame = |builder: &mut RowBatchFrameBuilder,
                                        peer: &mut usize,
+                                       batcher: &mut AdaptiveBatch,
                                        counters: &mut AttemptCounters|
                  -> Result<()> {
                     let frame_rows = builder.rows() as u64;
                     let frame = builder.take_frame()?;
                     counters.bytes_sent += frame.len() as u64;
                     counters.batches_sent += 1;
-                    buffers[*peer].push(frame)?;
+                    let stalled = buffers[*peer].push(frame)?;
+                    batcher.on_frame(stalled > Duration::ZERO);
                     per_peer_rows[*peer] += frame_rows;
                     *peer = (*peer + 1) % k;
                     Ok(())
@@ -452,14 +587,14 @@ impl StreamTransferUdf {
                     }
                     builder.push_row(row)?;
                     sent_rows += 1;
-                    if builder.rows() as usize >= args.batch_rows
+                    if builder.rows() as usize >= batcher.target()
                         || builder.frame_len() >= args.frame_bytes
                     {
-                        flush_frame(&mut builder, &mut peer, counters)?;
+                        flush_frame(builder, &mut peer, &mut batcher, counters)?;
                     }
                 }
                 if !builder.is_empty() {
-                    flush_frame(&mut builder, &mut peer, counters)?;
+                    flush_frame(builder, &mut peer, &mut batcher, counters)?;
                 }
                 for (i, b) in buffers.iter().enumerate() {
                     let end = Message::DataEnd {
@@ -471,9 +606,9 @@ impl StreamTransferUdf {
                 }
                 Ok(())
             };
-            let produced = produce(&mut counters);
+            let produced = produce(&mut counters, &mut builder);
 
-            // Close buffers so writers drain and exit (even on failure,
+            // Close buffers so senders drain and exit (even on failure,
             // where sockets drop and readers see the break).
             for b in &buffers {
                 b.close();
@@ -482,7 +617,7 @@ impl StreamTransferUdf {
             for w in writers {
                 if let Err(e) = w
                     .join()
-                    .map_err(|_| SqlmlError::Transfer("writer thread panicked".into()))?
+                    .map_err(|_| SqlmlError::Transfer("sender thread panicked".into()))?
                 {
                     writer_err = Some(e);
                 }
@@ -491,6 +626,10 @@ impl StreamTransferUdf {
             if let Some(e) = writer_err {
                 return Err(e);
             }
+            let dict = builder.dict_stats();
+            counters.dict_hits = dict.hits;
+            counters.dict_misses = dict.misses;
+            counters.dict_bytes_saved = dict.bytes_saved;
             Ok(counters)
         });
 
@@ -499,6 +638,8 @@ impl StreamTransferUdf {
                 let s = b.stats();
                 counters.bytes_spilled += s.bytes_spilled;
                 counters.spill_events += s.spill_events;
+                counters.queue_stall_us += s.stall_us;
+                counters.queue_depth_hw = counters.queue_depth_hw.max(s.depth_high_water);
             }
             counters
         })
@@ -549,9 +690,56 @@ mod tests {
         let mut bad_frame = seven.clone();
         bad_frame[6] = Value::Int(-1);
         assert!(StreamTransferUdf::parse_args(&bad_frame).is_err());
-        let mut too_many = seven;
+        let mut ten = seven;
+        ten.push(Value::Int(2)); // sender_threads
+        ten.push(Value::Int(0)); // codec = legacy
+        ten.push(Value::Int(32)); // batch_rows_max
+        let parsed = StreamTransferUdf::parse_args(&ten).unwrap();
+        assert_eq!(parsed.sender_threads, 2);
+        assert_eq!(parsed.codec, WireCodec::Legacy);
+        assert_eq!(parsed.batch_rows_max, 32);
+        let mut too_many = ten.clone();
         too_many.push(Value::Int(1));
         assert!(StreamTransferUdf::parse_args(&too_many).is_err());
+        let mut bad_codec = ten.clone();
+        bad_codec[8] = Value::Int(7);
+        assert!(StreamTransferUdf::parse_args(&bad_codec).is_err());
+        let mut ceiling_below_floor = ten;
+        ceiling_below_floor[9] = Value::Int(4); // < batch_rows of 8
+        assert!(StreamTransferUdf::parse_args(&ceiling_below_floor).is_err());
+    }
+
+    #[test]
+    fn overlap_knobs_default_to_per_peer_compact_auto_ceiling() {
+        let args = StreamTransferUdf::parse_args(&good_args()).unwrap();
+        assert_eq!(args.sender_threads, 0, "default = dedicated per-peer");
+        assert_eq!(args.codec, WireCodec::Compact);
+        assert_eq!(args.batch_rows_max, BATCH_ROWS * BATCH_GROWTH_CAP);
+    }
+
+    #[test]
+    fn adaptive_batch_grows_on_stall_and_shrinks_after_calm() {
+        let mut b = AdaptiveBatch::new(64, 256);
+        assert_eq!(b.target(), 64);
+        b.on_frame(true);
+        assert_eq!(b.target(), 128);
+        b.on_frame(true);
+        b.on_frame(true); // clamped at max
+        assert_eq!(b.target(), 256);
+        for _ in 0..CALM_FRAMES_TO_SHRINK - 1 {
+            b.on_frame(false);
+            assert_eq!(b.target(), 256, "no shrink before the calm streak");
+        }
+        b.on_frame(false);
+        assert_eq!(b.target(), 128);
+        for _ in 0..2 * CALM_FRAMES_TO_SHRINK {
+            b.on_frame(false);
+        }
+        assert_eq!(b.target(), 64, "clamped at min");
+        // A degenerate ceiling pins the target.
+        let mut fixed = AdaptiveBatch::new(16, 16);
+        fixed.on_frame(true);
+        assert_eq!(fixed.target(), 16);
     }
 
     #[test]
@@ -575,12 +763,23 @@ mod tests {
             bytes_spilled: 128,
             spill_events: 1,
             attempts: 1,
+            queue_stall_us: 7,
+            queue_depth_hw: 9,
+            dict_hits: 40,
+            dict_misses: 4,
+            dict_bytes_saved: 300,
         };
         let row = s.to_row();
         assert_eq!(row.len(), stats_schema().len());
+        assert_eq!(row.len(), 12);
         assert_eq!(row.get(0), &Value::Int(2));
         assert_eq!(row.get(3), &Value::Int(3));
         assert_eq!(row.get(5), &Value::Int(1));
         assert_eq!(row.get(6), &Value::Int(1));
+        assert_eq!(row.get(7), &Value::Int(7));
+        assert_eq!(row.get(8), &Value::Int(9));
+        assert_eq!(row.get(9), &Value::Int(40));
+        assert_eq!(row.get(10), &Value::Int(4));
+        assert_eq!(row.get(11), &Value::Int(300));
     }
 }

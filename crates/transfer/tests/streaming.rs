@@ -9,7 +9,7 @@ use sqlml_common::{Row, SplitMix64};
 use sqlml_mlengine::job::JobConfig;
 use sqlml_mlengine::TrainedModel;
 use sqlml_sqlengine::{Engine, EngineConfig};
-use sqlml_transfer::{FaultInjector, StreamSession, StreamSessionConfig};
+use sqlml_transfer::{FaultInjector, StreamSession, StreamSessionConfig, WireCodec};
 
 /// A recoded-and-numeric table: features (x, y) + binary label, the shape
 /// the In-SQL transformation hands to the ML system.
@@ -158,6 +158,39 @@ fn rejects_unknown_commands_before_transfer() {
     assert!(session
         .run(&engine, "points", "bogus algo=1", &cfg)
         .is_err());
+}
+
+/// Codec negotiation satellite: the same table streamed under both wire
+/// codecs delivers identical row totals, and the compact varint encoding
+/// moves fewer wire bytes even on an all-numeric table (ints shrink to
+/// 1–2 varint bytes and per-row value counts to 1 byte).
+#[test]
+fn legacy_and_compact_codecs_deliver_identical_totals() {
+    let session = StreamSession::start().unwrap();
+    let mut bytes_by_codec = Vec::new();
+    for codec in [WireCodec::Legacy, WireCodec::Compact] {
+        let engine = engine_with_points(2, 800, 101);
+        let mut cfg = config(2, 2, 4096);
+        cfg.codec = codec;
+        session.install_udf(&engine, &cfg, None);
+        let outcome = session
+            .run(&engine, "points", "svm label=2 iterations=20", &cfg)
+            .unwrap();
+        assert_eq!(outcome.stats.rows_sent, 800, "{codec}: rows sent");
+        assert_eq!(outcome.stats.rows_ingested, 800, "{codec}: rows ingested");
+        assert_eq!(
+            outcome.stats.receive.rows_received, 800,
+            "{codec}: rows received"
+        );
+        assert_eq!(outcome.stats.max_attempts, 1, "{codec}: no restarts");
+        bytes_by_codec.push(outcome.stats.bytes_sent);
+    }
+    assert!(
+        bytes_by_codec[1] < bytes_by_codec[0],
+        "compact ({}) must move fewer wire bytes than legacy ({})",
+        bytes_by_codec[1],
+        bytes_by_codec[0]
+    );
 }
 
 #[test]

@@ -97,6 +97,51 @@ fn repeated_faults_on_one_worker_eventually_succeed_within_attempt_budget() {
     assert_eq!(outcome.stats.rows_ingested, expected);
 }
 
+/// Overlapped-plane fault satellite: with a tiny send buffer and small
+/// frames, the sender queues stay non-empty while a worker dies mid-
+/// stream; the restart protocol must still deliver exactly once even
+/// though undrained frames sat in the queues at failure time.
+#[test]
+fn fault_with_backed_up_sender_queue_is_exactly_once() {
+    let cluster = cluster();
+    let injector = Arc::new(FaultInjector::new());
+    injector.fail_worker_after(0, 120);
+    let mut cfg = cluster.stream_config();
+    // Tiny buffers and frames keep frames queued (and spilling) at the
+    // moment the fault fires.
+    cfg.send_buffer_bytes = 64;
+    cfg.batch_rows = 4;
+    cfg.frame_bytes = 256;
+    cluster
+        .stream
+        .install_udf(&cluster.engine, &cfg, Some(Arc::clone(&injector)));
+
+    let engine = &cluster.engine;
+    engine
+        .execute(&format!("CREATE TABLE prep3 AS {PREP_QUERY}"))
+        .unwrap();
+    let transformer = sqlml_transform::InSqlTransformer::new(engine.clone());
+    let out = transformer
+        .transform("prep3", &TransformSpec::default())
+        .unwrap();
+    let expected = out.table.num_rows();
+    engine.register_table("handoff3", out.table);
+
+    let outcome = cluster
+        .stream
+        .run(engine, "handoff3", "nb label=3", &cfg)
+        .unwrap();
+    assert_eq!(injector.fired().len(), 1, "fault must have fired");
+    assert_eq!(outcome.stats.max_attempts, 2, "one restart");
+    assert_eq!(outcome.stats.rows_ingested, expected, "exactly once");
+    assert_eq!(outcome.stats.rows_sent as usize, expected);
+    assert!(
+        outcome.stats.queue_depth_hw > 0,
+        "frames must actually have queued: {:?}",
+        outcome.stats
+    );
+}
+
 #[test]
 fn losing_all_replicas_fails_the_naive_pipeline_loudly() {
     let config = ClusterConfig {

@@ -24,10 +24,12 @@ const SCOPED_SRC: [&str; 5] = [
 ];
 
 /// Files where the lock-across-I/O rule applies (coordinator control
-/// plane: one slow peer must not stall the mutex for everyone).
-const LOCK_SCOPED: [&str; 2] = [
+/// plane and sender data plane: one slow peer must not stall a mutex —
+/// or a sender queue's lock — for everyone).
+const LOCK_SCOPED: [&str; 3] = [
     "crates/transfer/src/coordinator.rs",
     "crates/transfer/src/session.rs",
+    "crates/transfer/src/sender.rs",
 ];
 
 fn workspace_root() -> PathBuf {
