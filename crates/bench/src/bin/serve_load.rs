@@ -1,0 +1,301 @@
+//! **Serving-plane load generator (§10 scheduler).**
+//!
+//! Drives one shared [`SimCluster`] through the [`QueryScheduler`] with a
+//! closed-loop multi-tenant workload and reports what an operator would
+//! watch: latency percentiles (p50/p95/p99), goodput, admission rejects,
+//! and deadline behaviour.
+//!
+//! Three phases:
+//!
+//! 1. **baseline** — each strategy runs once sequentially; its
+//!    `rows_to_ml` becomes the ground truth for the concurrent phase.
+//! 2. **load** — `--queries` requests burst in from three weighted
+//!    tenants (gold 4 / silver 2 / bronze 1), mixed strategies, all in
+//!    flight together. Every admitted query's result must match the
+//!    baseline row count for its strategy.
+//! 3. **overload + deadline** — a burst against a tiny queue forces
+//!    `QueueFull` rejects with reasons, and a microsecond deadline shows
+//!    a query cancelling cleanly while the cluster stays usable.
+//!
+//! Run: `cargo run --release -p sqlml-bench --bin serve_load`
+//! Flags: `--queries N --inflight N --queue-cap N --worker-slots N`
+//! `--carts N --seed N --no-cache --verbose`
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sqlml_bench::check_shape;
+use sqlml_core::workload::{WorkloadScale, PREP_QUERY};
+use sqlml_core::{ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy};
+use sqlml_sched::{QueryScheduler, QuerySpec, QueryStatus, RejectReason, SchedulerConfig};
+use sqlml_transform::TransformSpec;
+use std::sync::Arc;
+
+const STRATEGIES: [Strategy; 3] = [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream];
+const TENANTS: [(&str, u32); 3] = [("gold", 4), ("silver", 2), ("bronze", 1)];
+const COMMANDS: [&str; 3] = [
+    "svm label=4 iterations=5",
+    "logreg label=4 iterations=5",
+    "nb label=4",
+];
+
+struct Args {
+    queries: usize,
+    inflight: usize,
+    queue_cap: usize,
+    worker_slots: usize,
+    carts: usize,
+    seed: u64,
+    cache: bool,
+    verbose: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            queries: 24,
+            inflight: 8,
+            queue_cap: 64,
+            worker_slots: 0,
+            carts: 0,
+            seed: 42,
+            cache: true,
+            verbose: false,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--no-cache" => {
+                    a.cache = false;
+                    i += 1;
+                    continue;
+                }
+                "--verbose" => {
+                    a.verbose = true;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            let value = argv
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{} takes a value", argv[i]));
+            match argv[i].as_str() {
+                "--queries" => a.queries = value.parse().expect("--queries takes a number"),
+                "--inflight" => a.inflight = value.parse().expect("--inflight takes a number"),
+                "--queue-cap" => a.queue_cap = value.parse().expect("--queue-cap takes a number"),
+                "--worker-slots" => {
+                    a.worker_slots = value.parse().expect("--worker-slots takes a number")
+                }
+                "--carts" => a.carts = value.parse().expect("--carts takes a number"),
+                "--seed" => a.seed = value.parse().expect("--seed takes a number"),
+                other => panic!("unknown argument {other:?}"),
+            }
+            i += 2;
+        }
+        a
+    }
+}
+
+fn request(i: usize) -> PipelineRequest {
+    PipelineRequest {
+        prep_sql: PREP_QUERY.to_string(),
+        spec: TransformSpec::new(&["gender"]),
+        ml_command: COMMANDS[i % COMMANDS.len()].to_string(),
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = if args.carts == 0 {
+        WorkloadScale::SMALL
+    } else {
+        WorkloadScale::with_carts(args.carts)
+    };
+    let cluster = Arc::new({
+        let c = SimCluster::start(ClusterConfig::default()).expect("cluster");
+        c.load_workload(scale, args.seed).expect("workload");
+        c
+    });
+    println!(
+        "serve_load: {} queries, {} executor threads, queue cap {}, cache {}\n",
+        args.queries,
+        args.inflight,
+        args.queue_cap,
+        if args.cache { "on" } else { "off" }
+    );
+
+    // --- phase 1: sequential baseline ---------------------------------
+    let mut baseline: HashMap<&str, usize> = HashMap::new();
+    let t0 = Instant::now();
+    {
+        let pipeline = Pipeline::new(&cluster);
+        for (i, strategy) in STRATEGIES.into_iter().enumerate() {
+            let report = pipeline.run(&request(i), strategy).expect("baseline run");
+            baseline.insert(strategy.label(), report.rows_to_ml);
+        }
+    }
+    let seq_per_query = t0.elapsed() / STRATEGIES.len() as u32;
+    println!(
+        "baseline (sequential): {:?}/query, rows_to_ml {:?}",
+        seq_per_query, baseline
+    );
+
+    // --- phase 2: concurrent load -------------------------------------
+    let sched = QueryScheduler::start(
+        Arc::clone(&cluster),
+        SchedulerConfig {
+            max_concurrent: args.inflight,
+            queue_capacity: args.queue_cap,
+            worker_slots: args.worker_slots,
+            default_deadline: None,
+            enable_cache: args.cache,
+        },
+    );
+    for (tenant, weight) in TENANTS {
+        sched.set_tenant_weight(tenant, weight);
+    }
+    let t1 = Instant::now();
+    let handles: Vec<_> = (0..args.queries)
+        .map(|i| {
+            let (tenant, _) = TENANTS[i % TENANTS.len()];
+            let strategy = STRATEGIES[i % STRATEGIES.len()];
+            sched
+                .submit(QuerySpec::new(tenant, request(i), strategy))
+                .expect("burst within queue capacity")
+        })
+        .collect();
+    let burst_hw = sched.stats().inflight_high_water;
+
+    let mut latencies = Vec::with_capacity(handles.len());
+    let mut mismatches = 0usize;
+    for h in &handles {
+        let result = h.wait();
+        match result.as_ref() {
+            Ok(report) => {
+                if baseline.get(h.strategy().label()) != Some(&report.rows_to_ml) {
+                    mismatches += 1;
+                }
+            }
+            Err(e) => panic!("query {} failed under load: {e}", h.id()),
+        }
+        let lat = h.latency().expect("finished queries have latency");
+        if args.verbose {
+            println!(
+                "  q{:<3} {:7} {:10} queued {:>8.1?} running {:>8.1?}",
+                h.id(),
+                h.tenant(),
+                h.strategy().label(),
+                lat.queued,
+                lat.running
+            );
+        }
+        latencies.push(lat.total);
+    }
+    let wall = t1.elapsed();
+    latencies.sort();
+    let s = sched.stats();
+    let goodput = s.completed as f64 / wall.as_secs_f64();
+    println!(
+        "\nconcurrent load ({} queries, wall {:?}):",
+        handles.len(),
+        wall
+    );
+    println!(
+        "  p50 {:?}  p95 {:?}  p99 {:?}",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0)
+    );
+    println!(
+        "  goodput {goodput:.2} queries/s  in-flight high water {}  slots {:?}",
+        burst_hw,
+        sched.slot_usage()
+    );
+    sched.shutdown();
+
+    // --- phase 3: overload rejects + deadline cancellation ------------
+    let tiny = QueryScheduler::start(
+        Arc::clone(&cluster),
+        SchedulerConfig {
+            max_concurrent: 1,
+            queue_capacity: 4,
+            worker_slots: args.worker_slots,
+            default_deadline: None,
+            enable_cache: args.cache,
+        },
+    );
+    let mut admitted = Vec::new();
+    let mut rejects = Vec::new();
+    for i in 0..32 {
+        match tiny.submit(QuerySpec::new("burst", request(i), Strategy::InSql)) {
+            Ok(h) => admitted.push(h),
+            Err(r) => rejects.push(r),
+        }
+    }
+    let queue_full = rejects
+        .iter()
+        .filter(|r| matches!(r.reason, RejectReason::QueueFull { .. }))
+        .count();
+    println!("\noverload (burst of 32 at queue cap 4):");
+    println!("  admitted {}, rejected {}", admitted.len(), rejects.len());
+    if let Some(r) = rejects.first() {
+        println!("  sample reject: {r}");
+    }
+
+    let doomed = tiny
+        .submit(
+            QuerySpec::new("deadline", request(0), Strategy::InSqlStream)
+                .with_deadline(Duration::from_micros(1)),
+        )
+        .expect("deadline demo admits");
+    let doomed_result = doomed.wait();
+    let deadline_cancelled = doomed.status() == QueryStatus::Cancelled;
+    println!(
+        "  deadline demo: status {:?} ({})",
+        doomed.status(),
+        match doomed_result.as_ref() {
+            Ok(_) => "completed before the token fired".to_string(),
+            Err(e) => e.to_string(),
+        }
+    );
+    // The cluster is still healthy after rejects and cancellation.
+    let after = tiny
+        .submit(QuerySpec::new("burst", request(0), Strategy::InSql))
+        .expect("post-overload admit");
+    let after_ok = after.wait().as_ref().is_ok();
+    for h in admitted {
+        let _ = h.wait();
+    }
+    tiny.shutdown();
+
+    let ok = check_shape(
+        &format!("every admitted query matched its baseline rows_to_ml ({mismatches} mismatches)"),
+        mismatches == 0,
+    ) & check_shape(
+        &format!("at least 8 queries were in flight together (high water {burst_hw})"),
+        burst_hw >= 8,
+    ) & check_shape(
+        &format!(
+            "overload rejected with QueueFull reasons ({queue_full} of {})",
+            rejects.len()
+        ),
+        queue_full > 0 && queue_full == rejects.len(),
+    ) & check_shape(
+        "a 1µs deadline cancelled cleanly",
+        deadline_cancelled && doomed_result.as_ref().is_err(),
+    ) & check_shape(
+        "the cluster served a query after overload + cancel",
+        after_ok,
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -99,6 +99,15 @@ impl CacheManager {
     /// engine catalog and records the entry. Also records the recode map
     /// (a full entry subsumes a map entry). Returns the materialized
     /// table's name.
+    ///
+    /// Concurrency: two queries that miss on the same descriptor at the
+    /// same time both arrive here with a freshly computed result. The
+    /// first store wins; the duplicate's table is simply never registered
+    /// (the caller's copy is dropped), so the cache cannot accumulate
+    /// redundant materializations under load. The check and the insert
+    /// happen under one lock, and the table is registered inside that
+    /// critical section so a concurrent [`CacheManager::lookup`] never
+    /// observes an entry whose table is missing from the catalog.
     pub fn store_full(
         &self,
         descriptor: QueryDescriptor,
@@ -106,27 +115,41 @@ impl CacheManager {
         map: RecodeMap,
         table: sqlml_sqlengine::PartitionedTable,
     ) -> String {
+        let mut full = self.full.lock();
+        if let Some(existing) = full
+            .iter()
+            .find(|e| e.descriptor == descriptor && e.spec == spec)
+        {
+            return existing.table_name.clone();
+        }
         let table_name = format!(
             "__sqlml_cache_{}",
             self.next_id.fetch_add(1, Ordering::Relaxed)
         );
         self.engine.register_table(&table_name, table);
-        self.maps.lock().push(MapEntry {
+        full.push(FullEntry {
             descriptor: descriptor.clone(),
-            map: map.clone(),
-        });
-        self.full.lock().push(FullEntry {
-            descriptor,
             spec,
-            map,
+            map: map.clone(),
             table_name: table_name.clone(),
         });
+        // Lock order is always full → maps (see `invalidate_all`).
+        drop(full);
+        self.store_recode_map(descriptor, map);
         table_name
     }
 
-    /// Store just a recode map.
+    /// Store just a recode map (the first identical store wins; maps
+    /// covering different column sets for the same descriptor coexist).
     pub fn store_recode_map(&self, descriptor: QueryDescriptor, map: RecodeMap) {
-        self.maps.lock().push(MapEntry { descriptor, map });
+        let mut maps = self.maps.lock();
+        if maps
+            .iter()
+            .any(|e| e.descriptor == descriptor && e.map == map)
+        {
+            return;
+        }
+        maps.push(MapEntry { descriptor, map });
     }
 
     /// Number of entries (full, maps).
@@ -530,6 +553,35 @@ mod tests {
         cache.invalidate_all();
         assert!(cache.is_empty());
         assert!(!e.catalog().has_table(&name));
+    }
+
+    #[test]
+    fn concurrent_identical_misses_store_one_entry() {
+        // Two (here: eight) queries that miss simultaneously both try to
+        // populate the cache; only one materialization may survive.
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        e.execute(&format!("CREATE TABLE prep AS {PREP}")).unwrap();
+        let tr = InSqlTransformer::new(e.clone());
+        let out = tr.transform("prep", &spec).unwrap();
+        e.execute("DROP TABLE prep").unwrap();
+        let d = descriptor(&e, PREP);
+        let names: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (cache, d, spec) = (&cache, d.clone(), spec.clone());
+                    let (map, table) = (out.recode_map.clone(), out.table.clone());
+                    s.spawn(move || cache.store_full(d, spec, map, table))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every storer was told the same winning table name.
+        assert!(names.windows(2).all(|w| w[0] == w[1]), "{names:?}");
+        assert_eq!(cache.len(), (1, 1));
+        assert!(e.catalog().has_table(&names[0]));
+        assert!(matches!(cache.lookup(&d, &spec), CacheDecision::Full(_)));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Cooperative cancellation for long-running pipeline work.
+//!
+//! A [`CancelToken`] is a cheaply clonable flag shared between a query's
+//! owner (a scheduler, a deadline watchdog, a user) and the stages doing
+//! the work. Stages poll it at natural checkpoints — stage boundaries,
+//! frame cuts on the streaming data plane, accept-loop ticks — and bail
+//! out with [`SqlmlError::Cancelled`] when it fires. Nothing is ever
+//! killed preemptively: every thread unwinds through its normal error
+//! path, so sockets, spill files, and temp tables are released exactly as
+//! they are on any other failure.
+//!
+//! Tokens may carry a **deadline**: the token reports itself cancelled as
+//! soon as the deadline passes, with no watchdog thread required (the
+//! first stage to poll after the deadline observes it).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::error::{Result, SqlmlError};
+
+/// A shared cancellation flag, optionally with a deadline.
+///
+/// Clones observe the same flag. The default token never fires on its
+/// own and is what non-scheduled (direct) pipeline runs use.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// First cancellation reason wins; later calls are no-ops.
+    reason: OnceLock<String>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that fires only when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `timeout` has elapsed.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: OnceLock::new(),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// Fire the token. The first reason recorded is the one reported;
+    /// repeated calls are harmless.
+    pub fn cancel(&self, reason: &str) {
+        let _ = self.inner.reason.set(reason.to_string());
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the token fired (explicitly, or by passing its deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.inner.reason.set("deadline exceeded".to_string());
+                self.inner.cancelled.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Poll at a checkpoint: `Err(SqlmlError::Cancelled)` naming the
+    /// stage once the token has fired, `Ok(())` otherwise.
+    pub fn check(&self, stage: &str) -> Result<()> {
+        if self.is_cancelled() {
+            let why = self.reason().unwrap_or("cancelled");
+            Err(SqlmlError::Cancelled(format!("{stage}: {why}")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The recorded cancellation reason, if the token has fired.
+    pub fn reason(&self) -> Option<&str> {
+        self.inner.reason.get().map(String::as_str)
+    }
+
+    /// Time left before the deadline (`None` for deadline-free tokens;
+    /// zero once the deadline has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check("stage").is_ok());
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_fires_for_all_clones_and_keeps_first_reason() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel("user asked");
+        t.cancel("second reason ignored");
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.reason(), Some("user asked"));
+        let err = clone.check("trsfm").unwrap_err();
+        assert!(matches!(err, SqlmlError::Cancelled(_)));
+        assert!(err.to_string().contains("trsfm"), "{err}");
+        assert!(err.to_string().contains("user asked"), "{err}");
+    }
+
+    #[test]
+    fn deadline_token_fires_after_timeout() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some("deadline exceeded"));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_some_and(|r| r > Duration::from_secs(3500)));
+        // An explicit cancel still beats the deadline's stock reason.
+        t.cancel("shutdown");
+        assert_eq!(t.reason(), Some("shutdown"));
+    }
+}

@@ -48,6 +48,11 @@ pub enum SqlmlError {
     /// boundary, out-of-range column reference, bad UDF signature, …).
     /// Produced by the plan semantic analyzer, never at runtime.
     PlanValidation(String),
+    /// The request was cooperatively cancelled (explicitly, or by passing
+    /// its deadline) before it completed. Carries the stage that observed
+    /// the cancellation and the recorded reason. Not a fault: resources
+    /// are released through the normal error path.
+    Cancelled(String),
 }
 
 impl fmt::Display for SqlmlError {
@@ -66,6 +71,7 @@ impl fmt::Display for SqlmlError {
             SqlmlError::FrameTooLarge(m) => write!(f, "frame too large: {m}"),
             SqlmlError::Overflow(m) => write!(f, "counter overflow: {m}"),
             SqlmlError::PlanValidation(m) => write!(f, "plan validation error: {m}"),
+            SqlmlError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }
@@ -90,6 +96,12 @@ impl SqlmlError {
     /// (directly, or as the io/transfer surface of an injected fault).
     pub fn is_injected(&self) -> bool {
         matches!(self, SqlmlError::InjectedFault(_))
+    }
+
+    /// True when the error is a cooperative cancellation (deadline or
+    /// explicit cancel) rather than a genuine failure.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SqlmlError::Cancelled(_))
     }
 }
 

@@ -7,6 +7,7 @@
 //! defined here.
 
 pub mod alloc;
+pub mod cancel;
 pub mod codec;
 pub mod error;
 pub mod intern;
@@ -16,6 +17,7 @@ pub mod schema;
 pub mod timer;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use codec::{DictStats, WireCodec};
 pub use error::{counter_u32, wire_u32, Result, SqlmlError};
 pub use intern::Interner;

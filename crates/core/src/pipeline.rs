@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sqlml_cache::{CacheDecision, CacheManager, QueryDescriptor};
-use sqlml_common::{Result, SqlmlError, StageTimer};
+use sqlml_common::{CancelToken, Result, SqlmlError, StageTimer};
 use sqlml_mlengine::job::{JobRunner, TrainedModel, TrainingSpec};
 use sqlml_sqlengine::parser::parse_select;
 use sqlml_sqlengine::PartitionedTable;
@@ -147,8 +147,15 @@ impl<'c> Pipeline<'c> {
 
     /// A pipeline with the §5 cache enabled.
     pub fn with_cache(cluster: &'c SimCluster) -> Pipeline<'c> {
+        Pipeline::with_shared_cache(cluster, Arc::new(CacheManager::new(cluster.engine.clone())))
+    }
+
+    /// A pipeline over a **shared** cache manager — the serving-plane
+    /// shape, where many concurrent pipelines populate and hit one §5
+    /// cache on the same cluster.
+    pub fn with_shared_cache(cluster: &'c SimCluster, cache: Arc<CacheManager>) -> Pipeline<'c> {
         let mut p = Pipeline::new(cluster);
-        p.cache = Some(Arc::new(CacheManager::new(cluster.engine.clone())));
+        p.cache = Some(cache);
         p
     }
 
@@ -158,17 +165,37 @@ impl<'c> Pipeline<'c> {
 
     /// Run one request under the chosen strategy.
     pub fn run(&self, req: &PipelineRequest, strategy: Strategy) -> Result<PipelineReport> {
+        self.run_with(req, strategy, &CancelToken::new())
+    }
+
+    /// [`Pipeline::run`] with a cooperative cancellation token. The token
+    /// is polled at every stage boundary, and inside the streaming
+    /// transfer at every frame cut; when it fires, the run unwinds with
+    /// [`SqlmlError::Cancelled`] through the normal error path (temp
+    /// tables dropped, DFS staging directories deleted, sockets closed).
+    pub fn run_with(
+        &self,
+        req: &PipelineRequest,
+        strategy: Strategy,
+        cancel: &CancelToken,
+    ) -> Result<PipelineReport> {
         let ml_spec = TrainingSpec::parse(&req.ml_command)?;
+        cancel.check("admission")?;
         match strategy {
-            Strategy::Naive => self.run_naive(req, &ml_spec),
-            Strategy::InSql => self.run_insql(req, &ml_spec),
-            Strategy::InSqlStream => self.run_insql_stream(req, &ml_spec),
+            Strategy::Naive => self.run_naive(req, &ml_spec, cancel),
+            Strategy::InSql => self.run_insql(req, &ml_spec, cancel),
+            Strategy::InSqlStream => self.run_insql_stream(req, &ml_spec, cancel),
         }
     }
 
     // -- naive ------------------------------------------------------------
 
-    fn run_naive(&self, req: &PipelineRequest, ml_spec: &TrainingSpec) -> Result<PipelineReport> {
+    fn run_naive(
+        &self,
+        req: &PipelineRequest,
+        ml_spec: &TrainingSpec,
+        cancel: &CancelToken,
+    ) -> Result<PipelineReport> {
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir_prep = format!("/tmp_pipeline/{seq}/prep");
         let dir_tfm = format!("/tmp_pipeline/{seq}/trsfm");
@@ -176,37 +203,45 @@ impl<'c> Pipeline<'c> {
         let engine = &self.cluster.engine;
         let mut timer = StageTimer::new();
 
-        // Stage 1: run the query, materialize on the DFS.
-        let prep_schema = engine.validate(&req.prep_sql)?;
-        timer.time("prep", || {
-            engine.query_to_dfs(&req.prep_sql, dfs, &dir_prep)
-        })?;
+        // Staging directories must not outlive a cancelled (or failed)
+        // run, so the staged work runs in a closure and the cleanup
+        // happens on both exits.
+        let staged = (|| {
+            // Stage 1: run the query, materialize on the DFS.
+            let prep_schema = engine.validate(&req.prep_sql)?;
+            timer.time("prep", || {
+                engine.query_to_dfs(&req.prep_sql, dfs, &dir_prep)
+            })?;
+            cancel.check("prep")?;
 
-        // Stage 2: the external (Jaql-substitute) transformation,
-        // DFS → DFS.
-        let external = timer.time("trsfm", || {
-            run_external_transform(dfs, &dir_prep, &prep_schema, &req.spec, &dir_tfm)
-        })?;
+            // Stage 2: the external (Jaql-substitute) transformation,
+            // DFS → DFS.
+            let external = timer.time("trsfm", || {
+                run_external_transform(dfs, &dir_prep, &prep_schema, &req.spec, &dir_tfm)
+            })?;
+            cancel.check("trsfm")?;
 
-        // Stage 3: ML job ingests from the DFS.
-        let fmt = self
-            .cluster
-            .text_input_format(&dir_tfm, external.schema.clone());
-        let runner = JobRunner::new(self.cluster.ml_job_config());
-        let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
-        timer.record("input for ml", ingest.duration);
+            // Stage 3: ML job ingests from the DFS.
+            let fmt = self
+                .cluster
+                .text_input_format(&dir_tfm, external.schema.clone());
+            let runner = JobRunner::new(self.cluster.ml_job_config());
+            let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
+            timer.record("input for ml", ingest.duration);
+            cancel.check("input for ml")?;
 
-        let t_train = Instant::now();
-        let model = runner.train(&dataset, ml_spec)?;
-        let train_time = t_train.elapsed();
-
+            let t_train = Instant::now();
+            let model = runner.train(&dataset, ml_spec)?;
+            Ok::<_, SqlmlError>((model, ingest.rows, t_train.elapsed()))
+        })();
         self.cleanup_dir(&dir_prep);
         self.cleanup_dir(&dir_tfm);
+        let (model, rows_to_ml, train_time) = staged?;
         Ok(PipelineReport {
             strategy: Strategy::Naive,
             timer,
             model,
-            rows_to_ml: ingest.rows,
+            rows_to_ml,
             cache_use: CacheMode::None,
             stream_stats: None,
             train_time,
@@ -215,38 +250,47 @@ impl<'c> Pipeline<'c> {
 
     // -- insql ------------------------------------------------------------
 
-    fn run_insql(&self, req: &PipelineRequest, ml_spec: &TrainingSpec) -> Result<PipelineReport> {
+    fn run_insql(
+        &self,
+        req: &PipelineRequest,
+        ml_spec: &TrainingSpec,
+        cancel: &CancelToken,
+    ) -> Result<PipelineReport> {
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir_tfm = format!("/tmp_pipeline/{seq}/insql");
         let dfs = &self.cluster.dfs;
         let mut timer = StageTimer::new();
 
-        // Stage 1 (pipelined): prep query + In-SQL transformation, then
-        // one materialization onto the DFS for the hand-off.
-        let (transformed, cache_use) = timer.time("prep+trsfm", || {
-            let out = self.prepare_and_transform(req)?;
-            out.0.save_text(dfs, &dir_tfm)?;
-            Ok::<_, SqlmlError>(out)
-        })?;
+        let staged = (|| {
+            // Stage 1 (pipelined): prep query + In-SQL transformation,
+            // then one materialization onto the DFS for the hand-off.
+            let (transformed, cache_use) = timer.time("prep+trsfm", || {
+                let out = self.prepare_and_transform(req)?;
+                out.0.save_text(dfs, &dir_tfm)?;
+                Ok::<_, SqlmlError>(out)
+            })?;
+            cancel.check("prep+trsfm")?;
 
-        // Stage 2: ML ingests the hand-off files.
-        let fmt = self
-            .cluster
-            .text_input_format(&dir_tfm, transformed.schema().clone());
-        let runner = JobRunner::new(self.cluster.ml_job_config());
-        let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
-        timer.record("input for ml", ingest.duration);
+            // Stage 2: ML ingests the hand-off files.
+            let fmt = self
+                .cluster
+                .text_input_format(&dir_tfm, transformed.schema().clone());
+            let runner = JobRunner::new(self.cluster.ml_job_config());
+            let (dataset, ingest) = runner.ingest_dataset(&fmt, ml_spec.label_col())?;
+            timer.record("input for ml", ingest.duration);
+            cancel.check("input for ml")?;
 
-        let t_train = Instant::now();
-        let model = runner.train(&dataset, ml_spec)?;
-        let train_time = t_train.elapsed();
-
+            let t_train = Instant::now();
+            let model = runner.train(&dataset, ml_spec)?;
+            Ok::<_, SqlmlError>((model, ingest.rows, cache_use, t_train.elapsed()))
+        })();
         self.cleanup_dir(&dir_tfm);
+        let (model, rows_to_ml, cache_use, train_time) = staged?;
         Ok(PipelineReport {
             strategy: Strategy::InSql,
             timer,
             model,
-            rows_to_ml: ingest.rows,
+            rows_to_ml,
             cache_use,
             stream_stats: None,
             train_time,
@@ -259,6 +303,7 @@ impl<'c> Pipeline<'c> {
         &self,
         req: &PipelineRequest,
         _ml_spec: &TrainingSpec,
+        cancel: &CancelToken,
     ) -> Result<PipelineReport> {
         let engine = &self.cluster.engine;
         let mut timer = StageTimer::new();
@@ -268,15 +313,19 @@ impl<'c> Pipeline<'c> {
         // stream straight into the freshly launched ML job — nothing
         // touches the file system.
         let (transformed, cache_use) = self.prepare_and_transform(req)?;
+        cancel.check("prep+trsfm")?;
         let tmp = format!(
             "__pipeline_stream_{}",
             RUN_SEQ.fetch_add(1, Ordering::Relaxed)
         );
         engine.register_table(&tmp, transformed);
-        let outcome =
-            self.cluster
-                .stream
-                .run(engine, &tmp, &req.ml_command, &self.cluster.stream_config());
+        let outcome = self.cluster.stream.run_with_cancel(
+            engine,
+            &tmp,
+            &req.ml_command,
+            &self.cluster.stream_config(),
+            cancel,
+        );
         let _ = engine.catalog().drop_table(&tmp);
         let outcome = outcome?;
 

@@ -1,0 +1,156 @@
+//! The worker-slot resource governor.
+//!
+//! One slot ≙ one engine worker thread (SQL or ML). An admitted pipeline
+//! must acquire as many slots as the workers it will occupy *before* it
+//! starts executing, and holds them for the whole run — so however many
+//! pipelines are in flight, the number actually executing never
+//! oversubscribes the capacity the operator configured. A counting
+//! semaphore (mutex + condvar) rather than a per-resource lock: slots
+//! are fungible.
+//!
+//! Waiting is cancellation-aware: a queued pipeline whose deadline fires
+//! while it waits for slots gives up immediately instead of executing a
+//! doomed run.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use sqlml_common::{CancelToken, Result};
+
+/// How often a slot waiter re-polls its cancellation token. Waiters are
+/// also woken eagerly whenever slots free up; this bounds only the
+/// latency of observing a deadline while every slot stays busy.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
+
+/// Counting semaphore over fungible worker slots.
+#[derive(Debug)]
+pub struct WorkerGovernor {
+    capacity: usize,
+    in_use: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl WorkerGovernor {
+    pub fn new(capacity: usize) -> WorkerGovernor {
+        WorkerGovernor {
+            capacity: capacity.max(1),
+            in_use: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> usize {
+        *self.in_use.lock()
+    }
+
+    /// Block until `want` slots are free, then take them. A request
+    /// larger than the whole capacity is clamped to it (one query may
+    /// use the entire cluster, never more than exists — otherwise it
+    /// could never run). Returns a guard that releases on drop, or
+    /// [`sqlml_common::SqlmlError::Cancelled`] if the token fires while
+    /// waiting.
+    pub fn acquire(&self, want: usize, cancel: &CancelToken) -> Result<SlotGuard<'_>> {
+        let want = want.clamp(1, self.capacity);
+        let mut in_use = self.in_use.lock();
+        loop {
+            cancel.check("worker-slot wait")?;
+            if *in_use + want <= self.capacity {
+                *in_use += want;
+                return Ok(SlotGuard {
+                    governor: self,
+                    slots: want,
+                });
+            }
+            self.freed.wait_for(&mut in_use, CANCEL_POLL);
+        }
+    }
+}
+
+/// RAII slot lease; dropping it returns the slots and wakes waiters.
+#[derive(Debug)]
+pub struct SlotGuard<'g> {
+    governor: &'g WorkerGovernor,
+    slots: usize,
+}
+
+impl SlotGuard<'_> {
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut in_use = self.governor.in_use.lock();
+            *in_use = in_use.saturating_sub(self.slots);
+        }
+        // Several waiters with different demands may now fit; wake all.
+        self.governor.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn slots_are_counted_and_released() {
+        let g = WorkerGovernor::new(4);
+        let never = CancelToken::new();
+        let a = g.acquire(3, &never).unwrap();
+        assert_eq!(g.in_use(), 3);
+        let b = g.acquire(1, &never).unwrap();
+        assert_eq!(g.in_use(), 4);
+        drop(a);
+        assert_eq!(g.in_use(), 1);
+        drop(b);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_capacity() {
+        let g = WorkerGovernor::new(2);
+        let guard = g.acquire(100, &CancelToken::new()).unwrap();
+        assert_eq!(guard.slots(), 2);
+    }
+
+    #[test]
+    fn governor_serializes_past_capacity() {
+        let g = Arc::new(WorkerGovernor::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let now = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let (g, peak, now) = (Arc::clone(&g), Arc::clone(&peak), Arc::clone(&now));
+                s.spawn(move || {
+                    let _guard = g.acquire(1, &CancelToken::new()).unwrap();
+                    let running = now.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(running, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(10));
+                    now.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "oversubscribed");
+    }
+
+    #[test]
+    fn cancelled_waiter_gives_up() {
+        let g = WorkerGovernor::new(1);
+        let hog = g.acquire(1, &CancelToken::new()).unwrap();
+        let t = CancelToken::with_deadline(Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        let err = g.acquire(1, &t).unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+        drop(hog);
+    }
+}

@@ -1,0 +1,57 @@
+//! The query-serving plane: many concurrent [`sqlml_core::PipelineRequest`]s
+//! multiplexed over one shared [`sqlml_core::SimCluster`].
+//!
+//! The paper's premise is that SQL+analytics pipelines are a *recurring,
+//! shared* workload — §5's caching only pays off when many queries hit
+//! the same cluster. This crate supplies the subsystem that makes that
+//! real: a serving layer in front of [`sqlml_core::Pipeline`] with
+//!
+//! * a **bounded admission queue** with backpressure — a full queue (or
+//!   an invalid request) is rejected immediately with a typed
+//!   [`RejectReason`], never silently dropped or unboundedly buffered;
+//! * **weighted fair scheduling** across tenants: virtual-finish-time
+//!   stamps (WFQ) so a tenant with weight 2 drains twice as fast as one
+//!   with weight 1, and no tenant starves behind another's burst;
+//! * a **worker-slot governor**: each admitted pipeline must hold slots
+//!   proportional to the SQL/ML workers it occupies before it may run,
+//!   so concurrent pipelines time-share the cluster instead of
+//!   oversubscribing it;
+//! * **per-query deadlines and cooperative cancellation** threaded
+//!   through the SQL → transfer → ML stages (see
+//!   [`sqlml_common::CancelToken`]), unwinding through the normal error
+//!   path so no threads, sockets, spill files, or temp tables leak;
+//! * per-query [`QueryHandle`]s exposing status, the result, and the
+//!   queued/running/total latency split.
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use sqlml_core::{ClusterConfig, PipelineRequest, SimCluster, Strategy};
+//! # use sqlml_sched::{QueryScheduler, QuerySpec, SchedulerConfig};
+//! # use sqlml_transform::TransformSpec;
+//! let cluster = Arc::new(SimCluster::start(ClusterConfig::for_tests()).unwrap());
+//! let sched = QueryScheduler::start(Arc::clone(&cluster), SchedulerConfig::default());
+//! let handle = sched
+//!     .submit(QuerySpec::new(
+//!         "analytics",
+//!         PipelineRequest {
+//!             prep_sql: "SELECT age, amount, abandoned FROM carts".into(),
+//!             spec: TransformSpec::default(),
+//!             ml_command: "svm label=2 iterations=10".into(),
+//!         },
+//!         Strategy::InSqlStream,
+//!     ))
+//!     .unwrap();
+//! let result = handle.wait();
+//! # let _ = result;
+//! ```
+
+pub mod governor;
+pub mod queue;
+pub mod scheduler;
+
+pub use governor::{SlotGuard, WorkerGovernor};
+pub use queue::{FairQueue, RejectReason, Rejected};
+pub use scheduler::{
+    QueryHandle, QueryLatency, QueryScheduler, QuerySpec, QueryStatus, SchedStatsSnapshot,
+    SchedulerConfig,
+};

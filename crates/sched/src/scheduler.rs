@@ -1,0 +1,602 @@
+//! The query scheduler: worker threads executing admitted pipeline
+//! requests against one shared cluster, under the fair queue and the
+//! worker-slot governor, with per-query handles.
+//!
+//! Life of a query:
+//!
+//! 1. [`QueryScheduler::submit`] validates the request (SQL plans, ML
+//!    command parses) and offers it to the [`FairQueue`] — both can
+//!    reject with a typed reason, immediately.
+//! 2. An executor thread pops it in weighted-fair order, acquires its
+//!    worker-slot cost from the [`WorkerGovernor`], and runs
+//!    [`Pipeline::run_with`] with the query's [`CancelToken`].
+//! 3. The token (explicit [`QueryHandle::cancel`] or a deadline) is
+//!    polled at stage boundaries, at slot waits, and at every frame cut
+//!    on the streaming data plane; a fired token unwinds the run through
+//!    the normal error path.
+//! 4. The outcome lands in the [`QueryHandle`]: status, shared result,
+//!    and the queued/running latency split.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use sqlml_cache::CacheManager;
+use sqlml_common::{CancelToken, Result, SqlmlError};
+use sqlml_core::{Pipeline, PipelineReport, PipelineRequest, SimCluster, Strategy};
+use sqlml_mlengine::job::TrainingSpec;
+
+use crate::governor::WorkerGovernor;
+use crate::queue::{FairQueue, RejectReason, Rejected};
+
+/// Serving-plane tunables.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Executor threads — the maximum number of pipelines in some stage
+    /// of execution (including waiting for worker slots) at once.
+    pub max_concurrent: usize,
+    /// Bounded admission-queue capacity (queued, not yet executing).
+    pub queue_capacity: usize,
+    /// Worker-slot capacity for the governor. One slot ≙ one engine
+    /// worker; a streaming pipeline costs `sql_workers + ml_workers`
+    /// slots, a staged one `max(sql_workers, ml_workers)`. `0` = auto:
+    /// `(sql_workers + ml_workers) × 4`, i.e. a multiprogramming level
+    /// of ~4 streaming pipelines time-sharing the cluster.
+    pub worker_slots: usize,
+    /// Deadline applied to queries that don't carry their own (`None` =
+    /// unbounded). Measured from submission, so queue wait counts.
+    pub default_deadline: Option<Duration>,
+    /// Share one §5 [`CacheManager`] across all queries.
+    pub enable_cache: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_concurrent: 4,
+            queue_capacity: 32,
+            worker_slots: 0,
+            default_deadline: None,
+            enable_cache: true,
+        }
+    }
+}
+
+/// One submission: who is asking, what to run, how to run it.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub tenant: String,
+    pub request: PipelineRequest,
+    pub strategy: Strategy,
+    /// Per-query deadline override (measured from submission).
+    pub deadline: Option<Duration>,
+}
+
+impl QuerySpec {
+    pub fn new(tenant: &str, request: PipelineRequest, strategy: Strategy) -> QuerySpec {
+        QuerySpec {
+            tenant: tenant.to_string(),
+            request,
+            strategy,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> QuerySpec {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Where a query is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Admitted, waiting in the fair queue (or for worker slots).
+    Queued,
+    /// Executing on the cluster.
+    Running,
+    Completed,
+    Failed,
+    /// Cancelled (explicitly or by deadline) before completing.
+    Cancelled,
+}
+
+/// The queued/running/total latency split of a finished query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLatency {
+    /// Submission → execution start (whole life for never-started runs).
+    pub queued: Duration,
+    /// Execution start → finish.
+    pub running: Duration,
+    /// Submission → finish.
+    pub total: Duration,
+}
+
+struct QueryState {
+    status: QueryStatus,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+    /// `Arc` because neither [`PipelineReport`] nor the error is `Clone`
+    /// and several waiters may want the result.
+    result: Option<Arc<Result<PipelineReport>>>,
+}
+
+struct QueryShared {
+    id: u64,
+    tenant: String,
+    strategy: Strategy,
+    cancel: CancelToken,
+    state: Mutex<QueryState>,
+    done: Condvar,
+}
+
+/// Serving-plane counters (monotonic except the in-flight gauge).
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    inflight_now: AtomicUsize,
+    inflight_hw: AtomicUsize,
+}
+
+/// A point-in-time copy of the serving-plane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStatsSnapshot {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    /// Admitted and not yet finished (queued + running).
+    pub inflight_now: usize,
+    /// Most queries ever in flight at once.
+    pub inflight_high_water: usize,
+}
+
+/// Move a query to its terminal state exactly once. Returns false when
+/// it was already terminal (e.g. cancelled while this worker ran it —
+/// the stale result is discarded).
+fn finalize(shared: &QueryShared, stats: &Stats, result: Result<PipelineReport>) -> bool {
+    let status = match &result {
+        Ok(_) => QueryStatus::Completed,
+        Err(e) if e.is_cancelled() => QueryStatus::Cancelled,
+        Err(_) => QueryStatus::Failed,
+    };
+    {
+        let mut st = shared.state.lock();
+        if st.result.is_some() {
+            return false;
+        }
+        st.status = status;
+        st.finished = Some(Instant::now());
+        st.result = Some(Arc::new(result));
+        // Counters update before the lock drops so a waiter woken by the
+        // result never reads a snapshot that still counts this query as
+        // in flight.
+        match status {
+            QueryStatus::Completed => stats.completed.fetch_add(1, Ordering::Relaxed),
+            QueryStatus::Cancelled => stats.cancelled.fetch_add(1, Ordering::Relaxed),
+            _ => stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        stats.inflight_now.fetch_sub(1, Ordering::Relaxed);
+    }
+    shared.done.notify_all();
+    true
+}
+
+/// The caller's view of one submitted query.
+#[derive(Clone)]
+pub struct QueryHandle {
+    shared: Arc<QueryShared>,
+    stats: Arc<Stats>,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("id", &self.shared.id)
+            .field("tenant", &self.shared.tenant)
+            .field("strategy", &self.shared.strategy)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.shared.tenant
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.shared.strategy
+    }
+
+    pub fn status(&self) -> QueryStatus {
+        self.shared.state.lock().status
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.shared.state.lock().result.is_some()
+    }
+
+    /// Fire the query's cancellation token. A still-queued query is
+    /// finalized immediately; a running one unwinds at its next
+    /// cancellation checkpoint (stage boundary or streaming frame cut).
+    /// Cooperative by design: a run past its last checkpoint may still
+    /// complete and deliver its result.
+    pub fn cancel(&self, reason: &str) {
+        self.shared.cancel.cancel(reason);
+        let still_queued = self.shared.state.lock().status == QueryStatus::Queued;
+        if still_queued {
+            finalize(
+                &self.shared,
+                &self.stats,
+                Err(SqlmlError::Cancelled(format!("while queued: {reason}"))),
+            );
+        }
+    }
+
+    /// Block until the query finishes; returns the shared result.
+    pub fn wait(&self) -> Arc<Result<PipelineReport>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(result) = &st.result {
+                return Arc::clone(result);
+            }
+            self.shared.done.wait(&mut st);
+        }
+    }
+
+    /// Like [`QueryHandle::wait`], bounded: `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<Result<PipelineReport>>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(result) = &st.result {
+                return Some(Arc::clone(result));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            self.shared.done.wait_for(&mut st, left);
+        }
+    }
+
+    /// The latency split; `None` until the query finishes.
+    pub fn latency(&self) -> Option<QueryLatency> {
+        let st = self.shared.state.lock();
+        let finished = st.finished?;
+        let started = st.started.unwrap_or(finished);
+        Some(QueryLatency {
+            queued: started.duration_since(st.submitted),
+            running: finished.duration_since(started),
+            total: finished.duration_since(st.submitted),
+        })
+    }
+}
+
+/// What travels through the fair queue to an executor thread.
+struct Job {
+    shared: Arc<QueryShared>,
+    request: PipelineRequest,
+}
+
+/// Worker slots a strategy occupies on this cluster: streaming holds the
+/// SQL and ML sides live simultaneously; staged strategies hold one side
+/// at a time, so their footprint is the wider of the two.
+fn slot_cost(cluster: &SimCluster, strategy: Strategy) -> usize {
+    let sql = cluster.config.sql_workers.max(1);
+    let ml = cluster.config.ml_workers.max(1);
+    match strategy {
+        Strategy::Naive | Strategy::InSql => sql.max(ml),
+        Strategy::InSqlStream => sql + ml,
+    }
+}
+
+/// The serving plane over one shared [`SimCluster`].
+pub struct QueryScheduler {
+    cluster: Arc<SimCluster>,
+    queue: Arc<FairQueue<Job>>,
+    governor: Arc<WorkerGovernor>,
+    stats: Arc<Stats>,
+    default_deadline: Option<Duration>,
+    next_id: AtomicU64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryScheduler {
+    /// Spin up the executor threads. Each owns one [`Pipeline`] over the
+    /// shared cluster; with `enable_cache` they all share one §5 cache.
+    pub fn start(cluster: Arc<SimCluster>, config: SchedulerConfig) -> QueryScheduler {
+        let auto_slots = (cluster.config.sql_workers + cluster.config.ml_workers).max(1) * 4;
+        let governor = Arc::new(WorkerGovernor::new(match config.worker_slots {
+            0 => auto_slots,
+            n => n,
+        }));
+        let queue: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(config.queue_capacity));
+        let stats = Arc::new(Stats::default());
+        let cache = config
+            .enable_cache
+            .then(|| Arc::new(CacheManager::new(cluster.engine.clone())));
+        let workers = (0..config.max_concurrent.max(1))
+            .map(|_| {
+                let cluster = Arc::clone(&cluster);
+                let queue = Arc::clone(&queue);
+                let governor = Arc::clone(&governor);
+                let stats = Arc::clone(&stats);
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    let pipeline = match cache {
+                        Some(c) => Pipeline::with_shared_cache(&cluster, c),
+                        None => Pipeline::new(&cluster),
+                    };
+                    while let Some(job) = queue.pop() {
+                        run_one(&pipeline, &cluster, &governor, &stats, job);
+                    }
+                })
+            })
+            .collect();
+        QueryScheduler {
+            cluster,
+            queue,
+            governor,
+            stats,
+            default_deadline: config.default_deadline,
+            next_id: AtomicU64::new(1),
+            workers,
+        }
+    }
+
+    /// Submit a query. Rejections (validation, backpressure, shutdown)
+    /// are immediate and carry their reason; an `Ok` handle means the
+    /// query is admitted and will eventually reach a terminal status.
+    pub fn submit(&self, spec: QuerySpec) -> std::result::Result<QueryHandle, Rejected> {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // Validate up front so a bad request is a reject-with-reason, not
+        // a query that occupies the queue only to fail.
+        if let Err(e) = TrainingSpec::parse(&spec.request.ml_command) {
+            return Err(self.reject(RejectReason::Invalid(format!("ml command: {e}"))));
+        }
+        if let Err(e) = self.cluster.engine.validate(&spec.request.prep_sql) {
+            return Err(self.reject(RejectReason::Invalid(format!("prep sql: {e}"))));
+        }
+
+        let cancel = match spec.deadline.or(self.default_deadline) {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let shared = Arc::new(QueryShared {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant: spec.tenant.clone(),
+            strategy: spec.strategy,
+            cancel,
+            state: Mutex::new(QueryState {
+                status: QueryStatus::Queued,
+                submitted: Instant::now(),
+                started: None,
+                finished: None,
+                result: None,
+            }),
+            done: Condvar::new(),
+        });
+        let cost = slot_cost(&self.cluster, spec.strategy) as f64;
+        let job = Job {
+            shared: Arc::clone(&shared),
+            request: spec.request,
+        };
+        // Count the query in flight *before* it becomes poppable — an
+        // executor may pop and finalize (decrementing the gauge) the
+        // instant the push lands.
+        let now = self.stats.inflight_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.inflight_hw.fetch_max(now, Ordering::Relaxed);
+        if let Err(rejected) = self.queue.push(&spec.tenant, cost, job) {
+            self.stats.inflight_now.fetch_sub(1, Ordering::Relaxed);
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(rejected);
+        }
+        Ok(QueryHandle {
+            shared,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    fn reject(&self, reason: RejectReason) -> Rejected {
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        Rejected { reason }
+    }
+
+    /// Weighted fair share for a tenant (default 1).
+    pub fn set_tenant_weight(&self, tenant: &str, weight: u32) {
+        self.queue.set_weight(tenant, weight);
+    }
+
+    pub fn stats(&self) -> SchedStatsSnapshot {
+        SchedStatsSnapshot {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            inflight_now: self.stats.inflight_now.load(Ordering::Relaxed),
+            inflight_high_water: self.stats.inflight_hw.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queries waiting in the admission queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Worker slots currently held / capacity.
+    pub fn slot_usage(&self) -> (usize, usize) {
+        (self.governor.in_use(), self.governor.capacity())
+    }
+
+    /// Graceful shutdown: stop admitting, drain everything already
+    /// queued, and join the executor threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for QueryScheduler {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Execute one admitted query on this worker thread.
+fn run_one(
+    pipeline: &Pipeline<'_>,
+    cluster: &SimCluster,
+    governor: &WorkerGovernor,
+    stats: &Stats,
+    job: Job,
+) {
+    let shared = job.shared;
+    // Hold the query's slot cost for the whole run.
+    let guard = match governor.acquire(slot_cost(cluster, shared.strategy), &shared.cancel) {
+        Ok(g) => g,
+        Err(e) => {
+            finalize(&shared, stats, Err(e));
+            return;
+        }
+    };
+    // Claim Queued → Running; a query cancelled while queued is already
+    // terminal and must not run.
+    {
+        let mut st = shared.state.lock();
+        if st.result.is_some() {
+            return;
+        }
+        st.status = QueryStatus::Running;
+        st.started = Some(Instant::now());
+    }
+    let result = pipeline.run_with(&job.request, shared.strategy, &shared.cancel);
+    drop(guard);
+    finalize(&shared, stats, result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlml_core::workload::{WorkloadScale, PREP_QUERY};
+    use sqlml_core::ClusterConfig;
+    use sqlml_transform::TransformSpec;
+
+    fn cluster() -> Arc<SimCluster> {
+        let c = SimCluster::start(ClusterConfig::for_tests()).unwrap();
+        c.load_workload(WorkloadScale::TINY, 11).unwrap();
+        Arc::new(c)
+    }
+
+    fn request() -> PipelineRequest {
+        PipelineRequest {
+            prep_sql: PREP_QUERY.to_string(),
+            spec: TransformSpec::new(&["gender"]),
+            ml_command: "svm label=4 iterations=10".to_string(),
+        }
+    }
+
+    #[test]
+    fn invalid_requests_reject_with_reason() {
+        let sched = QueryScheduler::start(cluster(), SchedulerConfig::default());
+        let mut bad_ml = request();
+        bad_ml.ml_command = "teleport label=1".into();
+        let err = sched
+            .submit(QuerySpec::new("t", bad_ml, Strategy::InSql))
+            .unwrap_err();
+        assert!(matches!(err.reason, RejectReason::Invalid(_)));
+        assert!(err.to_string().contains("ml command"), "{err}");
+        let mut bad_sql = request();
+        bad_sql.prep_sql = "SELECT nothing FROM nowhere".into();
+        let err = sched
+            .submit(QuerySpec::new("t", bad_sql, Strategy::InSql))
+            .unwrap_err();
+        assert!(err.to_string().contains("prep sql"), "{err}");
+        let s = sched.stats();
+        assert_eq!((s.submitted, s.rejected), (2, 2));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn one_query_completes_with_latency_split() {
+        let sched = QueryScheduler::start(cluster(), SchedulerConfig::default());
+        let handle = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSqlStream))
+            .unwrap();
+        let result = handle.wait();
+        let report = result.as_ref().as_ref().expect("pipeline failed");
+        assert!(report.rows_to_ml > 0);
+        assert_eq!(handle.status(), QueryStatus::Completed);
+        let lat = handle.latency().expect("finished queries have latency");
+        assert_eq!(lat.total, lat.queued + lat.running);
+        assert!(lat.running > Duration::ZERO);
+        let s = sched.stats();
+        assert_eq!((s.completed, s.inflight_now), (1, 0));
+        assert!(s.inflight_high_water >= 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_cancels_cleanly_and_cluster_stays_usable() {
+        let sched = QueryScheduler::start(cluster(), SchedulerConfig::default());
+        let doomed = sched
+            .submit(
+                QuerySpec::new("t", request(), Strategy::InSqlStream).with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let result = doomed.wait();
+        let err = result.as_ref().as_ref().unwrap_err();
+        assert!(err.is_cancelled(), "expected cancellation, got {err}");
+        assert_eq!(doomed.status(), QueryStatus::Cancelled);
+        // The shared cluster is unharmed: the next query completes.
+        let ok = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSqlStream))
+            .unwrap();
+        assert!(ok.wait().as_ref().as_ref().is_ok());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn explicit_cancel_of_a_queued_query_is_immediate() {
+        // No executor will ever pop: fill the only worker with a query
+        // first, then cancel the one stuck behind it.
+        let sched = QueryScheduler::start(
+            cluster(),
+            SchedulerConfig {
+                max_concurrent: 1,
+                ..SchedulerConfig::default()
+            },
+        );
+        let first = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSql))
+            .unwrap();
+        let second = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSql))
+            .unwrap();
+        second.cancel("user pressed ctrl-c");
+        let result = second.wait();
+        let err = result.as_ref().as_ref().unwrap_err();
+        assert!(err.to_string().contains("ctrl-c"), "{err}");
+        assert!(first.wait().as_ref().as_ref().is_ok());
+        sched.shutdown();
+    }
+}

@@ -37,6 +37,6 @@ pub use buffer::SpillableBuffer;
 pub use coordinator::{Coordinator, CoordinatorHandle};
 pub use input_format::{SqlStreamInputFormat, StreamRecordReader};
 pub use metrics::{MetricsSnapshot, TransferMetrics};
-pub use session::{FaultInjector, StreamSession, StreamSessionConfig, StreamStats};
+pub use session::{CancelRegistry, FaultInjector, StreamSession, StreamSessionConfig, StreamStats};
 pub use sqlml_common::WireCodec;
 pub use stream_udf::StreamTransferUdf;

@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use sqlml_common::{Result, SqlmlError, WireCodec};
+use sqlml_common::{CancelToken, Result, SqlmlError, WireCodec};
 use sqlml_mlengine::job::{JobConfig, JobOutcome, JobRunner, TrainingSpec};
 use sqlml_sqlengine::Engine;
 
@@ -102,6 +102,38 @@ pub struct StreamRunOutcome {
 
 type JobResultSender = mpsc::Sender<Result<JobOutcome>>;
 
+/// Session-scoped cancellation registry.
+///
+/// The `stream_transfer` UDF runs deep inside the SQL engine and only
+/// receives SQL `Value` arguments, so a cancellation token cannot be
+/// passed to it directly. Instead the session registers each transfer's
+/// token here, keyed by transfer id (which *is* a UDF argument), and the
+/// UDF looks its token up at execution time. Unknown ids resolve to a
+/// never-cancelled default so direct SQL invocations keep working.
+#[derive(Debug, Default)]
+pub struct CancelRegistry {
+    tokens: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl CancelRegistry {
+    pub fn register(&self, transfer_id: u64, token: CancelToken) {
+        self.tokens.lock().insert(transfer_id, token);
+    }
+
+    pub fn forget(&self, transfer_id: u64) {
+        self.tokens.lock().remove(&transfer_id);
+    }
+
+    /// The token for a transfer, or a fresh never-cancelled one.
+    pub fn get(&self, transfer_id: u64) -> CancelToken {
+        self.tokens
+            .lock()
+            .get(&transfer_id)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
 /// ML job config plus the row schema the stream carries (known to the
 /// SQL side, needed by the reader) and the shared receive-side counters.
 #[derive(Debug, Clone)]
@@ -119,6 +151,7 @@ pub struct StreamSession {
     coordinator: Coordinator,
     next_id: AtomicU64,
     pending: Arc<Mutex<HashMap<u64, (PendingJob, JobResultSender)>>>,
+    cancels: Arc<CancelRegistry>,
 }
 
 impl StreamSession {
@@ -155,7 +188,14 @@ impl StreamSession {
             coordinator,
             next_id: AtomicU64::new(1),
             pending,
+            cancels: Arc::new(CancelRegistry::default()),
         })
+    }
+
+    /// The session's cancellation registry (shared with the installed
+    /// `stream_transfer` UDF).
+    pub fn cancel_registry(&self) -> &Arc<CancelRegistry> {
+        &self.cancels
     }
 
     pub fn coordinator_addr(&self) -> &str {
@@ -170,7 +210,8 @@ impl StreamSession {
         config: &StreamSessionConfig,
         fault: Option<Arc<FaultInjector>>,
     ) {
-        let mut udf = StreamTransferUdf::new(config.spill_dir.clone());
+        let mut udf = StreamTransferUdf::new(config.spill_dir.clone())
+            .with_cancel_registry(Arc::clone(&self.cancels));
         if let Some(f) = fault {
             udf = udf.with_fault_injector(f);
         }
@@ -187,8 +228,24 @@ impl StreamSession {
         command: &str,
         config: &StreamSessionConfig,
     ) -> Result<StreamRunOutcome> {
-        // Validate the command before anything moves.
+        self.run_with_cancel(engine, table, command, config, &CancelToken::new())
+    }
+
+    /// [`StreamSession::run`] with a cooperative cancellation token: the
+    /// token is registered for the transfer so the `stream_transfer` UDF
+    /// polls it at every frame cut, and the whole group tears down
+    /// through the normal error path when it fires.
+    pub fn run_with_cancel(
+        &self,
+        engine: &Engine,
+        table: &str,
+        command: &str,
+        config: &StreamSessionConfig,
+        cancel: &CancelToken,
+    ) -> Result<StreamRunOutcome> {
+        // Validate the command — and the token — before anything moves.
         TrainingSpec::parse(command)?;
+        cancel.check("stream transfer start")?;
         let schema = engine.catalog().table(table)?.schema().clone();
         let transfer_id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let metrics = Arc::new(TransferMetrics::new());
@@ -217,12 +274,25 @@ impl StreamSession {
             config.codec.as_byte(),
             config.batch_rows_max,
         );
+        self.cancels.register(transfer_id, cancel.clone());
         let stats_result = engine.query(&sql);
+        self.cancels.forget(transfer_id);
 
-        // Collect the ML job result (it may still be training).
-        let job_result = rx
-            .recv_timeout(Duration::from_secs(120))
-            .map_err(|_| SqlmlError::Transfer("ML job did not report back".into()));
+        // Collect the ML job result (it may still be training) — unless
+        // the SQL side failed *before* the registration barrier completed,
+        // in which case the pending entry is still ours and the job was
+        // never launched: reclaiming it here means an early SQL error (or
+        // cancellation) returns immediately instead of waiting out the
+        // two-minute report timeout on a job that can never start.
+        let job_launched = self.pending.lock().remove(&transfer_id).is_none();
+        let job_result = if job_launched {
+            rx.recv_timeout(Duration::from_secs(120))
+                .map_err(|_| SqlmlError::Transfer("ML job did not report back".into()))
+        } else {
+            Err(SqlmlError::Transfer(
+                "ML job never launched (SQL side failed before the barrier)".into(),
+            ))
+        };
         self.coordinator.handle().forget_session(transfer_id);
 
         let stats_table = stats_result?;

@@ -27,12 +27,13 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use sqlml_common::schema::{DataType, Field};
-use sqlml_common::{Result, Row, Schema, SqlmlError, Value, WireCodec};
+use sqlml_common::{CancelToken, Result, Row, Schema, SqlmlError, Value, WireCodec};
 use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
 
 use crate::buffer::SpillableBuffer;
 use crate::protocol::{read_message, write_message, Message, RowBatchFrameBuilder};
 use crate::sender;
+use crate::session::CancelRegistry;
 
 /// Default rows per `RowBatch` frame (the adaptive floor).
 pub const BATCH_ROWS: usize = 64;
@@ -213,6 +214,9 @@ impl AdaptiveBatch {
 pub struct StreamTransferUdf {
     spill_dir: PathBuf,
     fault: Option<Arc<FaultInjector>>,
+    /// Where to look up this transfer's cancellation token (the UDF only
+    /// receives SQL values, so the token travels by transfer id).
+    cancels: Option<Arc<CancelRegistry>>,
 }
 
 impl StreamTransferUdf {
@@ -220,11 +224,17 @@ impl StreamTransferUdf {
         StreamTransferUdf {
             spill_dir: spill_dir.into(),
             fault: None,
+            cancels: None,
         }
     }
 
     pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
         self.fault = Some(injector);
+        self
+    }
+
+    pub fn with_cancel_registry(mut self, registry: Arc<CancelRegistry>) -> Self {
+        self.cancels = Some(registry);
         self
     }
 
@@ -327,6 +337,12 @@ impl TableUdf for StreamTransferUdf {
         ctx: &PartitionCtx,
     ) -> Result<Vec<Row>> {
         let args = Self::parse_args(args)?;
+        let cancel = self
+            .cancels
+            .as_ref()
+            .map(|r| r.get(args.transfer_id))
+            .unwrap_or_default();
+        cancel.check("stream_transfer setup")?;
         if ctx.num_partitions > ctx.num_workers {
             return Err(SqlmlError::Transfer(format!(
                 "stream_transfer needs one partition per SQL worker \
@@ -381,7 +397,7 @@ impl TableUdf for StreamTransferUdf {
         let mut last_err: Option<SqlmlError> = None;
         for attempt in 1..=MAX_ATTEMPTS {
             stats.attempts = attempt;
-            match self.stream_group(rows, &listener, &args, ctx, attempt) {
+            match self.stream_group(rows, &listener, &args, ctx, attempt, &cancel) {
                 Ok(sent) => {
                     stats.rows_sent = rows.len() as u64;
                     stats.bytes_sent = sent.bytes_sent;
@@ -396,6 +412,11 @@ impl TableUdf for StreamTransferUdf {
                     return Ok(vec![stats.to_row()]);
                 }
                 Err(e) => {
+                    // Cancellation is not a transfer fault: never restart
+                    // the group for it, surface it right away.
+                    if e.is_cancelled() || cancel.is_cancelled() {
+                        return Err(e);
+                    }
                     last_err = Some(e);
                     // Restart: connections are dropped by stream_group on
                     // error; readers will reconnect for the next attempt.
@@ -431,6 +452,7 @@ impl StreamTransferUdf {
         args: &TransferArgs,
         ctx: &PartitionCtx,
         attempt: u32,
+        cancel: &CancelToken,
     ) -> Result<AttemptCounters> {
         let k = args.k as usize;
         // Accept k hellos (any split order), with a deadline so a dead ML
@@ -446,6 +468,9 @@ impl StreamTransferUdf {
             let (mut stream, _) = match listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // A cancelled transfer must not sit out the reader
+                    // deadline: the barrier may never complete.
+                    cancel.check("stream_transfer reader barrier")?;
                     if std::time::Instant::now() > deadline {
                         return Err(SqlmlError::Transfer(
                             "timed out waiting for ML readers to connect".into(),
@@ -479,6 +504,24 @@ impl StreamTransferUdf {
                     }
                     slots[split_index as usize] = Some((stream, codec));
                     connected += 1;
+                }
+                Message::DataHello {
+                    transfer_id: tid, ..
+                } if tid != args.transfer_id => {
+                    // Ephemeral listener ports get reused across sessions:
+                    // a retrying reader from an older transfer can land on
+                    // this group's listener. Name both ids in the refusal
+                    // so the reader knows to give up rather than retry.
+                    let _ = write_message(
+                        &mut stream,
+                        &Message::Abort {
+                            reason: format!(
+                                "wrong session: hello for transfer {tid}, \
+                                 this sender serves transfer {}",
+                                args.transfer_id
+                            ),
+                        },
+                    );
                 }
                 _ => {
                     let _ = write_message(
@@ -525,7 +568,12 @@ impl StreamTransferUdf {
                     SpillableBuffer::new(
                         args.buffer_bytes,
                         &self.spill_dir,
-                        format!("w{}p{}a{attempt}s{i}", ctx.worker, ctx.partition),
+                        // Tagged with the transfer id so concurrent
+                        // sessions' spill files are distinguishable.
+                        format!(
+                            "t{}w{}p{}a{attempt}s{i}",
+                            args.transfer_id, ctx.worker, ctx.partition
+                        ),
                     )
                     .bounded(queue_bound),
                 )
@@ -573,6 +621,9 @@ impl StreamTransferUdf {
                 };
                 for row in rows {
                     if builder.is_empty() {
+                        // Frame-granular cancellation point: fires between
+                        // frames, never mid-encode.
+                        cancel.check("stream_transfer data plane")?;
                         if failed.load(Ordering::SeqCst) {
                             return Err(SqlmlError::Transfer("a peer connection failed".into()));
                         }

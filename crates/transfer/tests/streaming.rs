@@ -207,3 +207,88 @@ fn misaligned_nodes_mean_remote_reads() {
     assert_eq!(outcome.stats.local_splits, 0);
     assert_eq!(outcome.stats.rows_ingested, 100);
 }
+
+#[test]
+fn concurrent_sessions_on_one_coordinator_do_not_cross_wires() {
+    // Two transfers in flight at once through ONE session and ONE engine:
+    // their readers race to accept on ephemeral ports, and a reader that
+    // dials into the wrong group must be turned away by the hello
+    // handshake (transfer ids disagree), never silently fed rows. Each
+    // run must account for exactly its own table's rows.
+    let engine = engine_with_points(2, 500, 123);
+    // Second table with a different row count so crossed wires would
+    // show up as a wrong total, not a coin flip.
+    {
+        use sqlml_common::schema::{DataType, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Double),
+            Field::new("y", DataType::Double),
+            Field::new("label", DataType::Int),
+        ]);
+        let mut rng = SplitMix64::new(321);
+        let rows: Vec<Row> = (0..300)
+            .map(|i| {
+                let cls = (i % 2) as i64;
+                let c = if cls == 0 { -2.0 } else { 2.0 };
+                row![
+                    c + rng.next_gaussian() * 0.4,
+                    c + rng.next_gaussian() * 0.4,
+                    cls
+                ]
+            })
+            .collect();
+        engine.register_rows("points_b", schema, rows);
+    }
+    let session = Arc::new(StreamSession::start().unwrap());
+    let cfg = config(2, 1, 4096);
+    session.install_udf(&engine, &cfg, None);
+
+    let runs = [("points", 500usize), ("points_b", 300usize)];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|(table, want)| {
+                let session = Arc::clone(&session);
+                let engine = engine.clone();
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let outcome = session
+                        .run(&engine, table, "nb label=2", &cfg)
+                        .unwrap_or_else(|e| panic!("{table}: {e}"));
+                    assert_eq!(outcome.stats.rows_sent, *want as u64, "{table}: sent");
+                    assert_eq!(outcome.stats.rows_ingested, *want, "{table}: ingested");
+                    assert_eq!(outcome.stats.max_attempts, 1, "{table}: no restarts");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn pre_cancelled_transfer_fails_fast_without_the_report_timeout() {
+    use sqlml_common::CancelToken;
+    use std::time::{Duration, Instant};
+
+    let engine = engine_with_points(2, 200, 7);
+    let session = StreamSession::start().unwrap();
+    let cfg = config(2, 1, 4096);
+    session.install_udf(&engine, &cfg, None);
+
+    let token = CancelToken::new();
+    token.cancel("caller gave up");
+    let start = Instant::now();
+    let err = session
+        .run_with_cancel(&engine, "points", "nb label=2", &cfg, &token)
+        .unwrap_err();
+    assert!(err.is_cancelled(), "expected cancellation, got {err}");
+    // The old failure mode was a 120s wait for an ML job that never
+    // launched; a cancelled run must return immediately.
+    assert!(start.elapsed() < Duration::from_secs(10));
+
+    // The session is still healthy for the next caller.
+    let outcome = session.run(&engine, "points", "nb label=2", &cfg).unwrap();
+    assert_eq!(outcome.stats.rows_ingested, 200);
+}

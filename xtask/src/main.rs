@@ -15,21 +15,23 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must be panic-free and cast-checked.
-const SCOPED_SRC: [&str; 5] = [
+const SCOPED_SRC: [&str; 6] = [
     "crates/transfer/src",
     "crates/mq/src",
     "crates/sqlengine/src",
     "crates/transform/src",
     "crates/common/src",
+    "crates/sched/src",
 ];
 
 /// Files where the lock-across-I/O rule applies (coordinator control
-/// plane and sender data plane: one slow peer must not stall a mutex —
-/// or a sender queue's lock — for everyone).
-const LOCK_SCOPED: [&str; 3] = [
+/// plane, sender data plane, and the serving plane's scheduler: one slow
+/// peer — or one slow pipeline — must not stall a mutex for everyone).
+const LOCK_SCOPED: [&str; 4] = [
     "crates/transfer/src/coordinator.rs",
     "crates/transfer/src/session.rs",
     "crates/transfer/src/sender.rs",
+    "crates/sched/src/scheduler.rs",
 ];
 
 fn workspace_root() -> PathBuf {
