@@ -25,5 +25,5 @@ pub mod manager;
 pub mod subsume;
 
 pub use descriptor::{ColRef, QueryDescriptor, SimplePredicate};
-pub use manager::{CacheDecision, CacheManager, CacheStats, FullReuse};
+pub use manager::{CacheDecision, CacheManager, CacheProbe, CacheStats, FullReuse};
 pub use subsume::{full_result_match, predicate_implies, recode_map_match};

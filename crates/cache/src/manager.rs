@@ -56,6 +56,21 @@ pub enum CacheDecision {
     Miss,
 }
 
+/// Outcome of a non-materializing [`CacheManager::probe`]: what the best
+/// reuse *would* be, without building the rewrite or cloning any map.
+/// Placement/scheduling signal only — a router asking "which cluster
+/// already holds something usable for this descriptor" must not pay
+/// lookup's allocation cost per shard, and must not perturb the hit/miss
+/// counters of the queries that actually execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheProbe {
+    Miss,
+    /// A recode map (§5.2) would be reused.
+    RecodeMap,
+    /// A fully transformed result (§5.1) would be reused.
+    Full,
+}
+
 /// Hit/miss counters.
 #[derive(Debug, Default)]
 pub struct CacheStats {
@@ -167,6 +182,72 @@ impl CacheManager {
             let _ = self.engine.catalog().drop_table(&e.table_name);
         }
         self.maps.lock().clear();
+    }
+
+    /// Non-materializing probe: would [`CacheManager::lookup`] hit, and
+    /// how well? Runs the same §5.1/§5.2 subsumption checks but builds no
+    /// rewrite SQL, clones no recode map, and leaves the hit/miss stats
+    /// untouched — cheap enough to call once per shard on every admission
+    /// for cache-affinity routing.
+    pub fn probe(&self, query: &QueryDescriptor, spec: &TransformSpec) -> CacheProbe {
+        for entry in self.full.lock().iter() {
+            if let Some(extras) = full_result_match(&entry.descriptor, query) {
+                if Self::rewrite_compatible(entry, query, spec, &extras) {
+                    return CacheProbe::Full;
+                }
+            }
+        }
+        for entry in self.maps.lock().iter() {
+            if recode_map_match(&entry.descriptor, query)
+                && spec.recode_columns.iter().all(|c| entry.map.has_column(c))
+            {
+                return CacheProbe::RecodeMap;
+            }
+        }
+        CacheProbe::Miss
+    }
+
+    /// The decision core of [`CacheManager::rewrite_over_cached`] without
+    /// any of its string building: `true` iff the rewrite would succeed.
+    fn rewrite_compatible(
+        entry: &FullEntry,
+        query: &QueryDescriptor,
+        spec: &TransformSpec,
+        extras: &[&SimplePredicate],
+    ) -> bool {
+        let is_dummy_cached = |col: &str| {
+            entry
+                .spec
+                .dummy_code_columns
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(col))
+        };
+        let is_dummy_new = |col: &str| {
+            spec.dummy_code_columns
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(col))
+        };
+        // Every projected column must carry compatible coding.
+        for p in &query.projections {
+            if is_dummy_cached(&p.column) != is_dummy_new(&p.column) {
+                return false;
+            }
+        }
+        // Every extra predicate must be expressible over the transformed
+        // layout (same cases as the rewrite, minus the SQL).
+        for pred in extras {
+            let col = &pred.col.column;
+            if is_dummy_cached(col) || entry.map.has_column(col) {
+                if !matches!(pred.value, Value::Str(_))
+                    || !matches!(pred.op, CmpOp::Eq | CmpOp::NotEq)
+                {
+                    return false;
+                }
+            } else if matches!(pred.value, Value::Null) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Look up the best reuse for a new query + transformation spec.
@@ -462,6 +543,61 @@ mod tests {
             other => panic!("expected map hit, got {other:?}"),
         }
         assert_eq!(cache.stats.snapshot(), (0, 1, 0));
+    }
+
+    #[test]
+    fn probe_agrees_with_lookup_and_stays_off_the_stats() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        let spec = TransformSpec::default();
+        prime_cache(&e, &cache, &spec);
+
+        // Full-hit query, map-hit query, miss query — probe must agree
+        // with lookup on each while touching no counters.
+        let full_q = descriptor(
+            &e,
+            "SELECT U.age, C.amount, C.abandoned FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND U.gender='F'",
+        );
+        let map_q = descriptor(
+            &e,
+            "SELECT U.age, U.gender, C.amount, C.year, C.abandoned \
+             FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA' AND C.year = 2014",
+        );
+        let miss_q = descriptor(&e, "SELECT age FROM users WHERE country='CA'");
+        assert_eq!(cache.probe(&full_q, &spec), CacheProbe::Full);
+        assert_eq!(cache.probe(&map_q, &spec), CacheProbe::RecodeMap);
+        assert_eq!(cache.probe(&miss_q, &spec), CacheProbe::Miss);
+        assert_eq!(cache.stats.snapshot(), (0, 0, 0), "probe bumped stats");
+
+        assert!(matches!(
+            cache.lookup(&full_q, &spec),
+            CacheDecision::Full(_)
+        ));
+        assert!(matches!(
+            cache.lookup(&map_q, &spec),
+            CacheDecision::RecodeMap(_)
+        ));
+        assert!(matches!(cache.lookup(&miss_q, &spec), CacheDecision::Miss));
+    }
+
+    #[test]
+    fn probe_downgrades_on_coding_mismatch_like_lookup() {
+        let e = engine();
+        let cache = CacheManager::new(e.clone());
+        // Cache dummy-coded gender; the new request wants it plain — full
+        // reuse impossible, map reuse fine (mirrors the lookup test).
+        prime_cache(&e, &cache, &TransformSpec::new(&["gender"]));
+        let q = descriptor(
+            &e,
+            "SELECT U.gender, C.amount FROM carts C, users U \
+             WHERE C.userid=U.userid AND U.country='USA'",
+        );
+        assert_eq!(
+            cache.probe(&q, &TransformSpec::default()),
+            CacheProbe::RecodeMap
+        );
     }
 
     #[test]

@@ -157,6 +157,29 @@ impl SimCluster {
         }
     }
 
+    /// Boot `n` independent shard clusters with identical layout and load
+    /// the same seeded workload into each — the replicated-warehouse
+    /// topology the sharded serving plane assumes, where any shard can
+    /// serve any request and a router chooses between them by load and
+    /// cache affinity. Each shard is a full [`SimCluster`] (own DFS, SQL
+    /// engine, streaming session, §5 cache domain); the identical seed
+    /// makes their warehouses byte-identical, so results never depend on
+    /// placement.
+    pub fn start_shards(
+        config: ClusterConfig,
+        n: usize,
+        scale: WorkloadScale,
+        seed: u64,
+    ) -> Result<Vec<std::sync::Arc<SimCluster>>> {
+        (0..n.max(1))
+            .map(|_| {
+                let c = SimCluster::start(config.clone())?;
+                c.load_workload(scale, seed)?;
+                Ok(std::sync::Arc::new(c))
+            })
+            .collect()
+    }
+
     /// Write the workload to the DFS as text (the warehouse layout the
     /// paper describes) and register both tables with the SQL engine.
     pub fn load_workload(&self, scale: WorkloadScale, seed: u64) -> Result<Workload> {
@@ -213,6 +236,25 @@ mod tests {
             .unwrap()
             .num_rows();
         assert!(rows > 0 && rows < w.carts.len());
+    }
+
+    #[test]
+    fn shard_fleet_boots_with_identical_warehouses() {
+        let shards =
+            SimCluster::start_shards(ClusterConfig::for_tests(), 2, WorkloadScale::TINY, 7)
+                .unwrap();
+        assert_eq!(shards.len(), 2);
+        let rows: Vec<usize> = shards
+            .iter()
+            .map(|c| {
+                c.engine
+                    .query(crate::workload::PREP_QUERY)
+                    .unwrap()
+                    .num_rows()
+            })
+            .collect();
+        assert!(rows[0] > 0);
+        assert_eq!(rows[0], rows[1], "same seed must mean same warehouse");
     }
 
     #[test]

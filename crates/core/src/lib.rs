@@ -24,6 +24,6 @@ pub mod scoring;
 pub mod workload;
 
 pub use cluster::{ClusterConfig, SimCluster};
-pub use pipeline::{CacheMode, Pipeline, PipelineReport, PipelineRequest, Strategy};
+pub use pipeline::{describe_prep, CacheMode, Pipeline, PipelineReport, PipelineRequest, Strategy};
 pub use scoring::{register_model_udf, ModelUdf};
 pub use workload::{Workload, WorkloadScale};

@@ -124,6 +124,19 @@ impl PipelineReport {
 
 static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
 
+/// Parse a preparation query into its cacheable §5 descriptor against an
+/// engine's catalog (`None` for queries outside the SPJ shape). Shared
+/// by the pipeline's own cache path and by the serving plane's router,
+/// which probes every shard's cache with the same descriptor before
+/// placing a request.
+pub fn describe_prep(
+    engine: &sqlml_sqlengine::Engine,
+    sql: &str,
+) -> Result<Option<QueryDescriptor>> {
+    let stmt = parse_select(sql)?;
+    QueryDescriptor::from_select(&stmt, engine.catalog())
+}
+
 /// Pipeline driver bound to one simulated cluster.
 pub struct Pipeline<'c> {
     cluster: &'c SimCluster,
@@ -404,8 +417,7 @@ impl<'c> Pipeline<'c> {
     }
 
     fn describe(&self, sql: &str) -> Result<Option<QueryDescriptor>> {
-        let stmt = parse_select(sql)?;
-        QueryDescriptor::from_select(&stmt, self.cluster.engine.catalog())
+        describe_prep(&self.cluster.engine, sql)
     }
 
     fn cleanup_dir(&self, dir: &str) {

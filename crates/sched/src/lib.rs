@@ -1,27 +1,43 @@
 //! The query-serving plane: many concurrent [`sqlml_core::PipelineRequest`]s
-//! multiplexed over one shared [`sqlml_core::SimCluster`].
+//! multiplexed over a fleet of [`sqlml_core::SimCluster`] shards.
 //!
 //! The paper's premise is that SQL+analytics pipelines are a *recurring,
 //! shared* workload — §5's caching only pays off when many queries hit
 //! the same cluster. This crate supplies the subsystem that makes that
 //! real: a serving layer in front of [`sqlml_core::Pipeline`] with
 //!
-//! * a **bounded admission queue** with backpressure — a full queue (or
-//!   an invalid request) is rejected immediately with a typed
-//!   [`RejectReason`], never silently dropped or unboundedly buffered;
+//! * a **bounded admission queue** per shard with backpressure — a full
+//!   queue (or an invalid request) is rejected immediately with a typed
+//!   [`RejectReason`], never silently dropped or unboundedly buffered —
+//!   plus an opt-in client-side [`RetryPolicy`] (bounded exponential
+//!   backoff + jitter, deadline-aware give-up) for riding out transient
+//!   `QueueFull` rejects;
 //! * **weighted fair scheduling** across tenants: virtual-finish-time
 //!   stamps (WFQ) so a tenant with weight 2 drains twice as fast as one
-//!   with weight 1, and no tenant starves behind another's burst;
-//! * a **worker-slot governor**: each admitted pipeline must hold slots
-//!   proportional to the SQL/ML workers it occupies before it may run,
-//!   so concurrent pipelines time-share the cluster instead of
+//!   with weight 1, and no tenant starves behind another's burst. The
+//!   cost model is **cache-aware**: a query the §5 cache probe predicts
+//!   will be (nearly) free is admitted at a discounted cost, and the
+//!   *measured* cost is settled back onto the tenant's virtual clock
+//!   after the run, so mispredictions never compound;
+//! * a **shard router** ([`ShardRouter`]) placing each admitted query on
+//!   one of N replicated-warehouse shards by a score combining queue
+//!   depth, worker-slot availability, and cache affinity (probed via the
+//!   non-materializing [`sqlml_cache::CacheManager::probe`]);
+//! * **bounded cross-shard work stealing**: an idle shard's executor may
+//!   claim the head-of-line query of the most-backlogged peer — never a
+//!   cache-pinned one — and run it entirely on its own cluster;
+//! * a **worker-slot governor** per shard: each admitted pipeline must
+//!   hold slots proportional to the SQL/ML workers it occupies before it
+//!   may run, so concurrent pipelines time-share each cluster instead of
 //!   oversubscribing it;
 //! * **per-query deadlines and cooperative cancellation** threaded
 //!   through the SQL → transfer → ML stages (see
 //!   [`sqlml_common::CancelToken`]), unwinding through the normal error
-//!   path so no threads, sockets, spill files, or temp tables leak;
-//! * per-query [`QueryHandle`]s exposing status, the result, and the
-//!   queued/running/total latency split.
+//!   path so no threads, sockets, spill files, or temp tables leak —
+//!   wherever the query ended up running;
+//! * per-query [`QueryHandle`]s exposing status, the result, the
+//!   queued/running/total latency split, and placement (which shard, and
+//!   whether the query was stolen).
 //!
 //! ```no_run
 //! # use std::sync::Arc;
@@ -47,11 +63,15 @@
 
 pub mod governor;
 pub mod queue;
+pub mod retry;
+pub mod router;
 pub mod scheduler;
 
 pub use governor::{SlotGuard, WorkerGovernor};
-pub use queue::{FairQueue, RejectReason, Rejected};
+pub use queue::{FairQueue, Popped, RejectReason, Rejected};
+pub use retry::{retry_queue_full, Clock, RetryPolicy, SystemClock};
+pub use router::{probe_discount, Placement, ShardLoad, ShardRouter, FULL_DISCOUNT, MAP_DISCOUNT};
 pub use scheduler::{
-    QueryHandle, QueryLatency, QueryScheduler, QuerySpec, QueryStatus, SchedStatsSnapshot,
-    SchedulerConfig,
+    ClusterCounters, QueryHandle, QueryLatency, QueryScheduler, QuerySpec, QueryStatus,
+    SchedStatsSnapshot, SchedulerConfig,
 };

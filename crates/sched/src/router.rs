@@ -1,0 +1,188 @@
+//! Cache-aware placement across serving shards.
+//!
+//! Each admitted request is placed on one of N `SimCluster` shards by a
+//! score combining three signals an operator would reach for first:
+//!
+//! * **cache affinity** — a shard whose §5 cache already holds a usable
+//!   full-transform or recode-map entry for the request's descriptor
+//!   (probed cheaply via [`sqlml_cache::CacheManager::probe`]) can serve
+//!   it near-free, so it earns a large bonus;
+//! * **queue depth** — every request already waiting on a shard pushes
+//!   new work elsewhere;
+//! * **slot availability** — a shard whose worker-slot pool is mostly
+//!   held will make even a short queue wait long.
+//!
+//! The affinity bonus is deliberately finite: a shard that is deeply
+//! backlogged loses its cache advantage (a full-result hit is not worth
+//! waiting behind eight queued pipelines), which is exactly the regime
+//! where cross-shard work stealing takes over.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sqlml_cache::CacheProbe;
+
+/// What a full-result reuse is worth, in queue-depth units.
+const FULL_BONUS: f64 = 8.0;
+/// What a recode-map reuse is worth, in queue-depth units.
+const MAP_BONUS: f64 = 3.0;
+/// Penalty weight on the fraction of worker slots already held.
+const SLOT_WEIGHT: f64 = 2.0;
+
+/// WFQ cost multiplier for a query expected (or measured) to enjoy a
+/// §5.1 full-result reuse: the run collapses to one SELECT over a
+/// materialization, so charging full slot cost would let WFQ starve the
+/// cluster of its cheapest, most profitable work.
+pub const FULL_DISCOUNT: f64 = 0.1;
+/// WFQ cost multiplier under §5.2 recode-map reuse (one of recoding's
+/// two passes is skipped; the prep query still runs).
+pub const MAP_DISCOUNT: f64 = 0.5;
+
+/// The WFQ cost multiplier a probe outcome predicts.
+pub fn probe_discount(probe: CacheProbe) -> f64 {
+    match probe {
+        CacheProbe::Full => FULL_DISCOUNT,
+        CacheProbe::RecodeMap => MAP_DISCOUNT,
+        CacheProbe::Miss => 1.0,
+    }
+}
+
+/// One shard's load signals at placement time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLoad {
+    /// Requests waiting in the shard's admission queue.
+    pub queue_depth: usize,
+    /// Worker slots currently held on the shard.
+    pub slots_in_use: usize,
+    /// The shard's worker-slot capacity (≥ 1).
+    pub slot_capacity: usize,
+    /// What the shard's §5 cache would offer this request.
+    pub probe: CacheProbe,
+}
+
+/// A placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the chosen shard.
+    pub shard: usize,
+    /// The cache reuse the chosen shard offers. `Miss` means the
+    /// placement was load-driven and the job may be stolen by an idle
+    /// peer; anything better pins the job to this shard.
+    pub affinity: CacheProbe,
+}
+
+/// Scores shards and breaks ties round-robin so equally idle shards
+/// share load instead of all placements landing on shard 0.
+#[derive(Debug, Default)]
+pub struct ShardRouter {
+    rr: AtomicUsize,
+}
+
+impl ShardRouter {
+    pub fn new() -> ShardRouter {
+        ShardRouter::default()
+    }
+
+    fn score(load: &ShardLoad) -> f64 {
+        let bonus = match load.probe {
+            CacheProbe::Full => FULL_BONUS,
+            CacheProbe::RecodeMap => MAP_BONUS,
+            CacheProbe::Miss => 0.0,
+        };
+        let busy = load.slots_in_use as f64 / load.slot_capacity.max(1) as f64;
+        bonus - load.queue_depth as f64 - SLOT_WEIGHT * busy
+    }
+
+    /// Choose a shard for one request. `loads` must be non-empty; the
+    /// scan starts at a rotating offset so exact ties spread round-robin.
+    pub fn place(&self, loads: &[ShardLoad]) -> Placement {
+        if loads.is_empty() {
+            return Placement {
+                shard: 0,
+                affinity: CacheProbe::Miss,
+            };
+        }
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % loads.len();
+        let mut best = start;
+        let mut best_score = f64::NEG_INFINITY;
+        for k in 0..loads.len() {
+            let i = (start + k) % loads.len();
+            let s = Self::score(&loads[i]);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        Placement {
+            shard: best,
+            affinity: loads[best].probe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle(probe: CacheProbe) -> ShardLoad {
+        ShardLoad {
+            queue_depth: 0,
+            slots_in_use: 0,
+            slot_capacity: 8,
+            probe,
+        }
+    }
+
+    #[test]
+    fn cache_affinity_wins_on_an_idle_fleet() {
+        let r = ShardRouter::new();
+        let loads = [
+            idle(CacheProbe::Miss),
+            idle(CacheProbe::Full),
+            idle(CacheProbe::RecodeMap),
+        ];
+        for _ in 0..8 {
+            let p = r.place(&loads);
+            assert_eq!((p.shard, p.affinity), (1, CacheProbe::Full));
+        }
+    }
+
+    #[test]
+    fn deep_backlog_overrides_cache_affinity() {
+        let r = ShardRouter::new();
+        let mut loads = [idle(CacheProbe::Full), idle(CacheProbe::Miss)];
+        loads[0].queue_depth = 12; // worth more than the FULL bonus of 8
+        assert_eq!(r.place(&loads).shard, 1);
+        assert_eq!(r.place(&loads).affinity, CacheProbe::Miss);
+    }
+
+    #[test]
+    fn busy_slots_push_work_to_the_free_shard() {
+        let r = ShardRouter::new();
+        let mut loads = [idle(CacheProbe::Miss), idle(CacheProbe::Miss)];
+        loads[0].slots_in_use = 8; // fully held
+        for _ in 0..6 {
+            assert_eq!(r.place(&loads).shard, 1);
+        }
+    }
+
+    #[test]
+    fn exact_ties_spread_round_robin() {
+        let r = ShardRouter::new();
+        let loads = [idle(CacheProbe::Miss); 3];
+        let picks: Vec<usize> = (0..6).map(|_| r.place(&loads).shard).collect();
+        for shard in 0..3 {
+            assert_eq!(
+                picks.iter().filter(|p| **p == shard).count(),
+                2,
+                "uneven spread: {picks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn discounts_order_by_reuse_quality() {
+        assert!(probe_discount(CacheProbe::Full) < probe_discount(CacheProbe::RecodeMap));
+        assert!(probe_discount(CacheProbe::RecodeMap) < probe_discount(CacheProbe::Miss));
+        assert_eq!(probe_discount(CacheProbe::Miss), 1.0);
+    }
+}

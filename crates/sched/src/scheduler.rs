@@ -1,54 +1,93 @@
 //! The query scheduler: worker threads executing admitted pipeline
-//! requests against one shared cluster, under the fair queue and the
-//! worker-slot governor, with per-query handles.
+//! requests against a fleet of shard clusters, under per-shard fair
+//! queues and worker-slot governors, with cache-aware placement, bounded
+//! cross-shard work stealing, and per-query handles.
 //!
 //! Life of a query:
 //!
 //! 1. [`QueryScheduler::submit`] validates the request (SQL plans, ML
-//!    command parses) and offers it to the [`FairQueue`] — both can
-//!    reject with a typed reason, immediately.
-//! 2. An executor thread pops it in weighted-fair order, acquires its
-//!    worker-slot cost from the [`WorkerGovernor`], and runs
-//!    [`Pipeline::run_with`] with the query's [`CancelToken`].
-//! 3. The token (explicit [`QueryHandle::cancel`] or a deadline) is
-//!    polled at stage boundaries, at slot waits, and at every frame cut
-//!    on the streaming data plane; a fired token unwinds the run through
-//!    the normal error path.
-//! 4. The outcome lands in the [`QueryHandle`]: status, shared result,
-//!    and the queued/running latency split.
+//!    command parses) — both can reject with a typed reason, immediately.
+//! 2. The [`ShardRouter`] probes every shard's §5 cache for the request's
+//!    descriptor (a cheap, non-materializing
+//!    [`sqlml_cache::CacheManager::probe`]) and places the query on the
+//!    shard with the best score (cache affinity vs queue depth vs slot
+//!    availability). A cache-affine placement *pins* the query to its
+//!    shard; a load-driven one leaves it stealable.
+//! 3. The query waits in its home shard's [`FairQueue`] stamped with a
+//!    **discounted** WFQ cost when the probe predicts cache reuse. After
+//!    the run, the measured cost (from the actual
+//!    [`sqlml_core::CacheMode`]) is settled back onto the tenant's
+//!    virtual clock, so mispredictions cannot compound into an unfair
+//!    advantage.
+//! 4. An executor thread of the home shard pops it in weighted-fair
+//!    order — or, if an idle peer shard finds its own queue empty, that
+//!    peer **steals** the head-of-line query of the most-backlogged shard
+//!    (never a pinned one) and runs it *entirely* on the stealing
+//!    cluster, preserving the §6 exactly-once restart semantics, which
+//!    are local to whichever cluster executes the transfer.
+//! 5. The executor acquires the query's worker-slot cost from its shard's
+//!    [`WorkerGovernor`] and runs [`Pipeline::run_with`] with the query's
+//!    [`CancelToken`]; cancellation (explicit or deadline) unwinds
+//!    through the normal error path wherever the query ended up running.
+//! 6. The outcome lands in the [`QueryHandle`]: status, shared result,
+//!    the queued/running latency split, and where the query ran.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use sqlml_cache::CacheManager;
+use sqlml_cache::{CacheManager, CacheProbe, QueryDescriptor};
 use sqlml_common::{CancelToken, Result, SqlmlError};
-use sqlml_core::{Pipeline, PipelineReport, PipelineRequest, SimCluster, Strategy};
+use sqlml_core::{
+    describe_prep, CacheMode, Pipeline, PipelineReport, PipelineRequest, SimCluster, Strategy,
+};
 use sqlml_mlengine::job::TrainingSpec;
 
 use crate::governor::WorkerGovernor;
-use crate::queue::{FairQueue, RejectReason, Rejected};
+use crate::queue::{FairQueue, Popped, RejectReason, Rejected};
+use crate::retry::{retry_queue_full, RetryPolicy, SystemClock};
+use crate::router::{probe_discount, ShardLoad, ShardRouter, FULL_DISCOUNT, MAP_DISCOUNT};
+
+/// How long an idle executor waits on its own queue before scanning
+/// peers for stealable work. Bounds steal latency, not correctness.
+const STEAL_POLL: Duration = Duration::from_millis(10);
 
 /// Serving-plane tunables.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    /// Executor threads — the maximum number of pipelines in some stage
-    /// of execution (including waiting for worker slots) at once.
+    /// Executor threads **per shard** — the maximum number of pipelines
+    /// in some stage of execution (including waiting for worker slots)
+    /// on one cluster at once.
     pub max_concurrent: usize,
-    /// Bounded admission-queue capacity (queued, not yet executing).
+    /// Bounded admission-queue capacity per shard (queued, not yet
+    /// executing).
     pub queue_capacity: usize,
-    /// Worker-slot capacity for the governor. One slot ≙ one engine
-    /// worker; a streaming pipeline costs `sql_workers + ml_workers`
-    /// slots, a staged one `max(sql_workers, ml_workers)`. `0` = auto:
-    /// `(sql_workers + ml_workers) × 4`, i.e. a multiprogramming level
-    /// of ~4 streaming pipelines time-sharing the cluster.
+    /// Worker-slot capacity for each shard's governor. One slot ≙ one
+    /// engine worker; a streaming pipeline costs `sql_workers +
+    /// ml_workers` slots, a staged one `max(sql_workers, ml_workers)`.
+    /// `0` = auto: `(sql_workers + ml_workers) × 4`, i.e. a
+    /// multiprogramming level of ~4 streaming pipelines time-sharing each
+    /// cluster.
     pub worker_slots: usize,
     /// Deadline applied to queries that don't carry their own (`None` =
     /// unbounded). Measured from submission, so queue wait counts.
     pub default_deadline: Option<Duration>,
-    /// Share one §5 [`CacheManager`] across all queries.
+    /// Share one §5 [`CacheManager`] per shard across that shard's
+    /// queries.
     pub enable_cache: bool,
+    /// Cache-aware serving: probe shard caches for placement affinity
+    /// and admit predicted cache hits at a discounted WFQ cost (measured
+    /// cost settles back after the run). Off = pure load routing at full
+    /// cost — the ablation baseline.
+    pub cache_aware: bool,
+    /// Allow an idle shard to claim the head-of-line query of the
+    /// most-backlogged peer (never a cache-pinned one).
+    pub work_stealing: bool,
+    /// Minimum victim backlog before a steal is attempted; bounds how
+    /// aggressively idle shards raid peers that are merely busy, not
+    /// backlogged.
+    pub steal_min_backlog: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -59,6 +98,9 @@ impl Default for SchedulerConfig {
             worker_slots: 0,
             default_deadline: None,
             enable_cache: true,
+            cache_aware: true,
+            work_stealing: true,
+            steal_min_backlog: 2,
         }
     }
 }
@@ -94,7 +136,7 @@ impl QuerySpec {
 pub enum QueryStatus {
     /// Admitted, waiting in the fair queue (or for worker slots).
     Queued,
-    /// Executing on the cluster.
+    /// Executing on a cluster.
     Running,
     Completed,
     Failed,
@@ -123,11 +165,21 @@ struct QueryState {
     result: Option<Arc<Result<PipelineReport>>>,
 }
 
+/// Sentinel for "never started executing" in [`QueryShared::ran_on`].
+const NOT_RUN: usize = usize::MAX;
+
 struct QueryShared {
     id: u64,
     tenant: String,
     strategy: Strategy,
     cancel: CancelToken,
+    /// Shard the router placed this query on.
+    placed_on: usize,
+    /// Shard that actually executed it ([`NOT_RUN`] until claimed). A
+    /// query runs *entirely* on one cluster — stealing moves it before
+    /// execution starts, never mid-run.
+    ran_on: AtomicUsize,
+    stolen: AtomicBool,
     state: Mutex<QueryState>,
     done: Condvar,
 }
@@ -144,8 +196,27 @@ struct Stats {
     inflight_hw: AtomicUsize,
 }
 
-/// A point-in-time copy of the serving-plane counters.
+/// Per-shard counters.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    admitted: AtomicU64,
+    stolen: AtomicU64,
+    affinity_hits: AtomicU64,
+}
+
+/// A point-in-time copy of one cluster's serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Queries the router placed on this cluster.
+    pub admitted: u64,
+    /// Queries this cluster stole from a backlogged peer and ran.
+    pub stolen: u64,
+    /// Placements driven by cache affinity (the probe hit here).
+    pub cache_affinity_hits: u64,
+}
+
+/// A point-in-time copy of the serving-plane counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedStatsSnapshot {
     pub submitted: u64,
     pub rejected: u64,
@@ -156,6 +227,9 @@ pub struct SchedStatsSnapshot {
     pub inflight_now: usize,
     /// Most queries ever in flight at once.
     pub inflight_high_water: usize,
+    /// Per-cluster placement/stealing/affinity counters, indexed by
+    /// shard. Length 1 for a single-cluster scheduler.
+    pub per_cluster: Vec<ClusterCounters>,
 }
 
 /// Move a query to its terminal state exactly once. Returns false when
@@ -203,6 +277,7 @@ impl std::fmt::Debug for QueryHandle {
             .field("tenant", &self.shared.tenant)
             .field("strategy", &self.shared.strategy)
             .field("status", &self.status())
+            .field("placed_on", &self.shared.placed_on)
             .finish()
     }
 }
@@ -226,6 +301,26 @@ impl QueryHandle {
 
     pub fn is_finished(&self) -> bool {
         self.shared.state.lock().result.is_some()
+    }
+
+    /// Shard the router placed this query on.
+    pub fn placed_on(&self) -> usize {
+        self.shared.placed_on
+    }
+
+    /// Shard that executed (or is executing) the query; `None` while it
+    /// has not yet started. Never changes once set: a query runs entirely
+    /// on one cluster.
+    pub fn ran_on(&self) -> Option<usize> {
+        match self.shared.ran_on.load(Ordering::Relaxed) {
+            NOT_RUN => None,
+            s => Some(s),
+        }
+    }
+
+    /// Whether an idle peer shard stole this query from its home queue.
+    pub fn was_stolen(&self) -> bool {
+        self.shared.stolen.load(Ordering::Relaxed)
     }
 
     /// Fire the query's cancellation token. A still-queued query is
@@ -285,13 +380,24 @@ impl QueryHandle {
     }
 }
 
-/// What travels through the fair queue to an executor thread.
+/// What travels through a shard's fair queue to an executor thread.
 struct Job {
     shared: Arc<QueryShared>,
     request: PipelineRequest,
+    /// Shard whose queue admitted this job (tenant accounting lives
+    /// there; cost settlement goes back to it).
+    home: usize,
+    /// Cache-affine placements are pinned: stealing them would turn a
+    /// predicted near-free run into a full re-computation elsewhere.
+    pinned: bool,
+    /// Undiscounted slot cost, the unit of the WFQ cost model.
+    base_cost: f64,
+    /// What admission charged the tenant's virtual clock (discounted by
+    /// the cache probe's prediction).
+    est_cost: f64,
 }
 
-/// Worker slots a strategy occupies on this cluster: streaming holds the
+/// Worker slots a strategy occupies on a cluster: streaming holds the
 /// SQL and ML sides live simultaneously; staged strategies hold one side
 /// at a time, so their footprint is the wider of the two.
 fn slot_cost(cluster: &SimCluster, strategy: Strategy) -> usize {
@@ -303,58 +409,129 @@ fn slot_cost(cluster: &SimCluster, strategy: Strategy) -> usize {
     }
 }
 
-/// The serving plane over one shared [`SimCluster`].
-pub struct QueryScheduler {
+/// The WFQ cost multiplier a *measured* cache outcome implies — the
+/// settlement-side twin of [`probe_discount`].
+fn mode_discount(mode: CacheMode) -> f64 {
+    match mode {
+        CacheMode::FullResult => FULL_DISCOUNT,
+        CacheMode::RecodeMap => MAP_DISCOUNT,
+        CacheMode::None => 1.0,
+    }
+}
+
+/// One serving shard: a cluster plus its queue, governor, cache, and
+/// counters.
+struct Shard {
     cluster: Arc<SimCluster>,
-    queue: Arc<FairQueue<Job>>,
-    governor: Arc<WorkerGovernor>,
+    queue: FairQueue<Job>,
+    governor: WorkerGovernor,
+    cache: Option<Arc<CacheManager>>,
+    counters: ShardCounters,
+}
+
+/// The serving plane over a fleet of [`SimCluster`] shards (possibly a
+/// fleet of one).
+pub struct QueryScheduler {
+    shards: Arc<Vec<Shard>>,
+    router: ShardRouter,
     stats: Arc<Stats>,
+    cache_aware: bool,
     default_deadline: Option<Duration>,
     next_id: AtomicU64,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl QueryScheduler {
-    /// Spin up the executor threads. Each owns one [`Pipeline`] over the
-    /// shared cluster; with `enable_cache` they all share one §5 cache.
+    /// Single-cluster serving plane (a fleet of one shard).
     pub fn start(cluster: Arc<SimCluster>, config: SchedulerConfig) -> QueryScheduler {
-        let auto_slots = (cluster.config.sql_workers + cluster.config.ml_workers).max(1) * 4;
-        let governor = Arc::new(WorkerGovernor::new(match config.worker_slots {
-            0 => auto_slots,
-            n => n,
-        }));
-        let queue: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(config.queue_capacity));
+        QueryScheduler::start_sharded(vec![cluster], config)
+    }
+
+    /// Spin up the executor threads over a fleet of shard clusters. Each
+    /// thread is homed on one shard and owns one [`Pipeline`] over that
+    /// shard's cluster; with `enable_cache` all of a shard's threads
+    /// share one §5 cache. The fleet is assumed to host identical
+    /// warehouses (see [`SimCluster::start_shards`]): the router may
+    /// place — and an idle shard may steal — any unpinned request onto
+    /// any shard.
+    pub fn start_sharded(
+        clusters: Vec<Arc<SimCluster>>,
+        config: SchedulerConfig,
+    ) -> QueryScheduler {
+        assert!(
+            !clusters.is_empty(),
+            "a scheduler needs at least one cluster"
+        );
         let stats = Arc::new(Stats::default());
-        let cache = config
-            .enable_cache
-            .then(|| Arc::new(CacheManager::new(cluster.engine.clone())));
-        let workers = (0..config.max_concurrent.max(1))
-            .map(|_| {
-                let cluster = Arc::clone(&cluster);
-                let queue = Arc::clone(&queue);
-                let governor = Arc::clone(&governor);
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            clusters
+                .into_iter()
+                .map(|cluster| {
+                    let auto_slots =
+                        (cluster.config.sql_workers + cluster.config.ml_workers).max(1) * 4;
+                    let governor = WorkerGovernor::new(match config.worker_slots {
+                        0 => auto_slots,
+                        n => n,
+                    });
+                    let cache = config
+                        .enable_cache
+                        .then(|| Arc::new(CacheManager::new(cluster.engine.clone())));
+                    Shard {
+                        cluster,
+                        queue: FairQueue::new(config.queue_capacity),
+                        governor,
+                        cache,
+                        counters: ShardCounters::default(),
+                    }
+                })
+                .collect(),
+        );
+        let threads_per_shard = config.max_concurrent.max(1);
+        let workers = (0..shards.len() * threads_per_shard)
+            .map(|t| {
+                let me = t / threads_per_shard;
+                let shards = Arc::clone(&shards);
                 let stats = Arc::clone(&stats);
-                let cache = cache.clone();
+                let cache_aware = config.cache_aware;
+                let stealing = config.work_stealing && shards.len() > 1;
+                let steal_min = config.steal_min_backlog.max(1);
                 std::thread::spawn(move || {
-                    let pipeline = match cache {
-                        Some(c) => Pipeline::with_shared_cache(&cluster, c),
-                        None => Pipeline::new(&cluster),
+                    let shard = &shards[me];
+                    let pipeline = match &shard.cache {
+                        Some(c) => Pipeline::with_shared_cache(&shard.cluster, Arc::clone(c)),
+                        None => Pipeline::new(&shard.cluster),
                     };
-                    while let Some(job) = queue.pop() {
-                        run_one(&pipeline, &cluster, &governor, &stats, job);
+                    loop {
+                        match shard.queue.pop_timeout(STEAL_POLL) {
+                            Popped::Item(job) => {
+                                run_one(&pipeline, &shards, me, &stats, cache_aware, job)
+                            }
+                            Popped::Closed => break,
+                            Popped::Empty => {
+                                if stealing {
+                                    if let Some(job) = try_steal(&shards, me, steal_min) {
+                                        run_one(&pipeline, &shards, me, &stats, cache_aware, job);
+                                    }
+                                }
+                            }
+                        }
                     }
                 })
             })
             .collect();
         QueryScheduler {
-            cluster,
-            queue,
-            governor,
+            shards,
+            router: ShardRouter::new(),
             stats,
+            cache_aware: config.cache_aware,
             default_deadline: config.default_deadline,
             next_id: AtomicU64::new(1),
             workers,
         }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Submit a query. Rejections (validation, backpressure, shutdown)
@@ -362,15 +539,92 @@ impl QueryScheduler {
     /// query is admitted and will eventually reach a terminal status.
     pub fn submit(&self, spec: QuerySpec) -> std::result::Result<QueryHandle, Rejected> {
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        // Validate up front so a bad request is a reject-with-reason, not
-        // a query that occupies the queue only to fail.
+        self.validate(&spec)?;
+        // Probe every shard's cache for the request's descriptor, then
+        // score placement: cache affinity vs queue depth vs slots.
+        let descriptor: Option<QueryDescriptor> = if self.cache_aware {
+            describe_prep(&self.shards[0].cluster.engine, &spec.request.prep_sql)
+                .ok()
+                .flatten()
+        } else {
+            None
+        };
+        let loads: Vec<ShardLoad> = self
+            .shards
+            .iter()
+            .map(|s| ShardLoad {
+                queue_depth: s.queue.len(),
+                slots_in_use: s.governor.in_use(),
+                slot_capacity: s.governor.capacity(),
+                probe: match (&descriptor, &s.cache) {
+                    (Some(d), Some(c)) => c.probe(d, &spec.request.spec),
+                    _ => CacheProbe::Miss,
+                },
+            })
+            .collect();
+        let placement = self.router.place(&loads);
+        self.admit(spec, placement.shard, placement.affinity)
+    }
+
+    /// [`QueryScheduler::submit`] with client-side retry on
+    /// [`RejectReason::QueueFull`] (bounded exponential backoff +
+    /// jitter, deadline-aware give-up; see [`RetryPolicy`]). Permanent
+    /// rejects return immediately. Each attempt counts as a submission
+    /// in the stats.
+    pub fn submit_with_retry(
+        &self,
+        spec: QuerySpec,
+        policy: &RetryPolicy,
+    ) -> std::result::Result<QueryHandle, Rejected> {
+        let deadline = spec.deadline.or(self.default_deadline);
+        retry_queue_full(policy, deadline, &SystemClock, || self.submit(spec.clone()))
+    }
+
+    /// Targeted placement: admit directly onto `shard`, bypassing the
+    /// router (operator escape hatch; also how the stealing tests build
+    /// deterministic backlog). The job is admitted unpinned, so an idle
+    /// peer may still steal it.
+    pub fn submit_to(
+        &self,
+        spec: QuerySpec,
+        shard: usize,
+    ) -> std::result::Result<QueryHandle, Rejected> {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if shard >= self.shards.len() {
+            return Err(self.reject(RejectReason::Invalid(format!(
+                "no such shard {shard} (fleet of {})",
+                self.shards.len()
+            ))));
+        }
+        self.validate(&spec)?;
+        self.admit(spec, shard, CacheProbe::Miss)
+    }
+
+    /// Validate up front so a bad request is a reject-with-reason, not a
+    /// query that occupies a queue only to fail.
+    fn validate(&self, spec: &QuerySpec) -> std::result::Result<(), Rejected> {
         if let Err(e) = TrainingSpec::parse(&spec.request.ml_command) {
             return Err(self.reject(RejectReason::Invalid(format!("ml command: {e}"))));
         }
-        if let Err(e) = self.cluster.engine.validate(&spec.request.prep_sql) {
+        // Shards host identical warehouses, so shard 0's catalog answers
+        // for the fleet.
+        if let Err(e) = self.shards[0]
+            .cluster
+            .engine
+            .validate(&spec.request.prep_sql)
+        {
             return Err(self.reject(RejectReason::Invalid(format!("prep sql: {e}"))));
         }
+        Ok(())
+    }
 
+    fn admit(
+        &self,
+        spec: QuerySpec,
+        shard_idx: usize,
+        affinity: CacheProbe,
+    ) -> std::result::Result<QueryHandle, Rejected> {
+        let shard = &self.shards[shard_idx];
         let cancel = match spec.deadline.or(self.default_deadline) {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
@@ -380,6 +634,9 @@ impl QueryScheduler {
             tenant: spec.tenant.clone(),
             strategy: spec.strategy,
             cancel,
+            placed_on: shard_idx,
+            ran_on: AtomicUsize::new(NOT_RUN),
+            stolen: AtomicBool::new(false),
             state: Mutex::new(QueryState {
                 status: QueryStatus::Queued,
                 submitted: Instant::now(),
@@ -389,20 +646,34 @@ impl QueryScheduler {
             }),
             done: Condvar::new(),
         });
-        let cost = slot_cost(&self.cluster, spec.strategy) as f64;
+        let base_cost = slot_cost(&shard.cluster, spec.strategy) as f64;
+        let est_cost = if self.cache_aware {
+            base_cost * probe_discount(affinity)
+        } else {
+            base_cost
+        };
+        let pinned = self.cache_aware && affinity != CacheProbe::Miss;
         let job = Job {
             shared: Arc::clone(&shared),
             request: spec.request,
+            home: shard_idx,
+            pinned,
+            base_cost,
+            est_cost,
         };
         // Count the query in flight *before* it becomes poppable — an
         // executor may pop and finalize (decrementing the gauge) the
         // instant the push lands.
         let now = self.stats.inflight_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats.inflight_hw.fetch_max(now, Ordering::Relaxed);
-        if let Err(rejected) = self.queue.push(&spec.tenant, cost, job) {
+        if let Err(rejected) = shard.queue.push(&spec.tenant, est_cost, job) {
             self.stats.inflight_now.fetch_sub(1, Ordering::Relaxed);
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(rejected);
+        }
+        shard.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        if pinned {
+            shard.counters.affinity_hits.fetch_add(1, Ordering::Relaxed);
         }
         Ok(QueryHandle {
             shared,
@@ -415,9 +686,12 @@ impl QueryScheduler {
         Rejected { reason }
     }
 
-    /// Weighted fair share for a tenant (default 1).
+    /// Weighted fair share for a tenant (default 1), applied on every
+    /// shard's queue (tenants are fleet-wide identities).
     pub fn set_tenant_weight(&self, tenant: &str, weight: u32) {
-        self.queue.set_weight(tenant, weight);
+        for shard in self.shards.iter() {
+            shard.queue.set_weight(tenant, weight);
+        }
     }
 
     pub fn stats(&self) -> SchedStatsSnapshot {
@@ -429,17 +703,33 @@ impl QueryScheduler {
             cancelled: self.stats.cancelled.load(Ordering::Relaxed),
             inflight_now: self.stats.inflight_now.load(Ordering::Relaxed),
             inflight_high_water: self.stats.inflight_hw.load(Ordering::Relaxed),
+            per_cluster: self
+                .shards
+                .iter()
+                .map(|s| ClusterCounters {
+                    admitted: s.counters.admitted.load(Ordering::Relaxed),
+                    stolen: s.counters.stolen.load(Ordering::Relaxed),
+                    cache_affinity_hits: s.counters.affinity_hits.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
-    /// Queries waiting in the admission queue right now.
+    /// Queries waiting in the admission queues right now (all shards).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Worker slots currently held / capacity.
+    /// Per-shard admission-queue depths.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue.len()).collect()
+    }
+
+    /// Worker slots currently held / capacity, summed over the fleet.
     pub fn slot_usage(&self) -> (usize, usize) {
-        (self.governor.in_use(), self.governor.capacity())
+        self.shards.iter().fold((0, 0), |(u, c), s| {
+            (u + s.governor.in_use(), c + s.governor.capacity())
+        })
     }
 
     /// Graceful shutdown: stop admitting, drain everything already
@@ -449,7 +739,9 @@ impl QueryScheduler {
     }
 
     fn shutdown_inner(&mut self) {
-        self.queue.close();
+        for shard in self.shards.iter() {
+            shard.queue.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -462,17 +754,38 @@ impl Drop for QueryScheduler {
     }
 }
 
-/// Execute one admitted query on this worker thread.
+/// Scan peers for the most-backlogged queue and claim its head-of-line
+/// query — unless that query is cache-pinned to its home shard.
+fn try_steal(shards: &[Shard], me: usize, steal_min: usize) -> Option<Job> {
+    let (_, victim) = shards
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != me)
+        .map(|(i, s)| (s.queue.len(), i))
+        .filter(|(len, _)| *len >= steal_min)
+        .max_by_key(|(len, _)| *len)?;
+    shards[victim].queue.try_pop_if(|job| !job.pinned)
+}
+
+/// Execute one admitted query on this worker thread (shard `me`). A
+/// stolen job (`me != job.home`) runs *entirely* here: governor slots,
+/// pipeline, §6 transfer state, and cache population all belong to the
+/// stealing cluster; only tenant cost accounting settles back home.
 fn run_one(
     pipeline: &Pipeline<'_>,
-    cluster: &SimCluster,
-    governor: &WorkerGovernor,
+    shards: &[Shard],
+    me: usize,
     stats: &Stats,
+    cache_aware: bool,
     job: Job,
 ) {
+    let shard = &shards[me];
     let shared = job.shared;
     // Hold the query's slot cost for the whole run.
-    let guard = match governor.acquire(slot_cost(cluster, shared.strategy), &shared.cancel) {
+    let guard = match shard
+        .governor
+        .acquire(slot_cost(&shard.cluster, shared.strategy), &shared.cancel)
+    {
         Ok(g) => g,
         Err(e) => {
             finalize(&shared, stats, Err(e));
@@ -489,8 +802,25 @@ fn run_one(
         st.status = QueryStatus::Running;
         st.started = Some(Instant::now());
     }
+    shared.ran_on.store(me, Ordering::Relaxed);
+    if me != job.home {
+        shared.stolen.store(true, Ordering::Relaxed);
+        shard.counters.stolen.fetch_add(1, Ordering::Relaxed);
+    }
     let result = pipeline.run_with(&job.request, shared.strategy, &shared.cancel);
     drop(guard);
+    // Settle the measured WFQ cost back onto the tenant's virtual clock
+    // at the *home* shard, where admission charged the estimate.
+    if cache_aware {
+        if let Ok(report) = &result {
+            let measured = job.base_cost * mode_discount(report.cache_use);
+            if (measured - job.est_cost).abs() > f64::EPSILON {
+                shards[job.home]
+                    .queue
+                    .settle(&shared.tenant, job.est_cost, measured);
+            }
+        }
+    }
     finalize(&shared, stats, result);
 }
 
@@ -546,12 +876,19 @@ mod tests {
         let report = result.as_ref().as_ref().expect("pipeline failed");
         assert!(report.rows_to_ml > 0);
         assert_eq!(handle.status(), QueryStatus::Completed);
+        // A fleet of one: placed and ran on shard 0, never stolen.
+        assert_eq!(handle.placed_on(), 0);
+        assert_eq!(handle.ran_on(), Some(0));
+        assert!(!handle.was_stolen());
         let lat = handle.latency().expect("finished queries have latency");
         assert_eq!(lat.total, lat.queued + lat.running);
         assert!(lat.running > Duration::ZERO);
         let s = sched.stats();
         assert_eq!((s.completed, s.inflight_now), (1, 0));
         assert!(s.inflight_high_water >= 1);
+        assert_eq!(s.per_cluster.len(), 1);
+        assert_eq!(s.per_cluster[0].admitted, 1);
+        assert_eq!(s.per_cluster[0].stolen, 0);
         sched.shutdown();
     }
 
@@ -597,6 +934,55 @@ mod tests {
         let err = result.as_ref().as_ref().unwrap_err();
         assert!(err.to_string().contains("ctrl-c"), "{err}");
         assert!(first.wait().as_ref().as_ref().is_ok());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_a_transient_full_queue() {
+        let sched = QueryScheduler::start(
+            cluster(),
+            SchedulerConfig {
+                max_concurrent: 1,
+                queue_capacity: 1,
+                ..SchedulerConfig::default()
+            },
+        );
+        // Fill the single executor + single queue slot.
+        let running = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSql))
+            .unwrap();
+        let queued = sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSql))
+            .unwrap();
+        // A plain submit bounces; a retried one is admitted once the
+        // backlog drains.
+        assert!(sched
+            .submit(QuerySpec::new("t", request(), Strategy::InSql))
+            .is_err());
+        let policy = RetryPolicy {
+            max_attempts: 60,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(200),
+            jitter: 0.0,
+            seed: 1,
+        };
+        let retried = sched
+            .submit_with_retry(QuerySpec::new("t", request(), Strategy::InSql), &policy)
+            .expect("retry should eventually be admitted");
+        assert!(running.wait().as_ref().as_ref().is_ok());
+        assert!(queued.wait().as_ref().as_ref().is_ok());
+        assert!(retried.wait().as_ref().as_ref().is_ok());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn submit_to_rejects_an_out_of_range_shard() {
+        let sched = QueryScheduler::start(cluster(), SchedulerConfig::default());
+        let err = sched
+            .submit_to(QuerySpec::new("t", request(), Strategy::InSql), 3)
+            .unwrap_err();
+        assert!(matches!(err.reason, RejectReason::Invalid(_)));
+        assert!(err.to_string().contains("no such shard"), "{err}");
         sched.shutdown();
     }
 }

@@ -25,13 +25,16 @@ const SCOPED_SRC: [&str; 6] = [
 ];
 
 /// Files where the lock-across-I/O rule applies (coordinator control
-/// plane, sender data plane, and the serving plane's scheduler: one slow
-/// peer — or one slow pipeline — must not stall a mutex for everyone).
-const LOCK_SCOPED: [&str; 4] = [
+/// plane, sender data plane, and the serving plane's scheduler, shard
+/// router, and retry loop: one slow peer — or one slow pipeline — must
+/// not stall a mutex for everyone).
+const LOCK_SCOPED: [&str; 6] = [
     "crates/transfer/src/coordinator.rs",
     "crates/transfer/src/session.rs",
     "crates/transfer/src/sender.rs",
     "crates/sched/src/scheduler.rs",
+    "crates/sched/src/router.rs",
+    "crates/sched/src/retry.rs",
 ];
 
 fn workspace_root() -> PathBuf {
