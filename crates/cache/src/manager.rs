@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use sqlml_common::lockorder::TrackedMutex;
 use sqlml_common::{Result, SqlmlError, Value};
 use sqlml_sqlengine::ast::CmpOp;
 use sqlml_sqlengine::Engine;
@@ -93,18 +93,28 @@ impl CacheStats {
 /// assumption); [`CacheManager::invalidate_all`] is the escape hatch.
 pub struct CacheManager {
     engine: Engine,
-    full: Mutex<Vec<FullEntry>>,
-    maps: Mutex<Vec<MapEntry>>,
+    full: TrackedMutex<Vec<FullEntry>>,
+    maps: TrackedMutex<Vec<MapEntry>>,
     next_id: AtomicU64,
     pub stats: CacheStats,
 }
 
 impl CacheManager {
     pub fn new(engine: Engine) -> Self {
+        // The manager's lock discipline, checked by the tracked layer (and
+        // mirrored in xtask/lock-order.manifest): `full` before `maps`
+        // (store_full registers then stores the map), and the catalog's
+        // table lock nests inside `full` (store_full registers the
+        // materialized table inside the critical section so lookup never
+        // sees an entry whose table is missing).
+        sqlml_common::declare_order(&[
+            ("cache.full", "cache.maps"),
+            ("cache.full", "sqlengine.catalog.tables"),
+        ]);
         CacheManager {
             engine,
-            full: Mutex::new(Vec::new()),
-            maps: Mutex::new(Vec::new()),
+            full: TrackedMutex::new("cache.full", Vec::new()),
+            maps: TrackedMutex::new("cache.maps", Vec::new()),
             next_id: AtomicU64::new(0),
             stats: CacheStats::default(),
         }

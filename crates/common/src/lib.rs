@@ -11,6 +11,7 @@ pub mod cancel;
 pub mod codec;
 pub mod error;
 pub mod intern;
+pub mod lockorder;
 pub mod rng;
 pub mod row;
 pub mod schema;
@@ -21,6 +22,9 @@ pub use cancel::CancelToken;
 pub use codec::{DictStats, WireCodec};
 pub use error::{counter_u32, wire_u32, Result, SqlmlError};
 pub use intern::Interner;
+pub use lockorder::{
+    declare_order, set_perturb_seed, TrackedCondvar, TrackedMutex, TrackedRwLock, WaitTimeoutResult,
+};
 pub use rng::SplitMix64;
 pub use row::Row;
 pub use schema::{DataType, Field, Schema};

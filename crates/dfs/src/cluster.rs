@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, Read, Write};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use sqlml_common::lockorder::{TrackedMutex, TrackedRwLock};
 use sqlml_common::{Result, SqlmlError};
 
 use crate::namenode::{BlockId, BlockLocation, FileStatus, NameNode};
@@ -59,16 +59,16 @@ impl DfsConfig {
 
 /// One datanode: its block store, liveness flag, and throttle.
 struct DataNode {
-    blocks: RwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
-    alive: RwLock<bool>,
+    blocks: TrackedRwLock<HashMap<BlockId, Arc<Vec<u8>>>>,
+    alive: TrackedRwLock<bool>,
     throttle: Option<Throttle>,
 }
 
 impl DataNode {
     fn new(throttle: Option<Throttle>) -> Self {
         DataNode {
-            blocks: RwLock::new(HashMap::new()),
-            alive: RwLock::new(true),
+            blocks: TrackedRwLock::new("dfs.node.blocks", HashMap::new()),
+            alive: TrackedRwLock::new("dfs.node.alive", true),
             throttle,
         }
     }
@@ -94,7 +94,7 @@ impl DataNode {
 
 struct Inner {
     config: DfsConfig,
-    namenode: Mutex<NameNode>,
+    namenode: TrackedMutex<NameNode>,
     datanodes: Vec<DataNode>,
     /// Cluster-interconnect budget charged to remote reads.
     network: Option<Arc<Throttle>>,
@@ -121,7 +121,7 @@ impl Dfs {
         Dfs {
             inner: Arc::new(Inner {
                 config,
-                namenode: Mutex::new(NameNode::new()),
+                namenode: TrackedMutex::new("dfs.namenode", NameNode::new()),
                 datanodes,
                 network,
             }),
@@ -413,6 +413,7 @@ impl Read for DfsReader {
         if out.is_empty() || !self.ensure_current()? {
             return Ok(0);
         }
+        // lint:allow(panic) ensure_current just returned true
         let cur = self.current.as_ref().expect("ensure_current returned true");
         let avail = &cur[self.pos_in_current..];
         let n = avail.len().min(out.len());
@@ -428,6 +429,7 @@ impl BufRead for DfsReader {
             return Ok(&[]);
         }
         let pos = self.pos_in_current;
+        // lint:allow(panic) ensure_current just returned true
         Ok(&self.current.as_ref().expect("checked above")[pos..])
     }
 

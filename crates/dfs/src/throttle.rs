@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use sqlml_common::lockorder::TrackedMutex;
 
 /// A byte-rate limiter shared by all I/O against one datanode.
 ///
@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 #[derive(Debug)]
 pub struct Throttle {
     bytes_per_sec: f64,
-    state: Mutex<Instant>,
+    state: TrackedMutex<Instant>,
 }
 
 impl Throttle {
@@ -22,7 +22,7 @@ impl Throttle {
         assert!(bytes_per_sec > 0, "throttle rate must be positive");
         Throttle {
             bytes_per_sec: bytes_per_sec as f64,
-            state: Mutex::new(Instant::now()),
+            state: TrackedMutex::new("dfs.throttle.state", Instant::now()),
         }
     }
 

@@ -144,7 +144,9 @@ impl Dataset {
             train.push(tr);
         }
         (
+            // lint:allow(panic) a split preserves the source dims
             Dataset::new(train).expect("dims preserved"),
+            // lint:allow(panic) a split preserves the source dims
             Dataset::from_points(test).expect("dims preserved"),
         )
     }
@@ -214,6 +216,7 @@ impl Standardizer {
                     .collect()
             })
             .collect();
+        // lint:allow(panic) standardization preserves the source dims
         Dataset::new(parts).expect("dimensions preserved")
     }
 
@@ -254,6 +257,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic) re-raise a worker panic on the caller
             .map(|h| h.join().expect("partition worker panicked"))
             .collect()
     })

@@ -264,6 +264,7 @@ impl JobRunner {
                     local += 1;
                     w
                 }
+                // lint:allow(panic) n is the worker count, checked > 0 above
                 None => (0..n).min_by_key(|w| assigned[*w].len()).expect("n > 0"),
             };
             assigned[target].push(split);

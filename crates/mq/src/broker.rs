@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 use sqlml_common::{Result, SqlmlError};
 
 /// Broker configuration.
@@ -40,8 +40,8 @@ pub struct TopicStats {
 }
 
 struct Inner {
-    topics: Mutex<HashMap<String, Topic>>,
-    appended: Condvar,
+    topics: TrackedMutex<HashMap<String, Topic>>,
+    appended: TrackedCondvar,
     throttle: Option<sqlml_dfs::Throttle>,
 }
 
@@ -73,8 +73,8 @@ impl Broker {
     pub fn new(config: BrokerConfig) -> Broker {
         Broker {
             inner: Arc::new(Inner {
-                topics: Mutex::new(HashMap::new()),
-                appended: Condvar::new(),
+                topics: TrackedMutex::new("mq.broker.topics", HashMap::new()),
+                appended: TrackedCondvar::new("mq.broker.appended"),
                 throttle: config.bytes_per_sec.map(sqlml_dfs::Throttle::new),
             }),
         }

@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sqlml_common::lockorder::TrackedMutex;
 use sqlml_common::{codec, Result, Row, Schema, SqlmlError};
 use sqlml_mlengine::input::{InputFormat, InputSplit, RecordReader};
 
@@ -21,10 +21,19 @@ pub const MAX_CONSUME_ATTEMPTS: u32 = 8;
 
 /// Deliberate consumer-side failures for the fault tests: "(partition,
 /// fail after N records)" plans, each firing once.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ConsumerFaults {
-    plans: Mutex<Vec<(usize, usize)>>,
-    fired: Mutex<Vec<(usize, usize)>>,
+    plans: TrackedMutex<Vec<(usize, usize)>>,
+    fired: TrackedMutex<Vec<(usize, usize)>>,
+}
+
+impl Default for ConsumerFaults {
+    fn default() -> Self {
+        ConsumerFaults {
+            plans: TrackedMutex::new("mq.consumer_faults.plans", Vec::new()),
+            fired: TrackedMutex::new("mq.consumer_faults.fired", Vec::new()),
+        }
+    }
 }
 
 impl ConsumerFaults {
@@ -37,12 +46,17 @@ impl ConsumerFaults {
     }
 
     fn should_fail(&self, partition: usize, consumed: usize) -> bool {
-        let mut plans = self.plans.lock();
-        if let Some(pos) = plans
-            .iter()
-            .position(|(p, after)| *p == partition && consumed >= *after)
-        {
-            let plan = plans.remove(pos);
+        // Take the matching plan out under `plans` alone; `fired` is
+        // locked only after that guard is released (keeps the two locks
+        // order-free for the lock-order suite).
+        let plan = {
+            let mut plans = self.plans.lock();
+            plans
+                .iter()
+                .position(|(p, after)| *p == partition && consumed >= *after)
+                .map(|pos| plans.remove(pos))
+        };
+        if let Some(plan) = plan {
             self.fired.lock().push(plan);
             true
         } else {

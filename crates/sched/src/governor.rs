@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 use sqlml_common::{CancelToken, Result};
 
 /// How often a slot waiter re-polls its cancellation token. Waiters are
@@ -26,16 +26,16 @@ const CANCEL_POLL: Duration = Duration::from_millis(25);
 #[derive(Debug)]
 pub struct WorkerGovernor {
     capacity: usize,
-    in_use: Mutex<usize>,
-    freed: Condvar,
+    in_use: TrackedMutex<usize>,
+    freed: TrackedCondvar,
 }
 
 impl WorkerGovernor {
     pub fn new(capacity: usize) -> WorkerGovernor {
         WorkerGovernor {
             capacity: capacity.max(1),
-            in_use: Mutex::new(0),
-            freed: Condvar::new(),
+            in_use: TrackedMutex::new("sched.governor.in_use", 0),
+            freed: TrackedCondvar::new("sched.governor.freed"),
         }
     }
 

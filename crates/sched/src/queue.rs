@@ -16,7 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 
 /// Result of a bounded wait on [`FairQueue::pop_timeout`].
 #[derive(Debug, PartialEq, Eq)]
@@ -88,21 +88,24 @@ struct State<T> {
 /// The bounded weighted-fair admission queue.
 pub struct FairQueue<T> {
     capacity: usize,
-    state: Mutex<State<T>>,
-    ready: Condvar,
+    state: TrackedMutex<State<T>>,
+    ready: TrackedCondvar,
 }
 
 impl<T> FairQueue<T> {
     pub fn new(capacity: usize) -> FairQueue<T> {
         FairQueue {
             capacity: capacity.max(1),
-            state: Mutex::new(State {
-                tenants: HashMap::new(),
-                queued: 0,
-                vtime: 0.0,
-                closed: false,
-            }),
-            ready: Condvar::new(),
+            state: TrackedMutex::new(
+                "sched.queue.state",
+                State {
+                    tenants: HashMap::new(),
+                    queued: 0,
+                    vtime: 0.0,
+                    closed: false,
+                },
+            ),
+            ready: TrackedCondvar::new("sched.queue.ready"),
         }
     }
 

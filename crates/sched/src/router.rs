@@ -16,6 +16,17 @@
 //! backlogged loses its cache advantage (a full-result hit is not worth
 //! waiting behind eight queued pipelines), which is exactly the regime
 //! where cross-shard work stealing takes over.
+//!
+//! **Lock discipline of the probe path** (audited for the lock-order
+//! suite): the router itself holds no locks — its only state is an
+//! atomic round-robin cursor — so placement can never participate in a
+//! lock cycle. The per-shard [`sqlml_cache::CacheManager::probe`] it
+//! calls takes `cache.full` and then `cache.maps` strictly
+//! *sequentially* (each guard is released before the next lock), which
+//! is consistent with the declared `cache.full → cache.maps` order from
+//! `CacheManager::new`; the tracked layer (`sqlml_common::lockorder`,
+//! built with `--features lock-order`) asserts that order at runtime
+//! and aborts on any inversion.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -36,8 +36,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
 use sqlml_cache::{CacheManager, CacheProbe, QueryDescriptor};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 use sqlml_common::{CancelToken, Result, SqlmlError};
 use sqlml_core::{
     describe_prep, CacheMode, Pipeline, PipelineReport, PipelineRequest, SimCluster, Strategy,
@@ -180,8 +180,8 @@ struct QueryShared {
     /// execution starts, never mid-run.
     ran_on: AtomicUsize,
     stolen: AtomicBool,
-    state: Mutex<QueryState>,
-    done: Condvar,
+    state: TrackedMutex<QueryState>,
+    done: TrackedCondvar,
 }
 
 /// Serving-plane counters (monotonic except the in-flight gauge).
@@ -637,14 +637,17 @@ impl QueryScheduler {
             placed_on: shard_idx,
             ran_on: AtomicUsize::new(NOT_RUN),
             stolen: AtomicBool::new(false),
-            state: Mutex::new(QueryState {
-                status: QueryStatus::Queued,
-                submitted: Instant::now(),
-                started: None,
-                finished: None,
-                result: None,
-            }),
-            done: Condvar::new(),
+            state: TrackedMutex::new(
+                "sched.query.state",
+                QueryState {
+                    status: QueryStatus::Queued,
+                    submitted: Instant::now(),
+                    started: None,
+                    finished: None,
+                    result: None,
+                },
+            ),
+            done: TrackedCondvar::new("sched.query.done"),
         });
         let base_cost = slot_cost(&shard.cluster, spec.strategy) as f64;
         let est_cost = if self.cache_aware {
@@ -947,10 +950,21 @@ mod tests {
                 ..SchedulerConfig::default()
             },
         );
-        // Fill the single executor + single queue slot.
+        // Fill the single executor + single queue slot. The first query
+        // occupies the queue slot until the worker pops it, so wait for
+        // it to start running before claiming the slot for the second —
+        // otherwise this submit races the pop and can bounce.
         let running = sched
             .submit(QuerySpec::new("t", request(), Strategy::InSql))
             .unwrap();
+        let started = Instant::now();
+        while running.status() == QueryStatus::Queued {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "first query never left the queue"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let queued = sched
             .submit(QuerySpec::new("t", request(), Strategy::InSql))
             .unwrap();

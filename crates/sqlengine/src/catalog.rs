@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use sqlml_common::lockorder::TrackedRwLock;
 use sqlml_common::{Result, SqlmlError};
 
 use crate::table::PartitionedTable;
@@ -16,11 +16,20 @@ fn key(name: &str) -> String {
 }
 
 /// Tables and functions known to an [`crate::engine::Engine`].
-#[derive(Default)]
 pub struct Catalog {
-    tables: RwLock<HashMap<String, Arc<PartitionedTable>>>,
-    scalar_udfs: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
-    table_udfs: RwLock<HashMap<String, Arc<dyn TableUdf>>>,
+    tables: TrackedRwLock<HashMap<String, Arc<PartitionedTable>>>,
+    scalar_udfs: TrackedRwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
+    table_udfs: TrackedRwLock<HashMap<String, Arc<dyn TableUdf>>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            tables: TrackedRwLock::new("sqlengine.catalog.tables", HashMap::new()),
+            scalar_udfs: TrackedRwLock::new("sqlengine.catalog.scalar_udfs", HashMap::new()),
+            table_udfs: TrackedRwLock::new("sqlengine.catalog.table_udfs", HashMap::new()),
+        }
+    }
 }
 
 impl Catalog {

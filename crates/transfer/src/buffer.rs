@@ -24,7 +24,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 use sqlml_common::{Result, SqlmlError};
 
 #[derive(Debug, Default)]
@@ -71,10 +71,10 @@ pub struct SpillableBuffer {
     max_queued_bytes: Option<usize>,
     spill_dir: PathBuf,
     tag: String,
-    state: Mutex<State>,
-    available: Condvar,
+    state: TrackedMutex<State>,
+    available: TrackedCondvar,
     /// Signaled on every dequeue so a producer blocked on the bound wakes.
-    space: Condvar,
+    space: TrackedCondvar,
 }
 
 impl SpillableBuffer {
@@ -91,20 +91,23 @@ impl SpillableBuffer {
             max_queued_bytes: None,
             spill_dir: spill_dir.into(),
             tag: tag.into(),
-            state: Mutex::new(State {
-                memory: VecDeque::new(),
-                memory_bytes: 0,
-                spill: SpillFile::default(),
-                closed: false,
-                bytes_spilled: 0,
-                spill_events: 0,
-                queued_bytes: 0,
-                depth: 0,
-                depth_high_water: 0,
-                stall_us: 0,
-            }),
-            available: Condvar::new(),
-            space: Condvar::new(),
+            state: TrackedMutex::new(
+                "transfer.buffer.state",
+                State {
+                    memory: VecDeque::new(),
+                    memory_bytes: 0,
+                    spill: SpillFile::default(),
+                    closed: false,
+                    bytes_spilled: 0,
+                    spill_events: 0,
+                    queued_bytes: 0,
+                    depth: 0,
+                    depth_high_water: 0,
+                    stall_us: 0,
+                },
+            ),
+            available: TrackedCondvar::new("transfer.buffer.available"),
+            space: TrackedCondvar::new("transfer.buffer.space"),
         }
     }
 
@@ -306,8 +309,10 @@ impl SpillableBuffer {
 
 impl Drop for SpillableBuffer {
     fn drop(&mut self) {
-        let st = self.state.lock();
-        if let Some(p) = &st.spill.path {
+        // Take the path out under the lock, delete the file after
+        // releasing it — filesystem calls never run under a guard.
+        let path = self.state.lock().spill.path.take();
+        if let Some(p) = path {
             let _ = std::fs::remove_file(p);
         }
     }

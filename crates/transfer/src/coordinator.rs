@@ -17,7 +17,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use sqlml_common::lockorder::{TrackedCondvar, TrackedMutex};
 use sqlml_common::{Result, SqlmlError};
 
 use crate::protocol::{read_message, write_message, Message, SplitEntry};
@@ -80,9 +80,9 @@ struct SharedState {
 pub type JobLauncher = Arc<dyn Fn(SessionInfo) + Send + Sync>;
 
 struct Inner {
-    state: Mutex<SharedState>,
-    session_ready: Condvar,
-    launcher: Mutex<Option<JobLauncher>>,
+    state: TrackedMutex<SharedState>,
+    session_ready: TrackedCondvar,
+    launcher: TrackedMutex<Option<JobLauncher>>,
 }
 
 /// The running coordinator service.
@@ -103,10 +103,20 @@ impl Coordinator {
     pub fn start() -> Result<Coordinator> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?.to_string();
+        // The one deliberate nesting in this file: completing the
+        // registration barrier reads the launcher callback while the
+        // session state is still locked, so the launch decision and the
+        // session's `complete` flag stay atomic. Declared here (and in
+        // xtask/lock-order.manifest) so the reverse nesting can never
+        // creep in.
+        sqlml_common::declare_order(&[(
+            "transfer.coordinator.state",
+            "transfer.coordinator.launcher",
+        )]);
         let inner = Arc::new(Inner {
-            state: Mutex::new(SharedState::default()),
-            session_ready: Condvar::new(),
-            launcher: Mutex::new(None),
+            state: TrackedMutex::new("transfer.coordinator.state", SharedState::default()),
+            session_ready: TrackedCondvar::new("transfer.coordinator.session_ready"),
+            launcher: TrackedMutex::new("transfer.coordinator.launcher", None),
         });
         let serve_inner = Arc::clone(&inner);
         std::thread::Builder::new()
@@ -394,7 +404,7 @@ mod tests {
     fn registration_barrier_launches_job_once() {
         let coord = Coordinator::start().unwrap();
         let launches = Arc::new(AtomicUsize::new(0));
-        let seen = Arc::new(Mutex::new(None::<SessionInfo>));
+        let seen = Arc::new(parking_lot::Mutex::new(None::<SessionInfo>));
         {
             let launches = Arc::clone(&launches);
             let seen = Arc::clone(&seen);

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sqlml_common::lockorder::TrackedMutex;
 use sqlml_common::{CancelToken, Result, SqlmlError, WireCodec};
 use sqlml_mlengine::job::{JobConfig, JobOutcome, JobRunner, TrainingSpec};
 use sqlml_sqlengine::Engine;
@@ -110,9 +110,17 @@ type JobResultSender = mpsc::Sender<Result<JobOutcome>>;
 /// token here, keyed by transfer id (which *is* a UDF argument), and the
 /// UDF looks its token up at execution time. Unknown ids resolve to a
 /// never-cancelled default so direct SQL invocations keep working.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CancelRegistry {
-    tokens: Mutex<HashMap<u64, CancelToken>>,
+    tokens: TrackedMutex<HashMap<u64, CancelToken>>,
+}
+
+impl Default for CancelRegistry {
+    fn default() -> Self {
+        CancelRegistry {
+            tokens: TrackedMutex::new("transfer.session.cancels", HashMap::new()),
+        }
+    }
 }
 
 impl CancelRegistry {
@@ -150,15 +158,16 @@ struct PendingJob {
 pub struct StreamSession {
     coordinator: Coordinator,
     next_id: AtomicU64,
-    pending: Arc<Mutex<HashMap<u64, (PendingJob, JobResultSender)>>>,
+    pending: Arc<TrackedMutex<HashMap<u64, (PendingJob, JobResultSender)>>>,
     cancels: Arc<CancelRegistry>,
 }
 
 impl StreamSession {
     pub fn start() -> Result<StreamSession> {
         let coordinator = Coordinator::start()?;
-        let pending: Arc<Mutex<HashMap<u64, (PendingJob, JobResultSender)>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let pending: Arc<TrackedMutex<HashMap<u64, (PendingJob, JobResultSender)>>> = Arc::new(
+            TrackedMutex::new("transfer.session.pending", HashMap::new()),
+        );
         let coord_addr = coordinator.addr().to_string();
         {
             let pending = Arc::clone(&pending);

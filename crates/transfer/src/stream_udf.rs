@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use sqlml_common::lockorder::TrackedMutex;
 use sqlml_common::schema::{DataType, Field};
 use sqlml_common::{CancelToken, Result, Row, Schema, SqlmlError, Value, WireCodec};
 use sqlml_sqlengine::udf::{PartitionCtx, TableUdf};
@@ -52,11 +52,20 @@ const CALM_FRAMES_TO_SHRINK: u32 = 8;
 pub const MAX_ATTEMPTS: u32 = 4;
 
 /// Deliberate failure plans for fault-tolerance tests and ablations.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultInjector {
     /// (sql worker, fail after this many rows sent) — each fires once.
-    plans: Mutex<Vec<(usize, usize)>>,
-    fired: Mutex<Vec<(usize, usize)>>,
+    plans: TrackedMutex<Vec<(usize, usize)>>,
+    fired: TrackedMutex<Vec<(usize, usize)>>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector {
+            plans: TrackedMutex::new("transfer.faults.plans", Vec::new()),
+            fired: TrackedMutex::new("transfer.faults.fired", Vec::new()),
+        }
+    }
 }
 
 impl FaultInjector {
@@ -72,12 +81,17 @@ impl FaultInjector {
 
     /// Called by the streaming loop; consumes a matching plan.
     fn should_fail(&self, worker: usize, rows_sent: usize) -> bool {
-        let mut plans = self.plans.lock();
-        if let Some(pos) = plans
-            .iter()
-            .position(|(w, after)| *w == worker && rows_sent >= *after)
-        {
-            let plan = plans.remove(pos);
+        // Take the matching plan out under `plans` alone; `fired` is
+        // locked only after that guard is released (keeps the two locks
+        // order-free for the lock-order suite).
+        let plan = {
+            let mut plans = self.plans.lock();
+            plans
+                .iter()
+                .position(|(w, after)| *w == worker && rows_sent >= *after)
+                .map(|pos| plans.remove(pos))
+        };
+        if let Some(plan) = plan {
             self.fired.lock().push(plan);
             true
         } else {

@@ -13,13 +13,29 @@
 //! 2. `cast` — no lossy `as` narrowing to `u8/u16/u32/i8/i16/i32` on
 //!    counters. Use `sqlml_common::wire_u32` / `counter_u32` /
 //!    `try_into()` so overflow is an error, not silent truncation.
-//! 3. `lock` — no lock guard held across socket I/O in the coordinator
-//!    control plane (`coordinator.rs` / `session.rs`): a slow peer must
-//!    not be able to stall every other connection on a mutex.
+//! 3. `lock` — no lock guard held across socket or disk I/O, anywhere
+//!    in the workspace: a slow peer (or a slow disk) must not be able to
+//!    stall every other thread on a mutex. Guard live ranges are
+//!    inferred from `let`-bound `.lock()`/`.read()`/`.write()` bindings
+//!    plus loop/`if let`/`match` heads whose scrutinee takes a guard
+//!    (those temporaries live for the whole body).
+//! 4. `lock-order` — every syntactic nesting of two tracked locks
+//!    (declared via `TrackedMutex::new("class", ..)` et al.) must match
+//!    the committed ordering manifest `xtask/lock-order.manifest`. An
+//!    inversion of a declared pair is a potential deadlock; a nesting
+//!    the manifest does not mention at all must be declared (or
+//!    restructured) before it lands. This is the static half of the
+//!    `lock-order` runtime feature in `sqlml-common`: the scanner sees
+//!    only same-file nesting, the tracked layer sees every interleaving
+//!    at runtime.
 //!
 //! A site that is provably safe can carry a same-line escape marker:
-//! `// lint:allow(panic)`, `// lint:allow(cast)`, `// lint:allow(lock)`.
-//! Markers are deliberately loud so reviewers see every exemption.
+//! `// lint:allow(panic)`, `// lint:allow(cast)`, `// lint:allow(lock)`,
+//! `// lint:allow(lock-order)`. Markers are deliberately loud so
+//! reviewers see every exemption.
+
+use std::collections::HashMap;
+use std::path::Path;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -323,18 +339,69 @@ pub fn check_casts(m: &Masked) -> Vec<Violation> {
     out
 }
 
-/// Socket I/O calls that must never run under a held lock guard.
-const IO_TOKENS: [&str; 5] = [
+/// Socket and disk I/O calls that must never run under a held lock
+/// guard.
+const IO_TOKENS: [&str; 12] = [
     "write_message(",
     "read_message(",
     ".write_all(",
     ".read_exact(",
     "TcpStream::connect(",
+    "TcpListener::bind(",
+    "File::open(",
+    "File::create(",
+    "OpenOptions::new(",
+    "fs::remove_file(",
+    "fs::rename(",
+    "fs::read_dir(",
 ];
 
-/// Rule 3: no lock guard held across socket I/O. Line-oriented scan with
-/// brace-depth tracking: a `let g = ...lock();` binding is live until its
-/// enclosing block closes or an explicit `drop(g)`.
+/// Acquisition suffixes that produce a guard: `.lock()` for mutexes,
+/// `.read()` / `.write()` for rwlocks. The empty parens matter — they
+/// keep `file.read(&mut buf)` / `stream.write(&buf)` (which take a
+/// buffer argument) from matching.
+const GUARD_SUFFIXES: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// If this (masked, whole) line `let`-binds a lock guard, return the
+/// binding name. The binding must *end* in the acquisition — a line like
+/// `let n = self.full.lock().len();` produces a value, not a live guard
+/// (the temporary dies at the semicolon).
+fn guard_binding(line: &str) -> Option<String> {
+    let t = line.trim();
+    let rest = t.strip_prefix("let ")?;
+    if !GUARD_SUFFIXES.iter().any(|s| {
+        let with_semi = format!("{s};");
+        t.ends_with(&with_semi)
+    }) {
+        return None;
+    }
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Does this line open a block whose head expression takes a guard
+/// (`for x in m.lock().iter() {`, `if let P = m.lock()... {`,
+/// `while let ... {`, `match m.lock()... {`)? Such temporaries live for
+/// the whole body, so they count as guards until the block closes.
+fn scoped_head_holds_guard(line: &str) -> bool {
+    let t = line.trim_start();
+    (t.starts_with("for ")
+        || t.starts_with("if let ")
+        || t.starts_with("while let ")
+        || t.starts_with("while ")
+        || t.starts_with("match "))
+        && GUARD_SUFFIXES.iter().any(|s| t.contains(s))
+}
+
+/// Rule 3: no lock guard held across socket/disk I/O. Line-oriented
+/// scan with brace-depth tracking: a `let g = ...lock();` binding is
+/// live until its enclosing block closes or an explicit `drop(g)`; a
+/// loop/`if let`/`match` head that takes a guard holds it for the whole
+/// body.
 pub fn check_lock_across_io(m: &Masked) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut depth: i64 = 0;
@@ -368,24 +435,225 @@ pub fn check_lock_across_io(m: &Masked) -> Vec<Violation> {
                     line: lineno,
                     rule: "lock",
                     message: format!(
-                        "socket I/O while lock guard `{name}` (taken on line {gline}) is \
-                         held; release the lock before touching the network"
+                        "I/O while lock guard `{name}` (taken on line {gline}) is \
+                         held; release the lock before touching the network or disk"
                     ),
                 });
             }
         }
-        // New guard bindings: `let [mut] NAME = ....lock(`.
-        let t = line.trim_start();
-        if let Some(rest) = t.strip_prefix("let ") {
-            if line.contains(".lock(") {
+        // New guards: `let [mut] NAME = ....lock();` bindings, and block
+        // heads whose scrutinee temporary holds a guard for the body.
+        if let Some(name) = guard_binding(line) {
+            if !m.allowed(lineno, "lock") {
+                guards.push((name, depth_before.min(depth), lineno));
+            }
+        } else if scoped_head_holds_guard(line) && !m.allowed(lineno, "lock") {
+            guards.push((format!("<head@{lineno}>"), depth_before + 1, lineno));
+        }
+    }
+    out
+}
+
+/// The committed lock-ordering manifest: `outer -> inner` lines, one
+/// declared nesting per line, `#` comments. The runtime layer
+/// (`sqlml_common::declare_order`) and this static rule check against
+/// the same vocabulary of lock-class names.
+pub struct OrderManifest {
+    pairs: Vec<(String, String)>,
+}
+
+impl OrderManifest {
+    pub fn load(path: &Path) -> Result<OrderManifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    pub fn parse(text: &str) -> Result<OrderManifest, String> {
+        let mut pairs = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((outer, inner)) = line.split_once("->") else {
+                return Err(format!(
+                    "manifest line {}: expected `outer -> inner`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            let (outer, inner) = (outer.trim().to_string(), inner.trim().to_string());
+            if outer.is_empty() || inner.is_empty() {
+                return Err(format!(
+                    "manifest line {}: empty lock class in {raw:?}",
+                    idx + 1
+                ));
+            }
+            if pairs.contains(&(inner.clone(), outer.clone())) {
+                return Err(format!(
+                    "manifest line {}: `{outer} -> {inner}` contradicts an earlier \
+                     `{inner} -> {outer}` — the manifest itself declares a cycle",
+                    idx + 1
+                ));
+            }
+            pairs.push((outer, inner));
+        }
+        Ok(OrderManifest { pairs })
+    }
+
+    pub fn declares(&self, outer: &str, inner: &str) -> bool {
+        self.pairs.iter().any(|(o, i)| o == outer && i == inner)
+    }
+}
+
+/// Map each tracked-lock field/binding in this file to its lock-class
+/// name, read off the `TrackedMutex::new("class", ..)` /
+/// `TrackedRwLock::new("class", ..)` declaration lines. Uses the
+/// *original* lines (the class name is a string literal, which the
+/// masked view blanks).
+fn tracked_classes(m: &Masked) -> HashMap<String, String> {
+    let mut classes = HashMap::new();
+    for line in &m.lines {
+        for ctor in ["TrackedMutex::new(", "TrackedRwLock::new("] {
+            let Some(p) = line.find(ctor) else { continue };
+            let after = &line[p + ctor.len()..];
+            let Some(q1) = after.find('"') else { continue };
+            let Some(q2) = after[q1 + 1..].find('"') else {
+                continue;
+            };
+            let class = after[q1 + 1..q1 + 1 + q2].to_string();
+            // The owning name: `field: Tracked...` (possibly through
+            // `Arc::new(..)`) or `let name = Tracked...`.
+            let head = line[..p].trim_start();
+            let name = if let Some(rest) = head.strip_prefix("let ") {
                 let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-                let name: String = rest
+                rest.chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect::<String>()
+            } else {
+                let n: String = head
                     .chars()
                     .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
                     .collect();
-                if !name.is_empty() && !m.allowed(lineno, "lock") {
-                    guards.push((name, depth_before.min(depth), lineno));
+                if head[n.len()..].trim_start().starts_with(':') {
+                    n
+                } else {
+                    String::new()
                 }
+            };
+            if !name.is_empty() {
+                classes.insert(name, class);
+            }
+        }
+    }
+    classes
+}
+
+/// Rule 4: every same-file syntactic nesting of two tracked locks must
+/// match the ordering manifest. Reports both inversions of declared
+/// pairs (a potential deadlock the runtime layer would abort on) and
+/// nestings the manifest never mentions (undeclared lock coupling).
+pub fn check_lock_order(m: &Masked, manifest: &OrderManifest) -> Vec<Violation> {
+    let classes = tracked_classes(m);
+    if classes.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // (binding name, class, scope depth, line)
+    let mut guards: Vec<(String, String, i64, usize)> = Vec::new();
+    let text = String::from_utf8_lossy(&m.code);
+    let report = |lineno: usize, outer: &str, inner: &str, outer_line: usize| {
+        if m.allowed(lineno, "lock-order") {
+            return None;
+        }
+        if manifest.declares(inner, outer) {
+            Some(Violation {
+                line: lineno,
+                rule: "lock-order",
+                message: format!(
+                    "acquires `{inner}` while holding `{outer}` (taken on line \
+                     {outer_line}), inverting the declared order `{inner} -> {outer}` \
+                     from xtask/lock-order.manifest — potential deadlock"
+                ),
+            })
+        } else if !manifest.declares(outer, inner) {
+            Some(Violation {
+                line: lineno,
+                rule: "lock-order",
+                message: format!(
+                    "acquires `{inner}` while holding `{outer}` (taken on line \
+                     {outer_line}); this nesting is not declared in \
+                     xtask/lock-order.manifest — add `{outer} -> {inner}` (or \
+                     restructure to avoid holding both)"
+                ),
+            })
+        } else {
+            None
+        }
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let depth_before = depth;
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        guards.retain(|(_, _, d, _)| depth >= *d);
+        if let Some(p) = line.find("drop(") {
+            let arg: String = line[p + 5..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|(name, _, _, _)| *name != arg);
+        }
+        // Acquisitions on this line, in textual (= acquisition) order.
+        let mut acqs: Vec<(usize, String)> = Vec::new(); // (column, class)
+        for (field, class) in &classes {
+            for suffix in GUARD_SUFFIXES {
+                let needle = format!(".{field}{suffix}");
+                let mut from = 0;
+                while let Some(rel) = line[from..].find(&needle) {
+                    let at = from + rel;
+                    from = at + needle.len();
+                    acqs.push((at, class.clone()));
+                }
+            }
+        }
+        acqs.sort();
+        // Each acquisition nests inside every live guard...
+        for (_, class) in &acqs {
+            for (_, gclass, _, gline) in &guards {
+                if gclass != class {
+                    out.extend(report(lineno, gclass, class, *gline));
+                }
+            }
+        }
+        // ...and inside earlier acquisitions on the same line (tuple /
+        // chained expressions hold their temporaries to the semicolon).
+        for (i, (_, inner)) in acqs.iter().enumerate() {
+            for (_, outer) in acqs.iter().take(i) {
+                if outer != inner {
+                    out.extend(report(lineno, outer, inner, lineno));
+                }
+            }
+        }
+        if let Some(name) = guard_binding(line) {
+            // Which class did the binding take? The last acquisition on
+            // the line is the one the statement ends with.
+            if let Some((_, class)) = acqs.last() {
+                guards.push((name, class.clone(), depth_before.min(depth), lineno));
+            }
+        } else if scoped_head_holds_guard(line) {
+            if let Some((_, class)) = acqs.first() {
+                guards.push((
+                    format!("<head@{lineno}>"),
+                    class.clone(),
+                    depth_before + 1,
+                    lineno,
+                ));
             }
         }
     }
@@ -490,5 +758,141 @@ mod tests {
     fn raw_strings_and_char_literals_are_masked() {
         let src = "fn f() {\n  let s = r#\"x.unwrap()\"#;\n  let c = '\\'';\n  let l: &'static str = s;\n}\n";
         assert!(check_panics(&masked(src)).is_empty());
+    }
+
+    #[test]
+    fn lock_rule_ignores_value_bindings_but_tracks_rwlock_guards() {
+        // `let n = ...lock().len();` is a value, not a live guard; a
+        // trailing `.read();` binding is a guard.
+        let src = concat!(
+            "fn f() {\n",
+            "  let n = self.full.lock().len();\n",
+            "  write_message(&mut stream, &msg)?;\n",
+            "  let g = self.tables.read();\n",
+            "  stream.write_all(&buf)?;\n",
+            "}\n",
+        );
+        let v = check_lock_across_io(&masked(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("`g`"));
+    }
+
+    #[test]
+    fn lock_rule_tracks_loop_head_temporaries_and_disk_io() {
+        let src = concat!(
+            "fn f() {\n",
+            "  for e in self.full.lock().drain(..) {\n",
+            "    std::fs::remove_file(&e.path)?;\n",
+            "  }\n",
+            "  let h = File::open(&p)?;\n",
+            "}\n",
+        );
+        let v = check_lock_across_io(&masked(src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn manifest_parses_pairs_comments_and_rejects_declared_cycles() {
+        let m = OrderManifest::parse("# c\na -> b # trailing\n\nb -> c\n").unwrap();
+        assert!(m.declares("a", "b"));
+        assert!(m.declares("b", "c"));
+        assert!(!m.declares("b", "a"));
+        assert!(OrderManifest::parse("a b\n").is_err());
+        assert!(OrderManifest::parse("a -> \n").is_err());
+        assert!(OrderManifest::parse("a -> b\nb -> a\n").is_err());
+    }
+
+    /// A file with two tracked locks and a nesting between them.
+    fn nested_src() -> &'static str {
+        concat!(
+            "struct S { full: TrackedMutex<V>, maps: TrackedMutex<V> }\n",
+            "impl S {\n",
+            "  fn new() -> S {\n",
+            "    S {\n",
+            "      full: TrackedMutex::new(\"cache.full\", V::new()),\n",
+            "      maps: TrackedMutex::new(\"cache.maps\", V::new()),\n",
+            "    }\n",
+            "  }\n",
+            "  fn nested(&self) {\n",
+            "    let full = self.full.lock();\n",
+            "    self.maps.lock().clear();\n",
+            "  }\n",
+            "}\n",
+        )
+    }
+
+    #[test]
+    fn lock_order_rule_flags_undeclared_nesting() {
+        let manifest = OrderManifest::parse("").unwrap();
+        let v = check_lock_order(&masked(nested_src()), &manifest);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 11);
+        assert!(v[0].message.contains("not declared"), "{}", v[0].message);
+        assert!(v[0].message.contains("cache.full -> cache.maps"));
+    }
+
+    #[test]
+    fn lock_order_rule_accepts_declared_nesting() {
+        let manifest = OrderManifest::parse("cache.full -> cache.maps\n").unwrap();
+        assert!(check_lock_order(&masked(nested_src()), &manifest).is_empty());
+    }
+
+    #[test]
+    fn lock_order_rule_flags_inversion_of_declared_pair() {
+        let manifest = OrderManifest::parse("cache.maps -> cache.full\n").unwrap();
+        let v = check_lock_order(&masked(nested_src()), &manifest);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("inverting"), "{}", v[0].message);
+        assert!(v[0].message.contains("potential deadlock"));
+    }
+
+    #[test]
+    fn lock_order_rule_sees_same_line_nesting_and_scope_release() {
+        let src = concat!(
+            "struct S { full: TrackedMutex<V>, maps: TrackedMutex<V> }\n",
+            "impl S {\n",
+            "  fn mk() { let _ = TrackedMutex::new(\"cache.full\", 0); }\n",
+            "  fn len(&self) -> (usize, usize) {\n",
+            "    (self.full.lock().len(), self.maps.lock().len())\n",
+            "  }\n",
+            "  fn sequential(&self) {\n",
+            "    { let full = self.full.lock(); }\n",
+            "    let maps = self.maps.lock();\n",
+            "  }\n",
+            "}\n",
+            "fn ctor() {\n",
+            "  let full = TrackedMutex::new(\"cache.full\", 0);\n",
+            "  let maps = TrackedMutex::new(\"cache.maps\", 0);\n",
+            "}\n",
+        );
+        // Same-line tuple: full is acquired before maps.
+        let none = OrderManifest::parse("").unwrap();
+        let v = check_lock_order(&masked(src), &none);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+        // Declared, and the block-scoped sequential pair stays silent.
+        let declared = OrderManifest::parse("cache.full -> cache.maps\n").unwrap();
+        assert!(check_lock_order(&masked(src), &declared).is_empty());
+    }
+
+    #[test]
+    fn lock_order_rule_honours_allow_marker() {
+        let src = concat!(
+            "struct S { a: TrackedMutex<V>, b: TrackedMutex<V> }\n",
+            "fn mk() -> S {\n",
+            "  S {\n",
+            "    a: TrackedMutex::new(\"x.a\", 0),\n",
+            "    b: TrackedMutex::new(\"x.b\", 0),\n",
+            "  }\n",
+            "}\n",
+            "fn f(s: &S) {\n",
+            "  let g = s.a.lock();\n",
+            "  s.b.lock().poke(); // lint:allow(lock-order) audited one-off\n",
+            "}\n",
+        );
+        let none = OrderManifest::parse("").unwrap();
+        assert!(check_lock_order(&masked(src), &none).is_empty());
     }
 }

@@ -1,41 +1,43 @@
 //! Workspace task runner. Currently one task:
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint [--json | --github]
 //! ```
 //!
-//! runs the repo-specific static-analysis rules (see `lint.rs`) over the
-//! hot-path crates and exits non-zero listing every violation. CI runs
-//! this next to `cargo clippy`; the rules here are ones clippy cannot
-//! express (project error-taxonomy policy, lock-vs-socket discipline).
+//! runs the repo-specific static-analysis rules (see `lint.rs`) over
+//! every crate in the workspace and exits non-zero listing every
+//! violation. CI runs this next to `cargo clippy`; the rules here are
+//! ones clippy cannot express (project error-taxonomy policy,
+//! lock-vs-I/O discipline, the declared lock-ordering manifest).
+//!
+//! Scope is discovered, not enumerated: every `crates/*/src` directory
+//! is linted. A crate can only opt out of the panic/cast rules through
+//! the [`PANIC_CAST_EXEMPT`] allowlist below, which requires a written
+//! justification — so a newly added crate is covered by default instead
+//! of silently unlinted. The lock rules (`lock`, `lock-order`) have no
+//! opt-out: they apply to every file in the workspace.
+//!
+//! Output modes:
+//!
+//! * default — human-readable `path:line: [rule] message` lines;
+//! * `--json` — a machine-readable JSON array for tooling;
+//! * `--github` — GitHub Actions `::error` workflow commands so CI runs
+//!   render findings as inline PR annotations.
 
 mod lint;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose non-test code must be panic-free and cast-checked.
-const SCOPED_SRC: [&str; 6] = [
-    "crates/transfer/src",
-    "crates/mq/src",
-    "crates/sqlengine/src",
-    "crates/transform/src",
-    "crates/common/src",
-    "crates/sched/src",
-];
-
-/// Files where the lock-across-I/O rule applies (coordinator control
-/// plane, sender data plane, and the serving plane's scheduler, shard
-/// router, and retry loop: one slow peer — or one slow pipeline — must
-/// not stall a mutex for everyone).
-const LOCK_SCOPED: [&str; 6] = [
-    "crates/transfer/src/coordinator.rs",
-    "crates/transfer/src/session.rs",
-    "crates/transfer/src/sender.rs",
-    "crates/sched/src/scheduler.rs",
-    "crates/sched/src/router.rs",
-    "crates/sched/src/retry.rs",
-];
+/// Crates exempt from the panic/cast rules, each with the justification
+/// reviewers signed off on. Everything else under `crates/` is covered
+/// automatically; adding a crate here is a reviewed decision, not a
+/// default.
+const PANIC_CAST_EXEMPT: [(&str, &str); 1] = [(
+    "bench",
+    "offline benchmark driver: a panic aborts one bench invocation on an \
+     operator's terminal, never a serving query",
+)];
 
 fn workspace_root() -> PathBuf {
     // xtask always runs via `cargo run -p xtask`, so CARGO_MANIFEST_DIR
@@ -45,6 +47,24 @@ fn workspace_root() -> PathBuf {
         .parent()
         .map(Path::to_path_buf)
         .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Every `crates/<name>/src` directory in the workspace, sorted so runs
+/// are deterministic.
+fn crate_src_dirs(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.push((name, src));
+        }
+    }
+    out.sort();
+    out
 }
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -66,12 +86,116 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn run_lint(root: &Path) -> ExitCode {
-    let mut total = 0usize;
+/// How findings are rendered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Human,
+    Json,
+    Github,
+}
+
+/// One finding with its file attached, ready to render.
+struct Finding {
+    file: String,
+    violation: lint::Violation,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// GitHub workflow commands carry the message on one line with `%`,
+/// `\r`, `\n` percent-encoded per the Actions toolkit.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+fn render(findings: &[Finding], files: usize, mode: Output) {
+    match mode {
+        Output::Human => {
+            for f in findings {
+                let v = &f.violation;
+                println!("{}:{}: [{}] {}", f.file, v.line, v.rule, v.message);
+            }
+            if findings.is_empty() {
+                println!("xtask lint: {files} files clean");
+            } else {
+                eprintln!(
+                    "xtask lint: {} violation(s) across {files} files",
+                    findings.len()
+                );
+            }
+        }
+        Output::Json => {
+            // Hand-emitted (offline build: no serde); every dynamic
+            // string goes through `json_escape`.
+            let mut out = String::from("[");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let v = &f.violation;
+                out.push_str(&format!(
+                    "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                    json_escape(&f.file),
+                    v.line,
+                    json_escape(v.rule),
+                    json_escape(&v.message)
+                ));
+            }
+            out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+            println!("{out}");
+        }
+        Output::Github => {
+            for f in findings {
+                let v = &f.violation;
+                println!(
+                    "::error file={},line={},title=xtask lint ({})::{}",
+                    github_escape(&f.file),
+                    v.line,
+                    github_escape(v.rule),
+                    github_escape(&v.message)
+                );
+            }
+            if findings.is_empty() {
+                println!("xtask lint: {files} files clean");
+            } else {
+                eprintln!(
+                    "xtask lint: {} violation(s) across {files} files",
+                    findings.len()
+                );
+            }
+        }
+    }
+}
+
+fn run_lint(root: &Path, mode: Output) -> ExitCode {
+    let manifest = match lint::OrderManifest::load(&root.join("xtask/lock-order.manifest")) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask lint: cannot load xtask/lock-order.manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut findings = Vec::new();
     let mut files = 0usize;
-    for scope in SCOPED_SRC {
+    for (crate_name, src_dir) in crate_src_dirs(root) {
+        let panic_cast = !PANIC_CAST_EXEMPT.iter().any(|(c, _)| *c == crate_name);
         let mut paths = Vec::new();
-        rust_files(&root.join(scope), &mut paths);
+        rust_files(&src_dir, &mut paths);
         paths.sort();
         for path in paths {
             let Ok(src) = std::fs::read_to_string(&path) else {
@@ -79,27 +203,26 @@ fn run_lint(root: &Path) -> ExitCode {
             };
             files += 1;
             let masked = lint::Masked::new(&src);
-            let mut violations = lint::check_panics(&masked);
-            violations.extend(lint::check_casts(&masked));
-            let rel = path.strip_prefix(root).unwrap_or(&path);
-            if LOCK_SCOPED
-                .iter()
-                .any(|l| rel.ends_with(l) || rel == Path::new(l))
-            {
-                violations.extend(lint::check_lock_across_io(&masked));
+            let mut violations = Vec::new();
+            if panic_cast {
+                violations.extend(lint::check_panics(&masked));
+                violations.extend(lint::check_casts(&masked));
             }
+            violations.extend(lint::check_lock_across_io(&masked));
+            violations.extend(lint::check_lock_order(&masked, &manifest));
             violations.sort_by_key(|v| v.line);
-            for v in &violations {
-                println!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
-            }
-            total += violations.len();
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel = rel.display().to_string();
+            findings.extend(violations.into_iter().map(|violation| Finding {
+                file: rel.clone(),
+                violation,
+            }));
         }
     }
-    if total == 0 {
-        println!("xtask lint: {files} files clean");
+    render(&findings, files, mode);
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {total} violation(s) across {files} files");
         ExitCode::FAILURE
     }
 }
@@ -107,9 +230,20 @@ fn run_lint(root: &Path) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&workspace_root()),
+        Some("lint") => {
+            let mode = match args.get(1).map(String::as_str) {
+                None => Output::Human,
+                Some("--json") => Output::Json,
+                Some("--github") => Output::Github,
+                Some(other) => {
+                    eprintln!("unknown lint flag {other:?}; try --json or --github");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_lint(&workspace_root(), mode)
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--json | --github]");
             ExitCode::FAILURE
         }
     }
