@@ -29,14 +29,19 @@
 //! 5. **cache affinity** — a warmed, repeated descriptor served with
 //!    cache-aware routing vs blind load routing; affinity routing must
 //!    deliver a strictly lower p95 (shape-checked).
-//! 6. `--sweep` — the A8 under-load ablation grid: queue capacity ×
+//! 6. `--elastic` — the elastic fleet: a burst on one template shard
+//!    sets the goodput bar, a second (longer) burst gets a shard joined
+//!    mid-flight via `add_shard` (goodput must recover past the bar),
+//!    and a third burst straddles a `remove_shard(Migrate)` drain —
+//!    every handle must resolve exactly once, nothing lost.
+//! 7. `--sweep` — the A8 under-load ablation grid: queue capacity ×
 //!    worker slots × tenant-weight skew × shard count, every cell
-//!    submitted through `submit_with_retry`.
+//!    submitted with a per-submit retry policy.
 //!
 //! Run: `cargo run --release -p sqlml-bench --bin serve_load`
 //! Flags: `--queries N --inflight N --queue-cap N --worker-slots N`
 //! `--shards N --carts N --seed N --throttle-mbps M --no-cache`
-//! `--no-cache-aware --no-steal --sweep --verbose`
+//! `--no-cache-aware --no-steal --elastic --sweep --verbose`
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,7 +52,8 @@ use sqlml_core::workload::{WorkloadScale, PREP_QUERY};
 use sqlml_core::{ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy};
 use sqlml_dfs::DfsConfig;
 use sqlml_sched::{
-    QueryScheduler, QuerySpec, QueryStatus, RejectReason, RetryPolicy, SchedulerConfig,
+    DrainPolicy, QueryScheduler, QuerySpec, QueryStatus, RejectReason, RetryPolicy,
+    SchedulerConfig, SubmitOpts,
 };
 use sqlml_transform::TransformSpec;
 
@@ -71,6 +77,7 @@ struct Args {
     cache: bool,
     cache_aware: bool,
     stealing: bool,
+    elastic: bool,
     sweep: bool,
     verbose: bool,
 }
@@ -89,6 +96,7 @@ impl Args {
             cache: true,
             cache_aware: true,
             stealing: true,
+            elastic: false,
             sweep: false,
             verbose: false,
         };
@@ -108,6 +116,11 @@ impl Args {
                 }
                 "--no-steal" => {
                     a.stealing = false;
+                    i += 1;
+                    continue;
+                }
+                "--elastic" => {
+                    a.elastic = true;
                     i += 1;
                     continue;
                 }
@@ -207,7 +220,7 @@ fn run_burst(
         let (tenant, _) = TENANTS[i % TENANTS.len()];
         let spec = QuerySpec::new(tenant, request(i), STRATEGIES[i % STRATEGIES.len()]);
         let admitted = match retry {
-            Some(p) => sched.submit_with_retry(spec, p),
+            Some(p) => sched.submit_opts(spec, SubmitOpts::default().with_retry(p.clone())),
             None => sched.submit(spec),
         };
         match admitted {
@@ -284,7 +297,10 @@ fn main() {
     );
 
     // --- phase 2: concurrent load over the fleet ----------------------
-    let sched = QueryScheduler::start_sharded(fleet.clone(), args.sched_config());
+    let sched = QueryScheduler::builder(args.sched_config())
+        .clusters(fleet.clone())
+        .build()
+        .expect("load-phase scheduler");
     for (tenant, weight) in TENANTS {
         sched.set_tenant_weight(tenant, weight);
     }
@@ -347,27 +363,27 @@ fn main() {
         goodput(s.completed, wall),
         sched.slot_usage()
     );
-    for (i, c) in s.per_cluster.iter().enumerate() {
+    for c in &s.per_cluster {
         println!(
-            "  shard {i}: admitted {} stolen {} affinity hits {}",
-            c.admitted, c.stolen, c.cache_affinity_hits
+            "  shard {}: admitted {} stolen {} affinity hits {}",
+            c.shard, c.admitted, c.stolen, c.cache_affinity_hits
         );
     }
     let total_stolen: u64 = s.per_cluster.iter().map(|c| c.stolen).sum();
     sched.shutdown();
 
     // --- phase 3: overload rejects + client retry + deadline ----------
-    let tiny = QueryScheduler::start(
-        Arc::clone(&fleet[0]),
-        SchedulerConfig {
-            max_concurrent: 1,
-            queue_capacity: 4,
-            worker_slots: args.worker_slots,
-            enable_cache: args.cache,
-            cache_aware: args.cache && args.cache_aware,
-            ..SchedulerConfig::default()
-        },
-    );
+    let tiny = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 1,
+        queue_capacity: 4,
+        worker_slots: args.worker_slots,
+        enable_cache: args.cache,
+        cache_aware: args.cache && args.cache_aware,
+        ..SchedulerConfig::default()
+    })
+    .cluster(Arc::clone(&fleet[0]))
+    .build()
+    .expect("overload-phase scheduler");
     let mut admitted = Vec::new();
     let mut rejects = Vec::new();
     for i in 0..32 {
@@ -395,9 +411,9 @@ fn main() {
     };
     let t_retry = Instant::now();
     let retried = tiny
-        .submit_with_retry(
+        .submit_opts(
             QuerySpec::new("burst", request(0), Strategy::InSql),
-            &retry_policy,
+            SubmitOpts::default().with_retry(retry_policy.clone()),
         )
         .expect("retrying client should outlast the backlog");
     let retry_wait = t_retry.elapsed();
@@ -444,10 +460,16 @@ fn main() {
             work_stealing: args.stealing,
             ..SchedulerConfig::default()
         };
-        let solo = QueryScheduler::start_sharded(vec![Arc::clone(&fleet[0])], scale_cfg.clone());
+        let solo = QueryScheduler::builder(scale_cfg.clone())
+            .cluster(Arc::clone(&fleet[0]))
+            .build()
+            .expect("solo scheduler");
         let (_, solo_wall, solo_done, _) = run_burst(&solo, args.queries, None);
         solo.shutdown();
-        let full = QueryScheduler::start_sharded(fleet.clone(), scale_cfg);
+        let full = QueryScheduler::builder(scale_cfg)
+            .clusters(fleet.clone())
+            .build()
+            .expect("fleet scheduler");
         let (_, fleet_wall, fleet_done, _) = run_burst(&full, args.queries, None);
         let fleet_stolen: u64 = full.stats().per_cluster.iter().map(|c| c.stolen).sum();
         full.shutdown();
@@ -487,7 +509,10 @@ fn main() {
                 work_stealing: args.stealing,
                 ..SchedulerConfig::default()
             };
-            let sched = QueryScheduler::start_sharded(fleet.clone(), cfg);
+            let sched = QueryScheduler::builder(cfg)
+                .clusters(fleet.clone())
+                .build()
+                .expect("affinity scheduler");
             // Warm exactly one shard's cache.
             let warm = sched
                 .submit(QuerySpec::new("t", request(0), Strategy::InSqlStream))
@@ -530,9 +555,123 @@ fn main() {
         affinity_holds = aware_p95 < blind_p95;
     }
 
+    // --- phase 6: elastic fleet — join mid-burst, drain under load ----
+    // Cache off so goodput tracks aggregate bandwidth/slots, the
+    // resource a joined shard actually adds.
+    let mut elastic_recovers = true;
+    let mut elastic_zero_lost = true;
+    if args.elastic {
+        let elastic_cfg = SchedulerConfig {
+            max_concurrent: args.inflight,
+            queue_capacity: args.queue_cap.max(3 * args.queries),
+            worker_slots: args.worker_slots,
+            enable_cache: false,
+            cache_aware: false,
+            work_stealing: args.stealing,
+            steal_min_backlog: 1,
+            ..SchedulerConfig::default()
+        };
+        let sched = QueryScheduler::builder(elastic_cfg)
+            .warehouse(args.cluster_config(), scale, args.seed)
+            .shards(1)
+            .build()
+            .expect("elastic scheduler");
+
+        // Burst A: the 1-shard goodput bar.
+        let (_, wall_a, done_a, _) = run_burst(&sched, args.queries, None);
+        let gp_solo = goodput(done_a, wall_a);
+
+        // Burst B: 3x the load, with a shard joined after the first
+        // third is in — the newcomer serves and steals the rest.
+        let n_b = 3 * args.queries;
+        let t_b = Instant::now();
+        let mut handles = Vec::with_capacity(n_b);
+        let mut joined = None;
+        for i in 0..n_b {
+            if i == args.queries {
+                joined = Some(sched.add_shard().expect("mid-burst add_shard"));
+            }
+            let (tenant, _) = TENANTS[i % TENANTS.len()];
+            sched
+                .submit(QuerySpec::new(
+                    tenant,
+                    request(i),
+                    STRATEGIES[i % STRATEGIES.len()],
+                ))
+                .map(|h| handles.push(h))
+                .expect("elastic burst within queue capacity");
+        }
+        for h in &handles {
+            if let Err(e) = h.wait().as_ref().as_ref() {
+                panic!("elastic burst query {} failed: {e}", h.id());
+            }
+        }
+        let wall_b = t_b.elapsed();
+        let gp_joined = goodput(handles.len() as u64, wall_b);
+        let joined = joined.expect("burst B is larger than one --queries");
+        let sb = sched.stats();
+        let newcomer = sb
+            .per_cluster
+            .iter()
+            .find(|c| c.shard == joined)
+            .expect("joined shard in stats");
+        println!(
+            "\nelastic: 1 shard {gp_solo:.2} q/s -> join mid-burst {gp_joined:.2} q/s \
+             (shard {joined} admitted {} stolen {})",
+            newcomer.admitted, newcomer.stolen
+        );
+        elastic_recovers = gp_joined > gp_solo;
+
+        // Burst C: queue work onto the joined shard, then drain it out
+        // mid-flight with one cancel racing the drain. Every handle must
+        // resolve exactly once.
+        let mut pinned = Vec::new();
+        for i in 0..args.queries {
+            match sched.submit_opts(
+                QuerySpec::new("gold", request(i), Strategy::InSql),
+                SubmitOpts::pinned(joined),
+            ) {
+                Ok(h) => pinned.push(h),
+                Err(r) => panic!("pin onto shard {joined} rejected: {r}"),
+            }
+        }
+        if pinned.len() > 1 {
+            pinned[1].cancel("elastic drain demo");
+        }
+        let removal = sched
+            .remove_shard(joined, DrainPolicy::Migrate)
+            .expect("drain the joined shard");
+        let mut terminal = 0usize;
+        for h in &pinned {
+            let result = h.wait();
+            if let Err(e) = result.as_ref().as_ref() {
+                assert!(
+                    e.is_cancelled(),
+                    "drained query {} failed oddly: {e}",
+                    h.id()
+                );
+            }
+            if h.is_finished() {
+                terminal += 1;
+            }
+        }
+        let sc = sched.stats();
+        elastic_zero_lost = terminal == pinned.len() && sc.inflight_now == 0;
+        println!(
+            "elastic: drained shard {} mid-burst — {} queued migrated, {}/{} handles \
+             terminal, {} in flight after",
+            removal.shard,
+            removal.migrated,
+            terminal,
+            pinned.len(),
+            sc.inflight_now
+        );
+        sched.shutdown();
+    }
+
     // --- A8 sweep: queue cap × slots × skew × shards ------------------
     if args.sweep {
-        println!("\nA8 sweep (queue cap x worker slots x tenant skew x shards), {} queries/cell, submit_with_retry:", args.queries);
+        println!("\nA8 sweep (queue cap x worker slots x tenant skew x shards), {} queries/cell, per-submit retry:", args.queries);
         println!(
             " shards    qcap   slots    skew   goodput(q/s)   p95(ms)   attempts-rej   gold/bronze queue wait"
         );
@@ -548,18 +687,18 @@ fn main() {
             for qcap in [4usize, 64] {
                 for slots in [8usize, 0] {
                     for (skew_label, weights) in [("flat", [1u32, 1, 1]), ("8:2:1", [8u32, 2, 1])] {
-                        let sched = QueryScheduler::start_sharded(
-                            cell_fleet.clone(),
-                            SchedulerConfig {
-                                max_concurrent: args.inflight,
-                                queue_capacity: qcap,
-                                worker_slots: slots,
-                                enable_cache: args.cache,
-                                cache_aware: args.cache && args.cache_aware,
-                                work_stealing: args.stealing,
-                                ..SchedulerConfig::default()
-                            },
-                        );
+                        let sched = QueryScheduler::builder(SchedulerConfig {
+                            max_concurrent: args.inflight,
+                            queue_capacity: qcap,
+                            worker_slots: slots,
+                            enable_cache: args.cache,
+                            cache_aware: args.cache && args.cache_aware,
+                            work_stealing: args.stealing,
+                            ..SchedulerConfig::default()
+                        })
+                        .clusters(cell_fleet.clone())
+                        .build()
+                        .expect("sweep-cell scheduler");
                         for ((tenant, _), w) in TENANTS.iter().zip(weights) {
                             sched.set_tenant_weight(tenant, w);
                         }
@@ -637,6 +776,15 @@ fn main() {
             // Informational: stealing depends on timing; report, don't gate.
             println!("note: load phase stole {total_stolen} queries across shards");
         }
+    }
+    if args.elastic {
+        ok &= check_shape(
+            "a shard joined mid-burst lifts goodput past the 1-shard bar",
+            elastic_recovers,
+        ) & check_shape(
+            "remove_shard under load lost no handles (all terminal, none in flight)",
+            elastic_zero_lost,
+        );
     }
     std::process::exit(if ok { 0 } else { 1 });
 }

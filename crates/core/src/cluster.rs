@@ -172,12 +172,23 @@ impl SimCluster {
         seed: u64,
     ) -> Result<Vec<std::sync::Arc<SimCluster>>> {
         (0..n.max(1))
-            .map(|_| {
-                let c = SimCluster::start(config.clone())?;
-                c.load_workload(scale, seed)?;
-                Ok(std::sync::Arc::new(c))
-            })
+            .map(|_| SimCluster::start_seeded(config.clone(), scale, seed))
             .collect()
+    }
+
+    /// Boot ONE shard warehouse: start a cluster and load the seeded
+    /// workload. This is the unit [`SimCluster::start_shards`] repeats,
+    /// split out so an elastic serving plane can boot an identical
+    /// replacement shard at runtime (`add_shard`) from the same template
+    /// the original fleet was built from.
+    pub fn start_seeded(
+        config: ClusterConfig,
+        scale: WorkloadScale,
+        seed: u64,
+    ) -> Result<std::sync::Arc<SimCluster>> {
+        let c = SimCluster::start(config)?;
+        c.load_workload(scale, seed)?;
+        Ok(std::sync::Arc::new(c))
     }
 
     /// Write the workload to the DFS as text (the warehouse layout the

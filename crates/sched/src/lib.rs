@@ -37,15 +37,26 @@
 //!   wherever the query ended up running;
 //! * per-query [`QueryHandle`]s exposing status, the result, the
 //!   queued/running/total latency split, and placement (which shard, and
-//!   whether the query was stolen).
+//!   whether the query was stolen or migrated off a drained shard);
+//! * an **elastic fleet**: shards join ([`QueryScheduler::add_shard`])
+//!   and leave ([`QueryScheduler::remove_shard`]) at runtime behind an
+//!   epoch-versioned registry, with a two-phase drain that migrates or
+//!   drains queued work and settles WFQ costs before the shard's
+//!   executors are joined. A pluggable [`ScalePolicy`] can advise
+//!   grow/shrink from the live [`ScaleSignal`]; none is installed by
+//!   default and the scheduler never actuates on its own.
+//!
+//! Schedulers are built with [`SchedulerBuilder`]:
 //!
 //! ```no_run
-//! # use std::sync::Arc;
-//! # use sqlml_core::{ClusterConfig, PipelineRequest, SimCluster, Strategy};
-//! # use sqlml_sched::{QueryScheduler, QuerySpec, SchedulerConfig};
+//! # use sqlml_core::{ClusterConfig, PipelineRequest, Strategy, WorkloadScale};
+//! # use sqlml_sched::{DrainPolicy, QueryScheduler, QuerySpec, SchedulerConfig, SubmitOpts};
 //! # use sqlml_transform::TransformSpec;
-//! let cluster = Arc::new(SimCluster::start(ClusterConfig::for_tests()).unwrap());
-//! let sched = QueryScheduler::start(Arc::clone(&cluster), SchedulerConfig::default());
+//! let sched = QueryScheduler::builder(SchedulerConfig::default())
+//!     .warehouse(ClusterConfig::for_tests(), WorkloadScale::TINY, 42)
+//!     .shards(2)
+//!     .build()
+//!     .unwrap();
 //! let handle = sched
 //!     .submit(QuerySpec::new(
 //!         "analytics",
@@ -58,20 +69,42 @@
 //!     ))
 //!     .unwrap();
 //! let result = handle.wait();
-//! # let _ = result;
+//! // Grow under load, then drain the newcomer back out; queued work
+//! // migrates to the survivors and no handle is ever lost.
+//! let id = sched.add_shard().unwrap();
+//! let removal = sched.remove_shard(id, DrainPolicy::Migrate).unwrap();
+//! # let _ = (result, removal);
+//! // Pin a query to a specific shard via SubmitOpts:
+//! let pinned = sched.submit_opts(
+//!     QuerySpec::new(
+//!         "analytics",
+//!         PipelineRequest {
+//!             prep_sql: "SELECT 1".into(),
+//!             spec: TransformSpec::default(),
+//!             ml_command: "svm label=0 iterations=1".into(),
+//!         },
+//!         Strategy::InSql,
+//!     ),
+//!     SubmitOpts::pinned(0),
+//! );
+//! # let _ = pinned;
 //! ```
 
 pub mod governor;
 pub mod queue;
+mod registry;
 pub mod retry;
 pub mod router;
+pub mod scale;
 pub mod scheduler;
 
 pub use governor::{SlotGuard, WorkerGovernor};
 pub use queue::{FairQueue, Popped, RejectReason, Rejected};
 pub use retry::{retry_queue_full, Clock, RetryPolicy, SystemClock};
 pub use router::{probe_discount, Placement, ShardLoad, ShardRouter, FULL_DISCOUNT, MAP_DISCOUNT};
+pub use scale::{ScaleAdvice, ScalePolicy, ScaleSignal, ThresholdScalePolicy};
 pub use scheduler::{
-    ClusterCounters, QueryHandle, QueryLatency, QueryScheduler, QuerySpec, QueryStatus,
-    SchedStatsSnapshot, SchedulerConfig,
+    ClusterCounters, DrainPolicy, QueryHandle, QueryLatency, QueryScheduler, QuerySpec,
+    QueryStatus, Retry, SchedStatsSnapshot, SchedulerBuilder, SchedulerConfig, ShardRemoval,
+    ShardStat, ShardTemplate, SubmitOpts,
 };

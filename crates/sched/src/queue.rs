@@ -37,6 +37,11 @@ pub enum RejectReason {
     QueueFull { capacity: usize },
     /// The scheduler is shutting down and accepts no new work.
     ShuttingDown,
+    /// The targeted shard is draining out of the fleet (`remove_shard`
+    /// in progress). Transient from the fleet's point of view: an
+    /// unpinned resubmission lands on a live peer, so retry policies
+    /// treat this like `QueueFull`.
+    Draining { shard: usize },
     /// The request failed upfront validation (bad SQL, bad ML command).
     Invalid(String),
 }
@@ -48,6 +53,9 @@ impl fmt::Display for RejectReason {
                 write!(f, "admission queue full ({capacity} queued)")
             }
             RejectReason::ShuttingDown => write!(f, "scheduler is shutting down"),
+            RejectReason::Draining { shard } => {
+                write!(f, "shard {shard} is draining out of the fleet")
+            }
             RejectReason::Invalid(m) => write!(f, "invalid request: {m}"),
         }
     }
@@ -131,18 +139,45 @@ impl<T> FairQueue<T> {
     /// consistent unit; the serving plane uses worker slots). Returns the
     /// queue depth after admission, or the reject reason.
     pub fn push(&self, tenant: &str, cost: f64, item: T) -> Result<usize, Rejected> {
+        self.push_inner(tenant, cost, item, true)
+            .map_err(|(r, _)| r)
+    }
+
+    /// [`FairQueue::push`] without the capacity bound — the shard-drain
+    /// migration path, where a job evicted from a draining shard must
+    /// land on its new home even if that queue is momentarily full
+    /// (dropping an already-admitted query would break the zero-lost
+    /// guarantee). A closed queue still refuses; the rejected item is
+    /// returned so the caller can try another peer.
+    pub fn force_push(&self, tenant: &str, cost: f64, item: T) -> Result<usize, (Rejected, T)> {
+        self.push_inner(tenant, cost, item, false)
+    }
+
+    fn push_inner(
+        &self,
+        tenant: &str,
+        cost: f64,
+        item: T,
+        bounded: bool,
+    ) -> Result<usize, (Rejected, T)> {
         let mut st = self.state.lock();
         if st.closed {
-            return Err(Rejected {
-                reason: RejectReason::ShuttingDown,
-            });
-        }
-        if st.queued >= self.capacity {
-            return Err(Rejected {
-                reason: RejectReason::QueueFull {
-                    capacity: self.capacity,
+            return Err((
+                Rejected {
+                    reason: RejectReason::ShuttingDown,
                 },
-            });
+                item,
+            ));
+        }
+        if bounded && st.queued >= self.capacity {
+            return Err((
+                Rejected {
+                    reason: RejectReason::QueueFull {
+                        capacity: self.capacity,
+                    },
+                },
+                item,
+            ));
         }
         let vtime = st.vtime;
         let entry = st
@@ -265,6 +300,21 @@ impl<T> FairQueue<T> {
         st.queued -= 1;
         st.vtime = st.vtime.max(stamp);
         Some(item)
+    }
+
+    /// Take *everything* queued right now, in WFQ pop order, without
+    /// closing the queue. The shard-drain path: a draining shard's
+    /// backlog is lifted out wholesale and re-admitted onto live peers,
+    /// preserving the order WFQ would have served it in. Pushes that
+    /// race this call simply land after it and are drained by the
+    /// shard's own executors before they exit.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut st = self.state.lock();
+        let mut out = Vec::with_capacity(st.queued);
+        while let Some(item) = Self::take_best(&mut st) {
+            out.push(item);
+        }
+        out
     }
 
     /// Close the queue: pending items still drain, new pushes are
@@ -504,6 +554,46 @@ mod tests {
                  full-cost one ({opt_served} vs {full_served} of 200)"
             );
         }
+    }
+
+    #[test]
+    fn drain_now_lifts_the_backlog_in_wfq_order() {
+        let q = FairQueue::new(10);
+        q.push("a", 1.0, "a0").unwrap();
+        q.push("a", 1.0, "a1").unwrap();
+        q.push("b", 1.0, "b0").unwrap();
+        let drained = q.drain_now();
+        assert_eq!(drained.len(), 3);
+        // WFQ order: the two stamp-1.0 heads first, then a's stamp-2.0.
+        assert_eq!(drained[2], "a1");
+        assert!(q.is_empty());
+        // The queue stays open: new work is still admitted and served.
+        q.push("a", 1.0, "a2").unwrap();
+        assert_eq!(q.pop(), Some("a2"));
+    }
+
+    #[test]
+    fn force_push_overrides_capacity_but_not_close() {
+        let q = FairQueue::new(1);
+        q.push("a", 1.0, 1).unwrap();
+        assert!(q.push("a", 1.0, 2).is_err());
+        // Migration may exceed the bound...
+        assert_eq!(q.force_push("a", 1.0, 2).unwrap(), 2);
+        assert_eq!(q.len(), 2);
+        // ...but never lands on a closed queue, and hands the item back.
+        q.close();
+        let (err, item) = q.force_push("a", 1.0, 3).unwrap_err();
+        assert_eq!(err.reason, RejectReason::ShuttingDown);
+        assert_eq!(item, 3);
+    }
+
+    #[test]
+    fn draining_reject_names_the_shard() {
+        let r = Rejected {
+            reason: RejectReason::Draining { shard: 4 },
+        };
+        assert!(r.to_string().contains("shard 4"), "{r}");
+        assert!(r.to_string().contains("draining"), "{r}");
     }
 
     #[test]

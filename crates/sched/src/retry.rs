@@ -5,8 +5,11 @@
 //! resubmits turns that into a hot loop against the scheduler's mutex.
 //! [`RetryPolicy`] is the standard remedy: bounded exponential backoff
 //! with decorrelating jitter, giving up early when the caller's deadline
-//! could no longer be met anyway. Only `QueueFull` is retried —
-//! `Invalid` and `ShuttingDown` rejects are permanent by construction.
+//! could no longer be met anyway. Only *transient* rejects are retried:
+//! `QueueFull` (the backlog drains) and `Draining` (the targeted shard
+//! is leaving the fleet, but an unpinned resubmission routes to a live
+//! peer). `Invalid` and `ShuttingDown` rejects are permanent by
+//! construction.
 //!
 //! The loop is written against a [`Clock`] so unit tests drive it with a
 //! fake clock and assert the exact sleep schedule; production code uses
@@ -95,7 +98,14 @@ pub fn retry_queue_full<T>(
     for retry in 0..attempts {
         match attempt() {
             Ok(v) => return Ok(v),
-            Err(r) if matches!(r.reason, RejectReason::QueueFull { .. }) => last = Some(r),
+            Err(r)
+                if matches!(
+                    r.reason,
+                    RejectReason::QueueFull { .. } | RejectReason::Draining { .. }
+                ) =>
+            {
+                last = Some(r)
+            }
             Err(r) => return Err(r), // Invalid / ShuttingDown: permanent
         }
         if retry + 1 == attempts {
@@ -273,6 +283,42 @@ mod tests {
         assert!(out.is_err());
         assert_eq!(calls, 4);
         assert_eq!(clock.slept.borrow().len(), 3);
+    }
+
+    #[test]
+    fn draining_rejects_are_retried_like_queue_full() {
+        // A submit that races a `remove_shard` sees Draining; the next
+        // attempt routes to a live peer. The FakeClock pins the exact
+        // backoff schedule: two sleeps (10ms, 20ms) before success.
+        let clock = FakeClock::new();
+        let mut calls = 0;
+        let out = retry_queue_full(&policy_no_jitter(), None, &clock, || {
+            calls += 1;
+            if calls < 3 {
+                Err(Rejected {
+                    reason: RejectReason::Draining { shard: 1 },
+                })
+            } else {
+                Ok("placed on a live peer")
+            }
+        });
+        assert_eq!(out.unwrap(), "placed on a live peer");
+        assert_eq!(calls, 3);
+        assert_eq!(
+            *clock.slept.borrow(),
+            vec![Duration::from_millis(10), Duration::from_millis(20)]
+        );
+        // Exhaustion surfaces the Draining reject itself.
+        let clock = FakeClock::new();
+        let out: Result<(), Rejected> = retry_queue_full(&policy_no_jitter(), None, &clock, || {
+            Err(Rejected {
+                reason: RejectReason::Draining { shard: 7 },
+            })
+        });
+        assert!(matches!(
+            out.unwrap_err().reason,
+            RejectReason::Draining { shard: 7 }
+        ));
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct ShardLoad {
     pub slot_capacity: usize,
     /// What the shard's §5 cache would offer this request.
     pub probe: CacheProbe,
+    /// The shard is leaving the fleet (`remove_shard` drain in
+    /// progress): ineligible for placement no matter its score.
+    pub draining: bool,
 }
 
 /// A placement decision.
@@ -103,30 +106,33 @@ impl ShardRouter {
         bonus - load.queue_depth as f64 - SLOT_WEIGHT * busy
     }
 
-    /// Choose a shard for one request. `loads` must be non-empty; the
-    /// scan starts at a rotating offset so exact ties spread round-robin.
-    pub fn place(&self, loads: &[ShardLoad]) -> Placement {
+    /// Choose a shard for one request; the scan starts at a rotating
+    /// offset so exact ties spread round-robin. Draining shards are
+    /// ineligible; `None` means no live shard exists (empty or
+    /// fleet-wide drain — the caller rejects rather than placing onto a
+    /// shard that is on its way out).
+    pub fn place(&self, loads: &[ShardLoad]) -> Option<Placement> {
         if loads.is_empty() {
-            return Placement {
-                shard: 0,
-                affinity: CacheProbe::Miss,
-            };
+            return None;
         }
         let start = self.rr.fetch_add(1, Ordering::Relaxed) % loads.len();
-        let mut best = start;
+        let mut best: Option<usize> = None;
         let mut best_score = f64::NEG_INFINITY;
         for k in 0..loads.len() {
             let i = (start + k) % loads.len();
+            if loads[i].draining {
+                continue;
+            }
             let s = Self::score(&loads[i]);
             if s > best_score {
                 best_score = s;
-                best = i;
+                best = Some(i);
             }
         }
-        Placement {
-            shard: best,
-            affinity: loads[best].probe,
-        }
+        best.map(|shard| Placement {
+            shard,
+            affinity: loads[shard].probe,
+        })
     }
 }
 
@@ -140,6 +146,7 @@ mod tests {
             slots_in_use: 0,
             slot_capacity: 8,
             probe,
+            draining: false,
         }
     }
 
@@ -152,7 +159,7 @@ mod tests {
             idle(CacheProbe::RecodeMap),
         ];
         for _ in 0..8 {
-            let p = r.place(&loads);
+            let p = r.place(&loads).unwrap();
             assert_eq!((p.shard, p.affinity), (1, CacheProbe::Full));
         }
     }
@@ -162,8 +169,8 @@ mod tests {
         let r = ShardRouter::new();
         let mut loads = [idle(CacheProbe::Full), idle(CacheProbe::Miss)];
         loads[0].queue_depth = 12; // worth more than the FULL bonus of 8
-        assert_eq!(r.place(&loads).shard, 1);
-        assert_eq!(r.place(&loads).affinity, CacheProbe::Miss);
+        assert_eq!(r.place(&loads).unwrap().shard, 1);
+        assert_eq!(r.place(&loads).unwrap().affinity, CacheProbe::Miss);
     }
 
     #[test]
@@ -172,7 +179,7 @@ mod tests {
         let mut loads = [idle(CacheProbe::Miss), idle(CacheProbe::Miss)];
         loads[0].slots_in_use = 8; // fully held
         for _ in 0..6 {
-            assert_eq!(r.place(&loads).shard, 1);
+            assert_eq!(r.place(&loads).unwrap().shard, 1);
         }
     }
 
@@ -180,7 +187,7 @@ mod tests {
     fn exact_ties_spread_round_robin() {
         let r = ShardRouter::new();
         let loads = [idle(CacheProbe::Miss); 3];
-        let picks: Vec<usize> = (0..6).map(|_| r.place(&loads).shard).collect();
+        let picks: Vec<usize> = (0..6).map(|_| r.place(&loads).unwrap().shard).collect();
         for shard in 0..3 {
             assert_eq!(
                 picks.iter().filter(|p| **p == shard).count(),
@@ -188,6 +195,23 @@ mod tests {
                 "uneven spread: {picks:?}"
             );
         }
+    }
+
+    #[test]
+    fn draining_shards_are_never_placed_onto() {
+        let r = ShardRouter::new();
+        // The draining shard has the best score by far (idle + cache
+        // hit); placement must still avoid it.
+        let mut loads = [idle(CacheProbe::Full), idle(CacheProbe::Miss)];
+        loads[0].draining = true;
+        loads[1].queue_depth = 6;
+        for _ in 0..8 {
+            assert_eq!(r.place(&loads).unwrap().shard, 1);
+        }
+        // A fleet-wide drain (or an empty fleet) has no placement.
+        loads[1].draining = true;
+        assert_eq!(r.place(&loads), None);
+        assert_eq!(r.place(&[]), None);
     }
 
     #[test]

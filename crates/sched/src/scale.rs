@@ -1,0 +1,190 @@
+//! The autoscale controller hook: load signals out, advice in.
+//!
+//! The scheduler itself never grows or shrinks the fleet — elasticity is
+//! mechanism ([`crate::QueryScheduler::add_shard`] /
+//! [`crate::QueryScheduler::remove_shard`]), and *policy* is the
+//! operator's. This module is the thin contract between them:
+//!
+//! * [`ScaleSignal`] — what the scheduler can honestly measure about
+//!   current pressure: live shard count, total backlog, the p95 of
+//!   recent queue waits (how long admitted queries sat before running),
+//!   and the slot-busy fraction (how saturated the worker pools are);
+//! * [`ScalePolicy`] — a user-pluggable trait mapping a signal to
+//!   [`ScaleAdvice`]. **No policy ships enabled by default**: with none
+//!   installed, [`crate::QueryScheduler::scale_advice`] always returns
+//!   [`ScaleAdvice::Hold`]. [`ThresholdScalePolicy`] is a worked example
+//!   an operator can start from, not a default.
+//!
+//! The controller loop (observe → advise → act) belongs to the caller:
+//! poll `scale_signal()`/`scale_advice()` on whatever cadence suits the
+//! deployment and call `add_shard`/`remove_shard` when the advice says
+//! so. Keeping actuation out of the scheduler means a misbehaving policy
+//! can never wedge the serving plane from inside.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use sqlml_common::lockorder::TrackedMutex;
+
+/// A point-in-time pressure reading over the *live* (non-draining)
+/// fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSignal {
+    /// Live (non-draining) shards.
+    pub shards: usize,
+    /// Queries waiting in admission queues across the live fleet.
+    pub queued: usize,
+    /// p95 of recent queue waits (submission → execution start), over a
+    /// sliding window of finished starts. Zero while the window is
+    /// empty.
+    pub queue_wait_p95: Duration,
+    /// Worker slots held / capacity over the live fleet, in `[0, 1]`.
+    pub slot_busy: f64,
+}
+
+/// What a policy recommends doing with the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAdvice {
+    /// Pressure warrants another shard (`add_shard`).
+    Grow,
+    /// Leave the fleet alone.
+    Hold,
+    /// The fleet is over-provisioned (`remove_shard` a shard).
+    Shrink,
+}
+
+/// A user-pluggable autoscale policy. Implementations must be cheap and
+/// pure-ish: `advise` is called with a snapshot and must not block.
+pub trait ScalePolicy: Send + Sync {
+    fn advise(&self, signal: &ScaleSignal) -> ScaleAdvice;
+}
+
+/// A worked-example hysteresis policy: grow when queue waits or slot
+/// saturation cross the high-water thresholds, shrink only when the
+/// fleet is idle *and* above its floor. Not installed by default.
+#[derive(Debug, Clone)]
+pub struct ThresholdScalePolicy {
+    /// Grow when the queue-wait p95 exceeds this.
+    pub grow_wait_p95: Duration,
+    /// Grow when the slot-busy fraction exceeds this.
+    pub grow_slot_busy: f64,
+    /// Shrink only when the slot-busy fraction is below this *and*
+    /// nothing is queued.
+    pub shrink_slot_busy: f64,
+    /// Never advise shrinking below this many shards.
+    pub min_shards: usize,
+    /// Never advise growing past this many shards.
+    pub max_shards: usize,
+}
+
+impl Default for ThresholdScalePolicy {
+    fn default() -> Self {
+        ThresholdScalePolicy {
+            grow_wait_p95: Duration::from_millis(500),
+            grow_slot_busy: 0.85,
+            shrink_slot_busy: 0.2,
+            min_shards: 1,
+            max_shards: 8,
+        }
+    }
+}
+
+impl ScalePolicy for ThresholdScalePolicy {
+    fn advise(&self, signal: &ScaleSignal) -> ScaleAdvice {
+        let pressured =
+            signal.queue_wait_p95 > self.grow_wait_p95 || signal.slot_busy > self.grow_slot_busy;
+        if pressured && signal.shards < self.max_shards {
+            return ScaleAdvice::Grow;
+        }
+        let idle = signal.queued == 0 && signal.slot_busy < self.shrink_slot_busy;
+        if idle && signal.shards > self.min_shards {
+            return ScaleAdvice::Shrink;
+        }
+        ScaleAdvice::Hold
+    }
+}
+
+/// Sliding window of recent queue waits, feeding
+/// [`ScaleSignal::queue_wait_p95`]. Bounded (oldest samples fall off) so
+/// the signal tracks *current* pressure, not the whole run's history.
+pub(crate) struct WaitWindow {
+    samples: TrackedMutex<VecDeque<Duration>>,
+    cap: usize,
+}
+
+impl WaitWindow {
+    pub fn new(cap: usize) -> WaitWindow {
+        WaitWindow {
+            samples: TrackedMutex::new("sched.scale.samples", VecDeque::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Record one query's queue wait (called as it starts running).
+    pub fn record(&self, wait: Duration) {
+        let mut s = self.samples.lock();
+        if s.len() == self.cap {
+            s.pop_front();
+        }
+        s.push_back(wait);
+    }
+
+    /// The p95 of the window (nearest-rank); zero when empty.
+    pub fn p95(&self) -> Duration {
+        let mut sorted: Vec<Duration> = self.samples.lock().iter().copied().collect();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        sorted.sort_unstable();
+        let rank = (sorted.len() * 95).div_ceil(100);
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(shards: usize, queued: usize, p95_ms: u64, busy: f64) -> ScaleSignal {
+        ScaleSignal {
+            shards,
+            queued,
+            queue_wait_p95: Duration::from_millis(p95_ms),
+            slot_busy: busy,
+        }
+    }
+
+    #[test]
+    fn threshold_policy_grows_under_pressure_and_shrinks_when_idle() {
+        let p = ThresholdScalePolicy::default();
+        // Long queue waits → grow; saturated slots → grow.
+        assert_eq!(p.advise(&signal(1, 5, 800, 0.5)), ScaleAdvice::Grow);
+        assert_eq!(p.advise(&signal(2, 5, 100, 0.95)), ScaleAdvice::Grow);
+        // Idle above the floor → shrink; idle at the floor → hold.
+        assert_eq!(p.advise(&signal(3, 0, 0, 0.0)), ScaleAdvice::Shrink);
+        assert_eq!(p.advise(&signal(1, 0, 0, 0.0)), ScaleAdvice::Hold);
+        // Moderate load → hold; pressure at the ceiling → hold.
+        assert_eq!(p.advise(&signal(2, 1, 100, 0.5)), ScaleAdvice::Hold);
+        let capped = ThresholdScalePolicy {
+            max_shards: 2,
+            ..ThresholdScalePolicy::default()
+        };
+        assert_eq!(capped.advise(&signal(2, 9, 900, 0.99)), ScaleAdvice::Hold);
+    }
+
+    #[test]
+    fn wait_window_p95_tracks_the_recent_tail() {
+        let w = WaitWindow::new(100);
+        assert_eq!(w.p95(), Duration::ZERO);
+        for ms in 1..=100u64 {
+            w.record(Duration::from_millis(ms));
+        }
+        assert_eq!(w.p95(), Duration::from_millis(95));
+        // The window is bounded: a flood of fast samples pushes the old
+        // slow tail out entirely.
+        for _ in 0..100 {
+            w.record(Duration::from_millis(1));
+        }
+        assert_eq!(w.p95(), Duration::from_millis(1));
+    }
+}

@@ -26,7 +26,9 @@ use sqlml_common::schema::{DataType, Field};
 use sqlml_common::{row, set_perturb_seed, Schema};
 use sqlml_core::workload::PREP_QUERY;
 use sqlml_core::{ClusterConfig, PipelineRequest, SimCluster, Strategy, WorkloadScale};
-use sqlml_sched::{QueryScheduler, QuerySpec, QueryStatus, SchedulerConfig};
+use sqlml_sched::{
+    DrainPolicy, QueryScheduler, QuerySpec, QueryStatus, SchedulerConfig, SubmitOpts,
+};
 use sqlml_sqlengine::parser::parse_select;
 use sqlml_sqlengine::{Engine, EngineConfig};
 use sqlml_transform::{InSqlTransformer, TransformSpec};
@@ -87,26 +89,26 @@ fn perturbed_cancel_while_stolen_sweep() {
     let _g = serial();
     for seed in sweep_seeds() {
         set_perturb_seed(seed);
-        let sched = QueryScheduler::start_sharded(
-            shards(2),
-            SchedulerConfig {
-                max_concurrent: 1,
-                steal_min_backlog: 1,
-                cache_aware: false,
-                enable_cache: false,
-                ..SchedulerConfig::default()
-            },
-        );
+        let sched = QueryScheduler::builder(SchedulerConfig {
+            max_concurrent: 1,
+            steal_min_backlog: 1,
+            cache_aware: false,
+            enable_cache: false,
+            ..SchedulerConfig::default()
+        })
+        .clusters(shards(2))
+        .build()
+        .unwrap();
         let hog = sched
-            .submit_to(
+            .submit_opts(
                 QuerySpec::new("t", slow_request(), Strategy::InSqlStream),
-                0,
+                SubmitOpts::pinned(0),
             )
             .unwrap();
         let bait = sched
-            .submit_to(
+            .submit_opts(
                 QuerySpec::new("t", slow_request(), Strategy::InSqlStream),
-                0,
+                SubmitOpts::pinned(0),
             )
             .unwrap();
         // Wait for shard 1 to steal the bait and start running it; a
@@ -138,9 +140,9 @@ fn perturbed_cancel_while_stolen_sweep() {
         // Both shards must stay fully usable after the unwind.
         for shard in 0..2 {
             let h = sched
-                .submit_to(
+                .submit_opts(
                     QuerySpec::new("t", quick_request(), Strategy::InSqlStream),
-                    shard,
+                    SubmitOpts::pinned(shard),
                 )
                 .unwrap();
             assert!(
@@ -149,6 +151,84 @@ fn perturbed_cancel_while_stolen_sweep() {
             );
         }
         assert_eq!(sched.stats().inflight_now, 0, "seed {seed}");
+        sched.shutdown();
+    }
+    set_perturb_seed(0);
+}
+
+/// Sweep the elastic join/leave interleaving: a burst lands on a
+/// 2-shard fleet, a third shard joins mid-burst, then immediately drains
+/// back out (migrating its queued work) while a cancel races the drain.
+/// Across every perturbed schedule each handle must resolve exactly
+/// once — completed, cancelled, or a typed reject at submit time — and
+/// the fleet must end settled (no inflight, no residue).
+#[test]
+fn perturbed_elastic_join_leave_sweep() {
+    let _g = serial();
+    // 8 seeds, not 32: each iteration boots a third warehouse mid-loop,
+    // which dominates the sweep's runtime.
+    for seed in sweep_seeds().into_iter().take(8) {
+        set_perturb_seed(seed);
+        let sched = QueryScheduler::builder(SchedulerConfig {
+            max_concurrent: 1,
+            queue_capacity: 16,
+            steal_min_backlog: 1,
+            cache_aware: false,
+            enable_cache: false,
+            ..SchedulerConfig::default()
+        })
+        .warehouse(ClusterConfig::for_tests(), WorkloadScale::TINY, 909)
+        .shards(2)
+        .build()
+        .unwrap();
+        // Burst of slow queries to build a backlog, then grow the fleet.
+        let burst: Vec<_> = (0..4)
+            .map(|_| {
+                sched
+                    .submit(QuerySpec::new("t", slow_request(), Strategy::InSql))
+                    .unwrap()
+            })
+            .collect();
+        let joined = sched.add_shard().unwrap();
+        // Pin more work onto the newcomer so the drain below has queued
+        // jobs to migrate; a racing Draining reject is a legal outcome.
+        let mut pinned = Vec::new();
+        for _ in 0..3 {
+            match sched.submit_opts(
+                QuerySpec::new("t", quick_request(), Strategy::InSql),
+                SubmitOpts::pinned(joined),
+            ) {
+                Ok(h) => pinned.push(h),
+                Err(r) => panic!("seed {seed}: pin onto fresh shard rejected: {r}"),
+            }
+        }
+        // Cancel one pinned query concurrently with the drain.
+        pinned[1].cancel("elastic sweep");
+        let removal = sched
+            .remove_shard(joined, DrainPolicy::Migrate)
+            .unwrap_or_else(|e| panic!("seed {seed}: drain refused: {e}"));
+        assert_eq!(removal.shard, joined, "seed {seed}");
+        assert!(
+            !sched.shard_ids().contains(&joined),
+            "seed {seed}: drained shard still registered"
+        );
+        for (i, h) in burst.iter().chain(pinned.iter()).enumerate() {
+            let result = h.wait();
+            if let Err(e) = result.as_ref().as_ref() {
+                assert!(
+                    e.is_cancelled() || e.to_string().contains("drained"),
+                    "seed {seed}: handle {i} failed oddly: {e}"
+                );
+            }
+            assert!(h.is_finished(), "seed {seed}: handle {i} never resolved");
+        }
+        let s = sched.stats();
+        assert_eq!(s.inflight_now, 0, "seed {seed}");
+        assert_eq!(
+            (s.shards_added, s.shards_removed),
+            (1, 1),
+            "seed {seed}: membership counters drifted"
+        );
         sched.shutdown();
     }
     set_perturb_seed(0);

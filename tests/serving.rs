@@ -63,15 +63,15 @@ fn eight_concurrent_pipelines_match_the_sequential_baseline() {
 
     // With and without the shared cache: results must be identical.
     for enable_cache in [true, false] {
-        let sched = QueryScheduler::start(
-            Arc::clone(&cluster),
-            SchedulerConfig {
-                max_concurrent: 8,
-                queue_capacity: 32,
-                enable_cache,
-                ..SchedulerConfig::default()
-            },
-        );
+        let sched = QueryScheduler::builder(SchedulerConfig {
+            max_concurrent: 8,
+            queue_capacity: 32,
+            enable_cache,
+            ..SchedulerConfig::default()
+        })
+        .cluster(Arc::clone(&cluster))
+        .build()
+        .unwrap();
         sched.set_tenant_weight("gold", 3);
         let handles: Vec<_> = (0..9)
             .map(|i| {
@@ -108,14 +108,14 @@ fn eight_concurrent_pipelines_match_the_sequential_baseline() {
 
 #[test]
 fn overload_rejects_with_queue_full_and_recovers() {
-    let sched = QueryScheduler::start(
-        cluster(),
-        SchedulerConfig {
-            max_concurrent: 1,
-            queue_capacity: 2,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 1,
+        queue_capacity: 2,
+        ..SchedulerConfig::default()
+    })
+    .cluster(cluster())
+    .build()
+    .unwrap();
     let mut admitted = Vec::new();
     let mut rejected = 0;
     for i in 0..16 {
@@ -155,13 +155,13 @@ fn cancellation_and_shutdown_leak_no_threads_or_sockets() {
     let threads_before = thread_count();
     let fds_before = fd_count();
 
-    let sched = QueryScheduler::start(
-        Arc::clone(&cluster),
-        SchedulerConfig {
-            max_concurrent: 4,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 4,
+        ..SchedulerConfig::default()
+    })
+    .cluster(Arc::clone(&cluster))
+    .build()
+    .unwrap();
     // A mix of doomed and healthy queries: instant deadlines, an explicit
     // cancel, and normal completions, all against the same cluster.
     let doomed: Vec<_> = (0..3)
@@ -223,14 +223,14 @@ fn cancellation_and_shutdown_leak_no_threads_or_sockets() {
 
 #[test]
 fn default_deadline_applies_to_every_query() {
-    let sched = QueryScheduler::start(
-        cluster(),
-        SchedulerConfig {
-            max_concurrent: 2,
-            default_deadline: Some(Duration::ZERO),
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 2,
+        default_deadline: Some(Duration::ZERO),
+        ..SchedulerConfig::default()
+    })
+    .cluster(cluster())
+    .build()
+    .unwrap();
     let h = sched
         .submit(QuerySpec::new("t", request(0), Strategy::InSql))
         .unwrap();

@@ -10,7 +10,7 @@ use sqlml_core::workload::PREP_QUERY;
 use sqlml_core::{
     CacheMode, ClusterConfig, Pipeline, PipelineRequest, SimCluster, Strategy, WorkloadScale,
 };
-use sqlml_sched::{QueryScheduler, QuerySpec, QueryStatus, SchedulerConfig};
+use sqlml_sched::{QueryScheduler, QuerySpec, QueryStatus, SchedulerConfig, SubmitOpts};
 use sqlml_transform::TransformSpec;
 
 const STRATEGIES: [Strategy; 3] = [Strategy::Naive, Strategy::InSql, Strategy::InSqlStream];
@@ -58,15 +58,15 @@ fn sharded_results_match_the_single_cluster_baseline() {
     // Pure load routing (no cache pinning) so the 9-query burst spreads
     // over both shards; every result must match the baseline regardless
     // of which warehouse replica served it.
-    let sched = QueryScheduler::start_sharded(
-        fleet,
-        SchedulerConfig {
-            max_concurrent: 2,
-            cache_aware: false,
-            enable_cache: false,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 2,
+        cache_aware: false,
+        enable_cache: false,
+        ..SchedulerConfig::default()
+    })
+    .clusters(fleet)
+    .build()
+    .unwrap();
     assert_eq!(sched.num_shards(), 2);
     let handles: Vec<_> = (0..9)
         .map(|i| {
@@ -103,26 +103,32 @@ fn sharded_results_match_the_single_cluster_baseline() {
 
 #[test]
 fn an_idle_shard_steals_and_runs_the_query_entirely_itself() {
-    let sched = QueryScheduler::start_sharded(
-        shards(2),
-        SchedulerConfig {
-            max_concurrent: 1,
-            steal_min_backlog: 1,
-            // No cache, so nothing is pinned and everything may travel.
-            cache_aware: false,
-            enable_cache: false,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 1,
+        steal_min_backlog: 1,
+        // No cache, so nothing is pinned and everything may travel.
+        cache_aware: false,
+        enable_cache: false,
+        ..SchedulerConfig::default()
+    })
+    .clusters(shards(2))
+    .build()
+    .unwrap();
     // Occupy shard 0's only executor with a slow query, then pile a
     // backlog behind it. Shard 1's executor, finding its own queue
     // empty, must raid shard 0's.
     let mut handles = vec![sched
-        .submit_to(QuerySpec::new("t", slow_request(), Strategy::InSql), 0)
+        .submit_opts(
+            QuerySpec::new("t", slow_request(), Strategy::InSql),
+            SubmitOpts::pinned(0),
+        )
         .unwrap()];
     handles.extend((0..4).map(|i| {
         sched
-            .submit_to(QuerySpec::new("t", request(i), Strategy::InSql), 0)
+            .submit_opts(
+                QuerySpec::new("t", request(i), Strategy::InSql),
+                SubmitOpts::pinned(0),
+            )
             .unwrap()
     }));
     let mut stolen = 0;
@@ -151,20 +157,23 @@ fn an_idle_shard_steals_and_runs_the_query_entirely_itself() {
 
 #[test]
 fn disabling_work_stealing_keeps_queries_home() {
-    let sched = QueryScheduler::start_sharded(
-        shards(2),
-        SchedulerConfig {
-            max_concurrent: 1,
-            work_stealing: false,
-            cache_aware: false,
-            enable_cache: false,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 1,
+        work_stealing: false,
+        cache_aware: false,
+        enable_cache: false,
+        ..SchedulerConfig::default()
+    })
+    .clusters(shards(2))
+    .build()
+    .unwrap();
     let handles: Vec<_> = (0..4)
         .map(|i| {
             sched
-                .submit_to(QuerySpec::new("t", request(i), Strategy::InSql), 0)
+                .submit_opts(
+                    QuerySpec::new("t", request(i), Strategy::InSql),
+                    SubmitOpts::pinned(0),
+                )
                 .unwrap()
         })
         .collect();
@@ -179,27 +188,27 @@ fn disabling_work_stealing_keeps_queries_home() {
 
 #[test]
 fn cancelling_a_stolen_query_unwinds_cleanly_on_the_stealing_shard() {
-    let sched = QueryScheduler::start_sharded(
-        shards(2),
-        SchedulerConfig {
-            max_concurrent: 1,
-            steal_min_backlog: 1,
-            cache_aware: false,
-            enable_cache: false,
-            ..SchedulerConfig::default()
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 1,
+        steal_min_backlog: 1,
+        cache_aware: false,
+        enable_cache: false,
+        ..SchedulerConfig::default()
+    })
+    .clusters(shards(2))
+    .build()
+    .unwrap();
     // Shard 0 busy; a slow query queued behind it is the steal bait.
     let hog = sched
-        .submit_to(
+        .submit_opts(
             QuerySpec::new("t", slow_request(), Strategy::InSqlStream),
-            0,
+            SubmitOpts::pinned(0),
         )
         .unwrap();
     let bait = sched
-        .submit_to(
+        .submit_opts(
             QuerySpec::new("t", slow_request(), Strategy::InSqlStream),
-            0,
+            SubmitOpts::pinned(0),
         )
         .unwrap();
     // Wait for shard 1 to steal it and start running, then cancel.
@@ -225,9 +234,9 @@ fn cancelling_a_stolen_query_unwinds_cleanly_on_the_stealing_shard() {
     // Both shards stay fully usable after the unwind.
     for shard in 0..2 {
         let h = sched
-            .submit_to(
+            .submit_opts(
                 QuerySpec::new("t", request(0), Strategy::InSqlStream),
-                shard,
+                SubmitOpts::pinned(shard),
             )
             .unwrap();
         assert!(
@@ -241,13 +250,13 @@ fn cancelling_a_stolen_query_unwinds_cleanly_on_the_stealing_shard() {
 
 #[test]
 fn cache_affinity_routes_repeats_to_the_warm_shard() {
-    let sched = QueryScheduler::start_sharded(
-        shards(2),
-        SchedulerConfig {
-            max_concurrent: 2,
-            ..SchedulerConfig::default() // cache_aware + enable_cache on
-        },
-    );
+    let sched = QueryScheduler::builder(SchedulerConfig {
+        max_concurrent: 2,
+        ..SchedulerConfig::default() // cache_aware + enable_cache on
+    })
+    .clusters(shards(2))
+    .build()
+    .unwrap();
     // Cold run: a miss everywhere, placed purely by load; it populates
     // its shard's §5 cache.
     let cold = sched
